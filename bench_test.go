@@ -1,0 +1,90 @@
+package hibernator_test
+
+import (
+	"strconv"
+	"testing"
+
+	"hibernator/internal/experiments"
+	"hibernator/internal/report"
+)
+
+// benchScale keeps each experiment benchmark to a few hundred simulated
+// seconds per run; `go run ./cmd/hibexp` regenerates the full-scale
+// results recorded in EXPERIMENTS.md.
+const benchScale = 0.05
+
+// One benchmark per reconstructed table/figure. Each iteration uses a
+// seed unique to this benchmark AND iteration, so the memoized bake-offs
+// can never short-circuit the work (a cache hit would make an iteration
+// look instant, the framework would ramp b.N, and the later uncached
+// iterations would stall the run for minutes).
+func benchExperiment(b *testing.B, id string) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var space int64
+	for _, c := range id {
+		space = space*131 + int64(c)
+	}
+	b.ReportAllocs()
+	var tables []*report.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = e.Run(experiments.Opts{Scale: benchScale, Seed: space*1_000_000 + int64(i+1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	rows := 0
+	for _, t := range tables {
+		rows += len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+func BenchmarkT1(b *testing.B)  { benchExperiment(b, "T1") }
+func BenchmarkT2(b *testing.B)  { benchExperiment(b, "T2") }
+func BenchmarkT3(b *testing.B)  { benchExperiment(b, "T3") }
+func BenchmarkF1(b *testing.B)  { benchExperiment(b, "F1") }
+func BenchmarkF2(b *testing.B)  { benchExperiment(b, "F2") }
+func BenchmarkF3(b *testing.B)  { benchExperiment(b, "F3") }
+func BenchmarkF4(b *testing.B)  { benchExperiment(b, "F4") }
+func BenchmarkF5(b *testing.B)  { benchExperiment(b, "F5") }
+func BenchmarkF6(b *testing.B)  { benchExperiment(b, "F6") }
+func BenchmarkF7(b *testing.B)  { benchExperiment(b, "F7") }
+func BenchmarkF8(b *testing.B)  { benchExperiment(b, "F8") }
+func BenchmarkF9(b *testing.B)  { benchExperiment(b, "F9") }
+func BenchmarkF10(b *testing.B) { benchExperiment(b, "F10") }
+func BenchmarkF11(b *testing.B) { benchExperiment(b, "F11") }
+func BenchmarkX1(b *testing.B)  { benchExperiment(b, "X1") }
+func BenchmarkX2(b *testing.B)  { benchExperiment(b, "X2") }
+func BenchmarkX3(b *testing.B)  { benchExperiment(b, "X3") }
+func BenchmarkX4(b *testing.B)  { benchExperiment(b, "X4") }
+
+// BenchmarkSimulatorThroughput measures raw simulator speed: simulated
+// requests per second of wall time on the bake-off geometry, the figure
+// that bounds how long full-scale experiments take.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	e, ok := experiments.ByID("T2")
+	if !ok {
+		b.Fatal("T2 missing")
+	}
+	b.ReportAllocs()
+	var reqs int
+	for i := 0; i < b.N; i++ {
+		tables, err := e.Run(experiments.Opts{Scale: 0.1, Seed: 777_000_000 + int64(i+1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reqs = 0
+		for _, row := range tables[0].Rows {
+			n, err := strconv.Atoi(row[1])
+			if err != nil {
+				b.Fatalf("bad request count %q", row[1])
+			}
+			reqs += n
+		}
+	}
+	b.ReportMetric(float64(reqs), "trace-requests")
+}

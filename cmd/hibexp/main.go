@@ -1,0 +1,102 @@
+// Command hibexp regenerates the reconstructed tables and figures of the
+// Hibernator evaluation (see DESIGN.md's experiment index).
+//
+// Usage:
+//
+//	hibexp                      # run everything at default scale
+//	hibexp -run F1,F2 -scale 0.2
+//	hibexp -list
+//	hibexp -csv out/            # also write one CSV per table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hibernator/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale   = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full multi-hour runs)")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files into")
+		list    = flag.Bool("list", false, "list experiments and exit")
+		verbose = flag.Bool("v", false, "print progress while running")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %-46s reconstructs %s\n", e.ID, e.Title, e.Reconstructs)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *runIDs == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "hibexp: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	opts := experiments.Opts{Scale: *scale, Seed: *seed}
+	if *verbose {
+		opts.Log = os.Stderr
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+		}
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hibexp: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			if err := t.Fprint(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, t.ID+".csv")
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
+					os.Exit(1)
+				}
+				if err := t.CSV(f); err != nil {
+					f.Close()
+					fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
+					os.Exit(1)
+				}
+				f.Close()
+			}
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,203 @@
+// Command hibsim runs one disk-array simulation under a chosen
+// energy-management scheme and prints the energy/performance summary.
+//
+// Usage examples:
+//
+//	hibsim -scheme hibernator -workload oltp -duration 3600 -rate 50
+//	hibsim -scheme tpm -workload cello -duration 86400 -goal 8ms
+//	hibsim -scheme base -trace requests.csv -duration 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/policy"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+func main() {
+	var (
+		scheme     = flag.String("scheme", "hibernator", "base | tpm | drpm | pdc | maid | hibernator")
+		workload   = flag.String("workload", "oltp", "oltp | cello (ignored with -trace)")
+		traceFile  = flag.String("trace", "", "CSV trace file (overrides -workload)")
+		duration   = flag.Float64("duration", 3600, "simulated seconds")
+		rate       = flag.Float64("rate", 50, "mean request rate for the oltp workload (req/s)")
+		groups     = flag.Int("groups", 4, "RAID groups")
+		groupDisks = flag.Int("group-disks", 4, "disks per group")
+		raidLevel  = flag.String("raid", "raid5", "raid0 | raid1 | raid5")
+		levels     = flag.Int("levels", 5, "multi-speed RPM levels (1 = conventional disk)")
+		family     = flag.String("disk", "enterprise", "disk family: enterprise (Ultrastar-class) | sff (2.5\" low-power)")
+		sched      = flag.String("sched", "fcfs", "disk queue discipline: fcfs | sptf")
+		failAt     = flag.Float64("fail-at", 0, "inject a disk failure (group 0, disk 0) at this time; 0 disables")
+		cacheMB    = flag.Int64("cache-mb", 256, "controller cache size (0 disables)")
+		goal       = flag.Duration("goal", 0, "response-time goal (e.g. 8ms; 0 = none)")
+		epoch      = flag.Float64("epoch", 0, "epoch seconds for hibernator/pdc (default duration/4)")
+		seed       = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var spec diskmodel.Spec
+	switch strings.ToLower(*family) {
+	case "enterprise":
+		spec = diskmodel.SingleSpeedUltrastar()
+		if *levels > 1 {
+			spec = diskmodel.MultiSpeedUltrastar(*levels, 3000)
+		}
+	case "sff":
+		spec = diskmodel.MultiSpeedSFF(*levels, 1800)
+	default:
+		fatalf("unknown disk family %q", *family)
+	}
+	var scheduler diskmodel.Scheduler
+	switch strings.ToLower(*sched) {
+	case "fcfs":
+		scheduler = diskmodel.FCFS
+	case "sptf":
+		scheduler = diskmodel.SPTF
+	default:
+		fatalf("unknown scheduler %q", *sched)
+	}
+	var level raid.Level
+	switch strings.ToLower(*raidLevel) {
+	case "raid0":
+		level = raid.RAID0
+	case "raid1":
+		level = raid.RAID1
+	case "raid5":
+		level = raid.RAID5
+	default:
+		fatalf("unknown RAID level %q", *raidLevel)
+	}
+	if *epoch == 0 {
+		*epoch = *duration / 4
+	}
+
+	cfg := sim.Config{
+		Spec:               spec,
+		Groups:             *groups,
+		GroupDisks:         *groupDisks,
+		Level:              level,
+		ExtentBytes:        64 << 20,
+		CacheBytes:         *cacheMB << 20,
+		RespGoal:           goal.Seconds(),
+		Seed:               *seed,
+		ExpectedRotLatency: true,
+		Scheduler:          scheduler,
+	}
+
+	var ctrl sim.Controller
+	switch strings.ToLower(*scheme) {
+	case "base":
+		ctrl = policy.NewBase()
+	case "tpm":
+		ctrl = policy.NewTPM(0)
+	case "drpm":
+		ctrl = policy.NewDRPM()
+	case "pdc":
+		p := policy.NewPDC()
+		p.Epoch = *epoch
+		ctrl = p
+	case "maid":
+		cfg.SpareDisks = 2
+		ctrl = policy.NewMAID()
+	case "hibernator":
+		ctrl = hibernator.New(hibernator.Options{Epoch: *epoch})
+	default:
+		fatalf("unknown scheme %q", *scheme)
+	}
+
+	var src trace.Source
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		src, err = trace.NewCSVSource(f)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	} else {
+		vol, err := sim.LogicalBytes(cfg)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		switch strings.ToLower(*workload) {
+		case "oltp":
+			src, err = trace.NewOLTP(trace.OLTPConfig{
+				Seed: *seed + 11, VolumeBytes: vol, Duration: *duration, MaxRate: *rate,
+			})
+		case "cello":
+			src, err = trace.NewCello(trace.CelloConfig{
+				Seed: *seed + 11, VolumeBytes: vol, Duration: *duration, DayPeriod: *duration,
+			})
+		default:
+			fatalf("unknown workload %q", *workload)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	if *failAt > 0 {
+		ctrl = &failingController{inner: ctrl, at: *failAt}
+	}
+	start := time.Now()
+	res, err := sim.Run(cfg, src, ctrl, *duration)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	fmt.Printf("scheme          %s\n", res.Scheme)
+	fmt.Printf("simulated       %.0f s (%.1f h), wall %v\n", res.Duration, res.Duration/3600, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("requests        %d (cache-absorbed %d)\n", res.Requests, res.CacheHits)
+	fmt.Printf("mean response   %.2f ms (P95 %.2f, P99 %.2f, max %.1f s)\n",
+		res.MeanResp*1000, res.P95Resp*1000, res.P99Resp*1000, res.MaxResp)
+	fmt.Printf("energy          %.1f kJ (%.1f W average over all disks)\n", res.Energy/1000, res.Energy/res.Duration)
+	states := make([]string, 0, len(res.EnergyByState))
+	for s := range res.EnergyByState {
+		states = append(states, s)
+	}
+	sort.Strings(states)
+	for _, s := range states {
+		fmt.Printf("  %-10s %.1f kJ\n", s, res.EnergyByState[s]/1000)
+	}
+	fmt.Printf("transitions     %d spin-ups, %d spin-downs, %d speed shifts\n", res.SpinUps, res.SpinDowns, res.LevelShifts)
+	fmt.Printf("migrations      %d extents, %.1f GiB\n", res.Migrations, float64(res.MigratedBytes)/(1<<30))
+	if cfg.RespGoal > 0 {
+		fmt.Printf("goal            %.2f ms, violated in %.1f%% of windows\n", cfg.RespGoal*1000, res.GoalViolationFrac*100)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hibsim: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// failingController wraps the chosen policy and injects one disk failure.
+type failingController struct {
+	inner sim.Controller
+	at    float64
+}
+
+func (f *failingController) Name() string { return f.inner.Name() }
+
+func (f *failingController) Init(env *sim.Env) {
+	f.inner.Init(env)
+	env.Engine.Schedule(f.at, func() {
+		if err := env.Array.FailDisk(0, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "hibsim: failure injection: %v\n", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "hibsim: disk 0/0 failed at t=%.0f\n", env.Engine.Now())
+		}
+	})
+}

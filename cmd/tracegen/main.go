@@ -1,0 +1,70 @@
+// Command tracegen emits a synthetic request trace in the CSV format
+// hibsim consumes (time,offset,size,rw).
+//
+// Usage:
+//
+//	tracegen -workload oltp -duration 3600 -rate 80 -volume-gb 128 > oltp.csv
+//	tracegen -workload cello -duration 86400 -o cello.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"hibernator/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "oltp", "oltp | cello")
+		duration = flag.Float64("duration", 3600, "trace length in seconds")
+		rate     = flag.Float64("rate", 50, "request rate for oltp (req/s)")
+		volumeGB = flag.Float64("volume-gb", 128, "logical volume size in GiB")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	vol := int64(*volumeGB * (1 << 30))
+	var (
+		src trace.Source
+		err error
+	)
+	switch *workload {
+	case "oltp":
+		src, err = trace.NewOLTP(trace.OLTPConfig{
+			Seed: *seed, VolumeBytes: vol, Duration: *duration, MaxRate: *rate,
+		})
+	case "cello":
+		src, err = trace.NewCello(trace.CelloConfig{
+			Seed: *seed, VolumeBytes: vol, Duration: *duration, DayPeriod: *duration,
+		})
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	n, err := trace.WriteCSV(w, src)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d requests\n", n)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracegen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,24 @@
+// Package hibernator is a reproduction of "Hibernator: Helping Disk Arrays
+// Sleep through the Winter" (Zhu, Chen, Tan, Zhou, Keeton, Wilkes; SOSP 2005).
+//
+// Hibernator is a disk-array energy-management system that combines
+// multi-speed disks, a coarse-grained epoch-based algorithm for deciding
+// which disks spin at which speeds (CR), automatic migration of hot data to
+// fast disks, and an automatic performance boost that spins every disk to
+// full speed when a response-time goal is at risk.
+//
+// The repository is organised as a simulator plus policies:
+//
+//   - internal/simevent: discrete-event engine
+//   - internal/diskmodel: multi-speed disk mechanical + power model
+//   - internal/raid, internal/cache, internal/array: the array substrate
+//   - internal/trace: synthetic OLTP- and Cello-like workload generators
+//   - internal/policy: Base, TPM, DRPM, PDC and MAID baselines
+//   - internal/hibernator: the paper's contribution
+//   - internal/sim: the harness that wires everything together
+//   - internal/experiments: one scenario per reconstructed table/figure
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-versus-measured results. Binaries live under cmd/, runnable
+// examples under examples/.
+package hibernator

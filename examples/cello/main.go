@@ -1,0 +1,75 @@
+// Cello file-server scenario: a strongly diurnal, bursty workload (quiet
+// nights, busy days) over a simulated day. The example prints Hibernator's
+// speed decisions over time — you can watch the array slow down through
+// the night trough and speed back up for the day — alongside the windowed
+// response time.
+//
+// Run with: go run ./examples/cello
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/policy"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+const day = 28800.0 // a compressed 8-hour "day"
+
+func main() {
+	cfg := sim.Config{
+		Spec:               diskmodel.MultiSpeedUltrastar(5, 3000),
+		Groups:             4,
+		GroupDisks:         4,
+		Level:              raid.RAID5,
+		CacheBytes:         256 << 20,
+		RespGoal:           0.020,
+		SampleEvery:        day / 32,
+		Seed:               5,
+		ExpectedRotLatency: true,
+	}
+	vol, err := sim.LogicalBytes(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := func() trace.Source {
+		src, err := trace.NewCello(trace.CelloConfig{
+			Seed:        9,
+			VolumeBytes: vol,
+			Duration:    day,
+			DayPeriod:   day,
+			NightRate:   0.02,
+			DayRate:     3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return src
+	}
+
+	base, err := sim.Run(cfg, workload(), policy.NewBase(), day)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctrl := hibernator.New(hibernator.Options{Epoch: day / 8})
+	hib, err := sim.Run(cfg, workload(), ctrl, day)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("time     resp(ms)  full-speed disks (of 16)")
+	for _, p := range hib.Series {
+		bar := strings.Repeat("#", p.FullSpeedDisks)
+		fmt.Printf("%6.0fs  %7.2f  %-16s %d\n", p.T, p.WindowMeanResp*1000, bar, p.FullSpeedDisks)
+	}
+	fmt.Printf("\nBase:       %8.1f kJ, mean %.2f ms\n", base.Energy/1000, base.MeanResp*1000)
+	fmt.Printf("Hibernator: %8.1f kJ, mean %.2f ms (savings %.1f%%, %d epochs, %d boosts, %d migrations)\n",
+		hib.Energy/1000, hib.MeanResp*1000, hib.SavingsVs(base)*100,
+		ctrl.Epochs(), ctrl.BoostCount(), hib.Migrations)
+}

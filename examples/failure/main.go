@@ -1,0 +1,97 @@
+// Failure drill: Hibernator keeps managing energy while a RAID-5 group
+// loses a disk mid-run, serves in degraded mode (reconstructing reads from
+// the survivors), and rebuilds onto a hot spare in the background.
+//
+// Run with: go run ./examples/failure
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+const (
+	duration  = 9000.0
+	failAt    = 1500.0
+	rebuildAt = 2400.0
+)
+
+// drillController wraps Hibernator and injects the fault schedule.
+type drillController struct {
+	inner   sim.Controller
+	env     *sim.Env
+	rebuilt float64
+}
+
+func (d *drillController) Name() string { return d.inner.Name() }
+
+func (d *drillController) Init(env *sim.Env) {
+	d.env = env
+	d.inner.Init(env)
+	env.Engine.Schedule(failAt, func() {
+		if err := env.Array.FailDisk(1, 2); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%5.0f  disk 2 of group 1 FAILED — group now degraded\n", env.Engine.Now())
+	})
+	env.Engine.Schedule(rebuildAt, func() {
+		err := env.Array.Rebuild(1, 2, 0, true, func() {
+			d.rebuilt = env.Engine.Now()
+			fmt.Printf("t=%5.0f  rebuild complete — spare installed, group healthy\n", d.rebuilt)
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%5.0f  background rebuild to hot spare started\n", env.Engine.Now())
+	})
+}
+
+func main() {
+	cfg := sim.Config{
+		Spec:               diskmodel.MultiSpeedUltrastar(5, 3000),
+		Groups:             4,
+		GroupDisks:         4,
+		Level:              raid.RAID5,
+		CacheBytes:         256 << 20,
+		SpareDisks:         1,
+		RespGoal:           0.015,
+		SampleEvery:        duration / 18,
+		Seed:               17,
+		ExpectedRotLatency: true,
+	}
+	vol, err := sim.LogicalBytes(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed: 19, VolumeBytes: vol, Duration: duration, MaxRate: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	drill := &drillController{inner: hibernator.New(hibernator.Options{Epoch: duration / 6})}
+	res, err := sim.Run(cfg, src, drill, duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntime     resp(ms)  full-speed disks")
+	for _, p := range res.Series {
+		marker := ""
+		switch {
+		case p.T >= failAt && p.T < rebuildAt:
+			marker = "  <- degraded"
+		case p.T >= rebuildAt && (drill.rebuilt == 0 || p.T < drill.rebuilt):
+			marker = "  <- rebuilding"
+		}
+		fmt.Printf("%6.0fs  %8.2f  %d%s\n", p.T, p.WindowMeanResp*1000, p.FullSpeedDisks, marker)
+	}
+	fmt.Printf("\nmean response %.2f ms (goal %.0f ms), energy %.1f kJ, lost IOs %d, rebuilds %d\n",
+		res.MeanResp*1000, cfg.RespGoal*1000, res.Energy/1000,
+		drill.env.Array.LostIOs(), drill.env.Array.Rebuilds())
+}

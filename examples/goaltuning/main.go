@@ -1,0 +1,75 @@
+// Goal tuning: how much energy can the array save at each response-time
+// goal? This is the administrator's capacity-planning question — Hibernator
+// turns a latency budget into an energy budget. Reproduces the shape of
+// the paper's savings-vs-goal analysis (experiment F5) as a standalone
+// program.
+//
+// Run with: go run ./examples/goaltuning
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/policy"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+const duration = 7200.0
+
+func main() {
+	mkCfg := func(multi bool, goal float64) sim.Config {
+		spec := diskmodel.SingleSpeedUltrastar()
+		if multi {
+			spec = diskmodel.MultiSpeedUltrastar(5, 3000)
+		}
+		return sim.Config{
+			Spec:               spec,
+			Groups:             4,
+			GroupDisks:         2,
+			Level:              raid.RAID0,
+			CacheBytes:         128 << 20,
+			RespGoal:           goal,
+			Seed:               11,
+			ExpectedRotLatency: true,
+		}
+	}
+	vol, err := sim.LogicalBytes(mkCfg(true, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := func() trace.Source {
+		src, err := trace.NewOLTP(trace.OLTPConfig{
+			Seed: 13, VolumeBytes: vol, Duration: duration, MaxRate: 40,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return src
+	}
+
+	base, err := sim.Run(mkCfg(false, 0), workload(), policy.NewBase(), duration)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Base: mean %.2f ms, %.1f kJ\n\n", base.MeanResp*1000, base.Energy/1000)
+	fmt.Println("goal      savings   mean(ms)  violations")
+	for _, mul := range []float64{1.1, 1.2, 1.4, 1.7, 2.0, 2.5, 3.0} {
+		goal := mul * base.MeanResp
+		hib, err := sim.Run(mkCfg(true, goal), workload(),
+			hibernator.New(hibernator.Options{Epoch: duration / 4}), duration)
+		if err != nil {
+			log.Fatal(err)
+		}
+		savings := hib.SavingsVs(base)
+		bar := strings.Repeat("#", int(savings*50+0.5))
+		fmt.Printf("%4.1fx  %7.1f%%  %9.2f  %9.1f%%  %s\n",
+			mul, savings*100, hib.MeanResp*1000, hib.GoalViolationFrac*100, bar)
+	}
+	fmt.Println("\nLooser goals let CR park more disks at lower speeds: latency budget -> energy budget.")
+}

@@ -1,0 +1,3 @@
+module hibernator
+
+go 1.22

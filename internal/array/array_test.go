@@ -1,0 +1,503 @@
+package array
+
+import (
+	"math"
+	"testing"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/simevent"
+)
+
+func testArray(t *testing.T, groups, groupDisks int, level raid.Level) (*simevent.Engine, *Array) {
+	t.Helper()
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(5, 3000)
+	a, err := New(Config{
+		Engine:             e,
+		Spec:               &spec,
+		Groups:             groups,
+		GroupDisks:         groupDisks,
+		Level:              level,
+		ExtentBytes:        64 << 20,
+		Seed:               1,
+		InitialLevel:       spec.FullLevel(),
+		ExpectedRotLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, a
+}
+
+func TestConstructionInvariants(t *testing.T) {
+	_, a := testArray(t, 4, 4, raid.RAID5)
+	if got := len(a.Disks()); got != 16 {
+		t.Errorf("disks = %d, want 16", got)
+	}
+	if a.NumExtents() == 0 {
+		t.Fatal("no extents")
+	}
+	// Every extent maps to a valid, unique slot.
+	type key struct {
+		g int
+		s int64
+	}
+	seen := map[key]bool{}
+	perGroup := make([]int, 4)
+	for e := 0; e < a.NumExtents(); e++ {
+		loc := a.ExtentLocation(e)
+		k := key{loc.Group, loc.Slot}
+		if seen[k] {
+			t.Fatalf("extent %d shares slot %+v", e, k)
+		}
+		seen[k] = true
+		perGroup[loc.Group]++
+	}
+	// Round-robin: groups should be balanced within 1.
+	for i := 1; i < 4; i++ {
+		if d := perGroup[i] - perGroup[0]; d < -1 || d > 1 {
+			t.Errorf("unbalanced initial layout: %v", perGroup)
+		}
+	}
+	// Occupancy leaves free slots for migration.
+	for _, g := range a.Groups() {
+		if g.FreeSlots() == 0 {
+			t.Errorf("group %d has no migration headroom", g.ID())
+		}
+	}
+}
+
+func TestReadCompletesWithSaneLatency(t *testing.T) {
+	e, a := testArray(t, 2, 4, raid.RAID5)
+	var lat float64
+	a.Submit(0, 8192, false, func(l float64) { lat = l })
+	e.RunAll()
+	if lat <= 0 || lat > 0.05 {
+		t.Errorf("read latency %v, want a few ms", lat)
+	}
+	if a.Completed() != 1 {
+		t.Errorf("Completed = %d", a.Completed())
+	}
+	if a.InFlight() != 0 {
+		t.Errorf("InFlight = %d", a.InFlight())
+	}
+}
+
+func TestRAID5WriteCostsMoreThanRead(t *testing.T) {
+	// Writes pay read-modify-write: 4 physical IOs (2 serialized phases).
+	e, a := testArray(t, 2, 4, raid.RAID5)
+	var rl, wl float64
+	a.Submit(0, 8192, false, func(l float64) { rl = l })
+	e.RunAll()
+	a.Submit(1<<30, 8192, true, func(l float64) { wl = l })
+	e.RunAll()
+	if wl <= rl {
+		t.Errorf("RAID5 write latency %v should exceed read %v", wl, rl)
+	}
+}
+
+func TestRAID0WriteSingleIO(t *testing.T) {
+	e, a := testArray(t, 4, 1, raid.RAID0)
+	var wl float64
+	a.Submit(0, 8192, true, func(l float64) { wl = l })
+	e.RunAll()
+	if wl <= 0 || wl > 0.03 {
+		t.Errorf("RAID0 write latency %v", wl)
+	}
+	// Exactly one disk saw a write.
+	writes := 0
+	for _, d := range a.Disks() {
+		_, w := d.BytesMoved()
+		if w > 0 {
+			writes++
+		}
+	}
+	if writes != 1 {
+		t.Errorf("%d disks wrote, want 1", writes)
+	}
+}
+
+func TestRequestSpanningExtents(t *testing.T) {
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	eb := a.ExtentBytes()
+	var done bool
+	a.Submit(eb-4096, 8192, false, func(float64) { done = true })
+	e.RunAll()
+	if !done {
+		t.Fatal("cross-extent request never completed")
+	}
+	// Both extents' access counters ticked.
+	if a.ExtentAccesses(0) != 1 || a.ExtentAccesses(1) != 1 {
+		t.Errorf("extent accesses = %d,%d, want 1,1", a.ExtentAccesses(0), a.ExtentAccesses(1))
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	_, a := testArray(t, 2, 1, raid.RAID0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a.Submit(a.LogicalBytes()-100, 4096, false, nil)
+}
+
+func TestMigrationMovesExtent(t *testing.T) {
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	src := a.ExtentLocation(0)
+	dst := 1 - src.Group
+	var finished bool
+	if err := a.MigrateExtent(0, dst, true, func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Migrating(0) {
+		t.Error("extent should be marked migrating")
+	}
+	e.RunAll()
+	if !finished {
+		t.Fatal("migration never completed")
+	}
+	loc := a.ExtentLocation(0)
+	if loc.Group != dst {
+		t.Errorf("extent in group %d, want %d", loc.Group, dst)
+	}
+	if a.Migrating(0) {
+		t.Error("migrating flag stuck")
+	}
+	count, bytes := a.Migrations()
+	if count != 1 || bytes != uint64(a.ExtentBytes()) {
+		t.Errorf("migrations = %d/%d bytes", count, bytes)
+	}
+	// Old slot is reusable: migrate back.
+	if err := a.MigrateExtent(0, src.Group, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if got := a.ExtentLocation(0).Group; got != src.Group {
+		t.Errorf("return migration landed in %d, want %d", got, src.Group)
+	}
+}
+
+func TestMigrationMovesRealBytes(t *testing.T) {
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	dst := 1 - a.ExtentLocation(0).Group
+	if err := a.MigrateExtent(0, dst, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	var read, written uint64
+	for _, d := range a.Disks() {
+		r, w := d.BytesMoved()
+		read += r
+		written += w
+	}
+	eb := uint64(a.ExtentBytes())
+	if read != eb || written != eb {
+		t.Errorf("migration moved read=%d written=%d, want %d each", read, written, eb)
+	}
+}
+
+func TestMigrationErrors(t *testing.T) {
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	loc := a.ExtentLocation(0)
+	if err := a.MigrateExtent(0, loc.Group, true, nil); err == nil {
+		t.Error("same-group migration must fail")
+	}
+	if err := a.MigrateExtent(-1, 0, true, nil); err == nil {
+		t.Error("bad extent must fail")
+	}
+	if err := a.MigrateExtent(0, 99, true, nil); err == nil {
+		t.Error("bad group must fail")
+	}
+	dst := 1 - loc.Group
+	if err := a.MigrateExtent(0, dst, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.MigrateExtent(0, dst, true, nil); err == nil {
+		t.Error("double migration of one extent must fail")
+	}
+	e.RunAll()
+}
+
+func TestMigrationFillsTargetEventuallyRefuses(t *testing.T) {
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	free := a.Groups()[1].FreeSlots()
+	moved := 0
+	for ext := 0; ext < a.NumExtents() && moved < free; ext++ {
+		if a.ExtentLocation(ext).Group == 0 {
+			if err := a.MigrateExtent(ext, 1, true, nil); err != nil {
+				t.Fatalf("move %d: %v", moved, err)
+			}
+			moved++
+		}
+	}
+	e.RunAll()
+	// Target is now full; the next move must refuse with ErrNoFreeSlot.
+	for ext := 0; ext < a.NumExtents(); ext++ {
+		if a.ExtentLocation(ext).Group == 0 {
+			if err := a.MigrateExtent(ext, 1, true, nil); err != ErrNoFreeSlot {
+				t.Fatalf("expected ErrNoFreeSlot, got %v", err)
+			}
+			break
+		}
+	}
+}
+
+func TestSwapExtents(t *testing.T) {
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	var e0, e1 = -1, -1
+	for ext := 0; ext < a.NumExtents(); ext++ {
+		switch a.ExtentLocation(ext).Group {
+		case 0:
+			if e0 < 0 {
+				e0 = ext
+			}
+		case 1:
+			if e1 < 0 {
+				e1 = ext
+			}
+		}
+	}
+	l0, l1 := a.ExtentLocation(e0), a.ExtentLocation(e1)
+	var done bool
+	if err := a.SwapExtents(e0, e1, true, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+	if !done {
+		t.Fatal("swap never completed")
+	}
+	if a.ExtentLocation(e0) != l1 || a.ExtentLocation(e1) != l0 {
+		t.Error("swap did not exchange locations")
+	}
+	count, _ := a.Migrations()
+	if count != 2 {
+		t.Errorf("swap counted as %d migrations, want 2", count)
+	}
+}
+
+func TestSwapErrors(t *testing.T) {
+	_, a := testArray(t, 2, 1, raid.RAID0)
+	if err := a.SwapExtents(0, 0, true, nil); err == nil {
+		t.Error("self-swap must fail")
+	}
+	// Find two extents in the same group.
+	var g0 []int
+	for ext := 0; ext < a.NumExtents() && len(g0) < 2; ext++ {
+		if a.ExtentLocation(ext).Group == 0 {
+			g0 = append(g0, ext)
+		}
+	}
+	if err := a.SwapExtents(g0[0], g0[1], true, nil); err == nil {
+		t.Error("same-group swap must fail")
+	}
+}
+
+func TestForegroundLatencyUnderMigration(t *testing.T) {
+	// Background migration must not starve foreground requests: drive
+	// steady foreground load during a migration and check latencies stay
+	// bounded.
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	if err := a.MigrateExtent(0, 1-a.ExtentLocation(0).Group, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	n := 0
+	for i := 0; i < 200; i++ {
+		at := float64(i) * 0.01
+		e.At(at, func() {
+			a.Submit(int64(i%4)<<20, 8192, false, func(l float64) {
+				if l > worst {
+					worst = l
+				}
+				n++
+			})
+		})
+	}
+	e.RunAll()
+	if n != 200 {
+		t.Fatalf("completed %d foreground requests, want 200", n)
+	}
+	if worst > 0.25 {
+		t.Errorf("worst foreground latency %v under migration; background priority broken?", worst)
+	}
+}
+
+func TestGroupSpeedControl(t *testing.T) {
+	e, a := testArray(t, 2, 4, raid.RAID5)
+	g := a.Groups()[0]
+	g.SetLevel(0)
+	e.Run(30)
+	if g.Level() != 0 {
+		t.Errorf("group level = %d, want 0", g.Level())
+	}
+	for _, d := range g.Disks() {
+		if d.Level() != 0 {
+			t.Errorf("disk %d level = %d", d.ID(), d.Level())
+		}
+	}
+	// Other group untouched.
+	if a.Groups()[1].Level() != a.Spec().FullLevel() {
+		t.Error("speed change leaked to other group")
+	}
+}
+
+func TestGroupStandbyAllOrNothing(t *testing.T) {
+	e, a := testArray(t, 1, 4, raid.RAID5)
+	g := a.Groups()[0]
+	if !g.Standby() {
+		t.Fatal("idle group should spin down")
+	}
+	e.RunAll()
+	if !g.AllStandby() {
+		t.Fatal("group not fully in standby")
+	}
+	g.SpinUp()
+	e.RunAll()
+	if g.AllStandby() {
+		t.Error("group still in standby after SpinUp")
+	}
+	// Busy group refuses.
+	var done bool
+	a.Submit(0, 8192, false, func(float64) { done = true })
+	if g.Standby() {
+		t.Error("busy group must refuse standby")
+	}
+	e.RunAll()
+	if !done {
+		t.Error("request lost")
+	}
+}
+
+func TestEnergyAggregation(t *testing.T) {
+	e, a := testArray(t, 2, 2, raid.RAID0)
+	for i := 0; i < 50; i++ {
+		at := float64(i) * 0.05
+		e.At(at, func() { a.Submit(int64(i%8)<<22, 8192, i%3 == 0, nil) })
+	}
+	e.Run(100)
+	total := a.TotalEnergy()
+	if total <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	byState := a.EnergyByState()
+	sum := 0.0
+	for _, v := range byState {
+		sum += v
+	}
+	if math.Abs(sum-total) > 1e-6*(1+total) {
+		t.Errorf("state sum %v != total %v", sum, total)
+	}
+	if byState["idle"] <= 0 || byState["active"] <= 0 {
+		t.Errorf("expected idle+active energy, got %v", byState)
+	}
+}
+
+func TestSparesOutsideGroups(t *testing.T) {
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	a, err := New(Config{
+		Engine: e, Spec: &spec,
+		Groups: 2, GroupDisks: 1, Level: raid.RAID0,
+		SpareDisks: 2, Seed: 3, ExtentBytes: 64 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Spares()) != 2 {
+		t.Fatalf("spares = %d", len(a.Spares()))
+	}
+	if len(a.Disks()) != 4 {
+		t.Fatalf("total disks = %d, want 4", len(a.Disks()))
+	}
+	// Logical capacity comes only from groups (occupancy-truncated slots).
+	slots := 2 * (spec.CapacityBytes / (64 << 20))
+	want := int64(float64(slots)*0.9) * (64 << 20)
+	if a.LogicalBytes() != want {
+		t.Errorf("LogicalBytes = %d, want %d", a.LogicalBytes(), want)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	bad := []Config{
+		{},
+		{Engine: e, Spec: &spec, Groups: 0, GroupDisks: 1},
+		{Engine: e, Spec: &spec, Groups: 1, GroupDisks: 2, Level: raid.RAID5}, // RAID5 < 3 disks
+		{Engine: e, Spec: &spec, Groups: 1, GroupDisks: 1, Occupancy: 1.5},
+		{Engine: e, Spec: &spec, Groups: 1, GroupDisks: 1, ExtentBytes: 1 << 62},
+		{Engine: e, Spec: &spec, Groups: 1, GroupDisks: 1, SpareDisks: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestResponseStatsAndObserver(t *testing.T) {
+	e, a := testArray(t, 2, 1, raid.RAID0)
+	var observed int
+	a.SetOnComplete(func(lat float64, write bool) { observed++ })
+	for i := 0; i < 20; i++ {
+		a.Submit(int64(i)<<20, 4096, i%2 == 0, nil)
+	}
+	e.RunAll()
+	if observed != 20 {
+		t.Errorf("observer saw %d, want 20", observed)
+	}
+	if a.ResponseMoments().Count() != 20 {
+		t.Errorf("response count = %d", a.ResponseMoments().Count())
+	}
+	if q := a.ResponseQuantile(0.5); q <= 0 {
+		t.Errorf("median response %v", q)
+	}
+	// Background traffic must not pollute stats.
+	a.SubmitBackground(0, 4096, true, nil)
+	e.RunAll()
+	if a.ResponseMoments().Count() != 20 {
+		t.Error("background request counted in response stats")
+	}
+}
+
+func TestTeleportSwap(t *testing.T) {
+	_, a := testArray(t, 2, 1, raid.RAID0)
+	var e0, e1 = -1, -1
+	for ext := 0; ext < a.NumExtents(); ext++ {
+		switch a.ExtentLocation(ext).Group {
+		case 0:
+			if e0 < 0 {
+				e0 = ext
+			}
+		case 1:
+			if e1 < 0 {
+				e1 = ext
+			}
+		}
+	}
+	l0, l1 := a.ExtentLocation(e0), a.ExtentLocation(e1)
+	if err := a.TeleportSwap(e0, e1); err != nil {
+		t.Fatal(err)
+	}
+	if a.ExtentLocation(e0) != l1 || a.ExtentLocation(e1) != l0 {
+		t.Fatal("teleport did not exchange locations")
+	}
+	if count, bytes := a.Migrations(); count != 0 || bytes != 0 {
+		t.Error("teleport must not count as migration I/O")
+	}
+	if err := a.TeleportSwap(e0, e0); err != nil {
+		t.Errorf("self-teleport should be a no-op, got %v", err)
+	}
+	if err := a.TeleportSwap(-1, e1); err == nil {
+		t.Error("bad extent must fail")
+	}
+	// A migrating extent cannot teleport.
+	if err := a.MigrateExtent(e0, l0.Group, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.TeleportSwap(e0, e1); err == nil {
+		t.Error("teleport during migration must fail")
+	}
+}

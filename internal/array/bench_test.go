@@ -1,0 +1,56 @@
+package array
+
+import (
+	"math/rand"
+	"testing"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/simevent"
+)
+
+// BenchmarkRAID5SubmitPath measures the full request path: extent lookup,
+// RAID-5 mapping, fan-out, completion fan-in.
+func BenchmarkRAID5SubmitPath(b *testing.B) {
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	a, err := New(Config{
+		Engine: e, Spec: &spec, Groups: 4, GroupDisks: 4,
+		Level: raid.RAID5, ExtentBytes: 64 << 20, Seed: 1, ExpectedRotLatency: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	limit := a.LogicalBytes() - 8192
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Submit(rng.Int63n(limit), 8192, i%3 == 0, nil)
+		if a.InFlight() > 128 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+// BenchmarkExtentMigration measures one full 64 MiB extent move end to
+// end (chunked read+write chains across two groups).
+func BenchmarkExtentMigration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := simevent.New()
+		spec := diskmodel.MultiSpeedUltrastar(1, 0)
+		a, err := New(Config{
+			Engine: e, Spec: &spec, Groups: 2, GroupDisks: 1,
+			Level: raid.RAID0, ExtentBytes: 64 << 20, Seed: int64(i), ExpectedRotLatency: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.MigrateExtent(0, 1-a.ExtentLocation(0).Group, true, nil); err != nil {
+			b.Fatal(err)
+		}
+		e.RunAll()
+	}
+}

@@ -1,0 +1,204 @@
+package array
+
+import (
+	"fmt"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+)
+
+// rebuildChunk is the streaming unit of a rebuild.
+const rebuildChunk = 1 << 20
+
+// FailDisk kills one drive. Subsequent operations targeting it are served
+// in degraded mode according to the group's redundancy: RAID-5 reconstructs
+// from the survivors, RAID-1 reads the mirror, RAID-0 loses the data (the
+// operation completes, and LostIOs counts the damage).
+func (a *Array) FailDisk(group, disk int) error {
+	if group < 0 || group >= len(a.groups) {
+		return fmt.Errorf("array: group %d outside [0,%d)", group, len(a.groups))
+	}
+	g := a.groups[group]
+	if disk < 0 || disk >= len(g.disks) {
+		return fmt.Errorf("array: disk %d outside group of %d", disk, len(g.disks))
+	}
+	if g.failed[disk] {
+		return fmt.Errorf("array: disk %d/%d already failed", group, disk)
+	}
+	if g.failed == nil {
+		g.failed = map[int]bool{}
+	}
+	// RAID-5 and RAID-1 pairs tolerate one failure per protection domain.
+	if g.geo.Level == raid.RAID5 && len(g.failed) >= 1 {
+		return fmt.Errorf("array: RAID5 group %d already degraded; second failure would lose data", group)
+	}
+	g.failed[disk] = true
+	g.disks[disk].Fail()
+	a.diskFailures++
+	return nil
+}
+
+// LostIOs counts operations that had no redundancy to fall back on.
+func (a *Array) LostIOs() uint64 { return a.lostIOs }
+
+// DiskFailures counts injected failures.
+func (a *Array) DiskFailures() uint64 { return a.diskFailures }
+
+// Degraded reports whether the group has failed members.
+func (g *Group) Degraded() bool { return len(g.failed) > 0 }
+
+// FailedDisks lists failed member indices.
+func (g *Group) FailedDisks() []int {
+	var out []int
+	for i := range g.disks {
+		if g.failed[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// dispatch routes one physical operation, redirecting around failed disks.
+// onDone fires exactly once when the (possibly expanded) operation
+// completes.
+func (a *Array) dispatch(g *Group, io raid.PhysIO, background bool, onDone func()) {
+	if !g.failed[io.Disk] {
+		a.submitOne(g, io.Disk, io, background, onDone)
+		return
+	}
+	switch g.geo.Level {
+	case raid.RAID1:
+		mirror := io.Disk ^ 1
+		if !g.failed[mirror] {
+			a.submitOne(g, mirror, io, background, onDone)
+			return
+		}
+		a.lostIOs++
+		a.engine.Schedule(0, func() { onDone() })
+	case raid.RAID5:
+		// Reconstruct from the survivors: one same-sized operation on each
+		// remaining disk (reads; a write regenerates parity, so the last
+		// survivor gets the write).
+		var survivors []int
+		for i := range g.disks {
+			if !g.failed[i] {
+				survivors = append(survivors, i)
+			}
+		}
+		if len(survivors) == 0 {
+			a.lostIOs++
+			a.engine.Schedule(0, func() { onDone() })
+			return
+		}
+		remaining := len(survivors)
+		for idx, s := range survivors {
+			sub := io
+			sub.Write = io.Write && idx == len(survivors)-1
+			a.submitOne(g, s, sub, background, func() {
+				remaining--
+				if remaining == 0 {
+					onDone()
+				}
+			})
+		}
+	default: // RAID0: no redundancy
+		a.lostIOs++
+		a.engine.Schedule(0, func() { onDone() })
+	}
+}
+
+// submitOne issues a single physical op on a specific member disk.
+func (a *Array) submitOne(g *Group, disk int, io raid.PhysIO, background bool, onDone func()) {
+	g.disks[disk].Submit(&diskmodel.Request{
+		LBA:        io.Offset,
+		Size:       io.Size,
+		Write:      io.Write,
+		Background: background,
+		Done: func(_ *diskmodel.Request, _ float64) {
+			onDone()
+		},
+	})
+}
+
+// Rebuild reconstructs the failed disk's contents onto the spare with the
+// given index (as returned by Spares()), streaming chunk by chunk: read
+// every survivor, then write the spare. On completion the spare replaces
+// the failed drive in the group and leaves the spare pool; done (optional)
+// fires afterwards.
+func (a *Array) Rebuild(group, disk, spareIdx int, background bool, done func()) error {
+	if group < 0 || group >= len(a.groups) {
+		return fmt.Errorf("array: group %d outside [0,%d)", group, len(a.groups))
+	}
+	g := a.groups[group]
+	if disk < 0 || disk >= len(g.disks) || !g.failed[disk] {
+		return fmt.Errorf("array: disk %d/%d is not failed", group, disk)
+	}
+	if spareIdx < 0 || spareIdx >= len(a.spares) {
+		return fmt.Errorf("array: spare %d outside [0,%d)", spareIdx, len(a.spares))
+	}
+	if g.rebuilding {
+		return fmt.Errorf("array: group %d already rebuilding", group)
+	}
+	spare := a.spares[spareIdx]
+	if spare.State() == diskmodel.Failed {
+		return fmt.Errorf("array: spare %d is failed", spareIdx)
+	}
+	g.rebuilding = true
+	a.spares = append(a.spares[:spareIdx], a.spares[spareIdx+1:]...)
+
+	capacity := a.cfg.Spec.CapacityBytes
+	var survivors []int
+	for i := range g.disks {
+		if !g.failed[i] {
+			survivors = append(survivors, i)
+		}
+	}
+	var step func(off int64)
+	step = func(off int64) {
+		if off >= capacity {
+			g.disks[disk] = spare
+			delete(g.failed, disk)
+			g.rebuilding = false
+			a.rebuilds++
+			if done != nil {
+				done()
+			}
+			return
+		}
+		n := int64(rebuildChunk)
+		if off+n > capacity {
+			n = capacity - off
+		}
+		// Read the stripe from every survivor, then write the
+		// reconstructed chunk to the spare.
+		remaining := len(survivors)
+		writeSpare := func() {
+			spare.Submit(&diskmodel.Request{
+				LBA: off, Size: n, Write: true, Background: background,
+				Done: func(_ *diskmodel.Request, _ float64) {
+					step(off + int64(rebuildChunk))
+				},
+			})
+		}
+		if remaining == 0 {
+			writeSpare() // nothing to read (RAID0 rebuild writes zeros)
+			return
+		}
+		for _, s := range survivors {
+			g.disks[s].Submit(&diskmodel.Request{
+				LBA: off, Size: n, Background: background,
+				Done: func(_ *diskmodel.Request, _ float64) {
+					remaining--
+					if remaining == 0 {
+						writeSpare()
+					}
+				},
+			})
+		}
+	}
+	step(0)
+	return nil
+}
+
+// Rebuilds counts completed rebuilds.
+func (a *Array) Rebuilds() uint64 { return a.rebuilds }

@@ -1,0 +1,224 @@
+package array
+
+import (
+	"testing"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/simevent"
+)
+
+func failArray(t *testing.T, groups, groupDisks int, level raid.Level, spares int) (*simevent.Engine, *Array) {
+	t.Helper()
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	a, err := New(Config{
+		Engine: e, Spec: &spec, Groups: groups, GroupDisks: groupDisks,
+		Level: level, ExtentBytes: 64 << 20, SpareDisks: spares,
+		Seed: 9, ExpectedRotLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, a
+}
+
+func TestRAID5DegradedReadsComplete(t *testing.T) {
+	e, a := failArray(t, 1, 4, raid.RAID5, 0)
+	if err := a.FailDisk(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := a.Groups()[0]
+	if !g.Degraded() || len(g.FailedDisks()) != 1 || g.FailedDisks()[0] != 1 {
+		t.Fatalf("degraded state wrong: %v", g.FailedDisks())
+	}
+	// Hammer the whole stripe width so the failed disk is hit.
+	completed := 0
+	for i := 0; i < 40; i++ {
+		a.Submit(int64(i)*65536, 65536, i%3 == 0, func(float64) { completed++ })
+	}
+	e.RunAll()
+	if completed != 40 {
+		t.Fatalf("completed %d of 40 under degraded RAID5", completed)
+	}
+	if a.LostIOs() != 0 {
+		t.Errorf("RAID5 lost %d IOs with a single failure", a.LostIOs())
+	}
+	// Reconstruction load: survivors must have served extra reads.
+	var survivorsReads uint64
+	for i, d := range g.Disks() {
+		if i == 1 {
+			continue
+		}
+		r, _ := d.BytesMoved()
+		survivorsReads += r
+	}
+	if survivorsReads == 0 {
+		t.Error("no reconstruction traffic observed")
+	}
+}
+
+func TestRAID5SecondFailureRefused(t *testing.T) {
+	_, a := failArray(t, 1, 4, raid.RAID5, 0)
+	if err := a.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(0, 2); err == nil {
+		t.Fatal("second RAID5 failure must be refused")
+	}
+	if err := a.FailDisk(0, 0); err == nil {
+		t.Fatal("double-failing one disk must be refused")
+	}
+}
+
+func TestRAID1DegradedUsesMirror(t *testing.T) {
+	e, a := failArray(t, 1, 4, raid.RAID1, 0)
+	if err := a.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	for i := 0; i < 30; i++ {
+		a.Submit(int64(i)*65536, 65536, i%2 == 0, func(float64) { completed++ })
+	}
+	e.RunAll()
+	if completed != 30 {
+		t.Fatalf("completed %d of 30 under degraded RAID1", completed)
+	}
+	if a.LostIOs() != 0 {
+		t.Errorf("RAID1 lost %d IOs with one failed side", a.LostIOs())
+	}
+	// The mirror (disk 1) must have absorbed disk 0's share.
+	r1, w1 := a.Groups()[0].Disks()[1].BytesMoved()
+	if r1+w1 == 0 {
+		t.Error("mirror disk saw no traffic")
+	}
+}
+
+func TestRAID0FailureLosesIOs(t *testing.T) {
+	e, a := failArray(t, 2, 1, raid.RAID0, 0)
+	if err := a.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	// Find an extent on group 0 and hit it.
+	for ext := 0; ext < a.NumExtents(); ext++ {
+		if a.ExtentLocation(ext).Group == 0 {
+			a.Submit(int64(ext)*a.ExtentBytes(), 4096, false, func(float64) { completed++ })
+			break
+		}
+	}
+	e.RunAll()
+	if completed != 1 {
+		t.Fatal("request must still complete (with data loss)")
+	}
+	if a.LostIOs() == 0 {
+		t.Fatal("RAID0 failure must count lost IOs")
+	}
+}
+
+func TestRebuildRestoresGroup(t *testing.T) {
+	e, a := failArray(t, 1, 4, raid.RAID5, 1)
+	if err := a.FailDisk(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	spare := a.Spares()[0]
+	var finished bool
+	if err := a.Rebuild(0, 2, 0, true, func() { finished = true }); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Spares()) != 0 {
+		t.Fatal("spare not removed from pool during rebuild")
+	}
+	e.RunAll()
+	if !finished {
+		t.Fatal("rebuild never completed")
+	}
+	g := a.Groups()[0]
+	if g.Degraded() {
+		t.Fatal("group still degraded after rebuild")
+	}
+	if g.Disks()[2] != spare {
+		t.Fatal("spare not installed in the failed slot")
+	}
+	if a.Rebuilds() != 1 {
+		t.Errorf("Rebuilds = %d", a.Rebuilds())
+	}
+	// The spare holds a full disk image.
+	_, written := spare.BytesMoved()
+	if written != uint64(a.Spec().CapacityBytes) {
+		t.Errorf("spare received %d bytes, want full capacity %d", written, a.Spec().CapacityBytes)
+	}
+	// Post-rebuild I/O flows normally.
+	completed := 0
+	for i := 0; i < 10; i++ {
+		a.Submit(int64(i)*65536, 65536, false, func(float64) { completed++ })
+	}
+	e.RunAll()
+	if completed != 10 {
+		t.Fatalf("post-rebuild completed %d of 10", completed)
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	e, a := failArray(t, 1, 4, raid.RAID5, 1)
+	if err := a.Rebuild(0, 0, 0, true, nil); err == nil {
+		t.Error("rebuilding a healthy disk must fail")
+	}
+	if err := a.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebuild(0, 0, 5, true, nil); err == nil {
+		t.Error("bad spare index must fail")
+	}
+	if err := a.Rebuild(9, 0, 0, true, nil); err == nil {
+		t.Error("bad group must fail")
+	}
+	if err := a.Rebuild(0, 0, 0, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebuild(0, 0, 0, true, nil); err == nil {
+		t.Error("concurrent rebuild of one group must fail")
+	}
+	e.RunAll()
+}
+
+func TestForegroundServiceDuringRebuild(t *testing.T) {
+	// Foreground reads keep completing while a background rebuild runs.
+	e, a := failArray(t, 1, 4, raid.RAID5, 1)
+	if err := a.FailDisk(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebuild(0, 3, 0, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	completed := 0
+	var worst float64
+	for i := 0; i < 100; i++ {
+		at := float64(i) * 0.05
+		e.At(at, func() {
+			a.Submit(int64(i%16)*(1<<20), 8192, false, func(l float64) {
+				completed++
+				if l > worst {
+					worst = l
+				}
+			})
+		})
+	}
+	e.Run(30)
+	if completed != 100 {
+		t.Fatalf("completed %d of 100 during rebuild", completed)
+	}
+	if worst > 0.5 {
+		t.Errorf("worst foreground latency %v during background rebuild", worst)
+	}
+}
+
+func TestFailDiskValidation(t *testing.T) {
+	_, a := failArray(t, 1, 4, raid.RAID5, 0)
+	if err := a.FailDisk(5, 0); err == nil {
+		t.Error("bad group must fail")
+	}
+	if err := a.FailDisk(0, 9); err == nil {
+		t.Error("bad disk must fail")
+	}
+}

@@ -1,0 +1,143 @@
+package array
+
+import (
+	"fmt"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+)
+
+// Group is one RAID group: the unit of speed control and extent placement.
+type Group struct {
+	id    int
+	geo   raid.Geometry
+	disks []*diskmodel.Disk
+	array *Array
+
+	slotUsed []bool
+	used     int
+
+	failed     map[int]bool
+	rebuilding bool
+}
+
+// ID returns the group index within the array.
+func (g *Group) ID() int { return g.id }
+
+// Disks returns the member drives.
+func (g *Group) Disks() []*diskmodel.Disk { return g.disks }
+
+// Slots returns total and used physical extent slots.
+func (g *Group) Slots() (total, used int) { return len(g.slotUsed), g.used }
+
+// FreeSlots returns how many extent slots are unoccupied.
+func (g *Group) FreeSlots() int { return len(g.slotUsed) - g.used }
+
+// Level returns the current speed level of the group (its first disk; the
+// group moves as a unit, though transient per-disk skew exists mid-shift).
+func (g *Group) Level() int { return g.disks[0].Level() }
+
+// TargetLevel returns the level the group is heading to.
+func (g *Group) TargetLevel() int { return g.disks[0].TargetLevel() }
+
+// SetLevel requests a speed change on every member disk.
+func (g *Group) SetLevel(level int) {
+	for _, d := range g.disks {
+		d.SetTargetLevel(level)
+	}
+}
+
+// Standby spins the whole group down; it succeeds only if every member is
+// idle and reports whether all spin-downs started. A partially idle group
+// is left untouched.
+func (g *Group) Standby() bool {
+	for _, d := range g.disks {
+		if d.State() != diskmodel.Idle || d.QueueLen() > 0 {
+			return false
+		}
+	}
+	for _, d := range g.disks {
+		if !d.Standby() {
+			// Should be unreachable given the pre-check; spin others back
+			// up to avoid a half-down group.
+			for _, u := range g.disks {
+				u.SpinUp()
+			}
+			return false
+		}
+	}
+	return true
+}
+
+// SpinUp wakes every standby member.
+func (g *Group) SpinUp() {
+	for _, d := range g.disks {
+		d.SpinUp()
+	}
+}
+
+// AllStandby reports whether every member is fully spun down.
+func (g *Group) AllStandby() bool {
+	for _, d := range g.disks {
+		if d.State() != diskmodel.Standby {
+			return false
+		}
+	}
+	return true
+}
+
+// IdleFor returns the smallest member idle time (0 unless all idle).
+func (g *Group) IdleFor() float64 {
+	min := -1.0
+	for _, d := range g.disks {
+		f := d.IdleFor()
+		if f == 0 && d.State() != diskmodel.Idle {
+			return 0
+		}
+		if min < 0 || f < min {
+			min = f
+		}
+	}
+	if min < 0 {
+		return 0
+	}
+	return min
+}
+
+// QueueLen sums member queue lengths.
+func (g *Group) QueueLen() int {
+	n := 0
+	for _, d := range g.disks {
+		n += d.QueueLen()
+	}
+	return n
+}
+
+// Completed sums member completed-request counts.
+func (g *Group) Completed() uint64 {
+	var n uint64
+	for _, d := range g.disks {
+		n += d.Completed()
+	}
+	return n
+}
+
+// allocSlot claims a free physical slot, lowest-index first.
+func (g *Group) allocSlot() (int64, error) {
+	for i, used := range g.slotUsed {
+		if !used {
+			g.slotUsed[i] = true
+			g.used++
+			return int64(i), nil
+		}
+	}
+	return 0, fmt.Errorf("array: group %d has no free extent slot", g.id)
+}
+
+func (g *Group) freeSlot(s int64) {
+	if !g.slotUsed[s] {
+		panic(fmt.Sprintf("array: double free of slot %d in group %d", s, g.id))
+	}
+	g.slotUsed[s] = false
+	g.used--
+}

@@ -1,0 +1,114 @@
+package array
+
+import (
+	"testing"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+)
+
+func TestGroupIdleForMixedStates(t *testing.T) {
+	e, a := testArray(t, 1, 2, raid.RAID0)
+	g := a.Groups()[0]
+	e.Run(10)
+	if got := g.IdleFor(); got < 9.99 {
+		t.Errorf("all-idle group IdleFor = %v, want ~10", got)
+	}
+	// Busy one member: group idle time must be 0.
+	var done bool
+	g.Disks()[0].Submit(&diskmodel.Request{LBA: 0, Size: 1 << 20, Done: func(*diskmodel.Request, float64) { done = true }})
+	if g.IdleFor() != 0 {
+		t.Errorf("group with a busy member reports IdleFor %v", g.IdleFor())
+	}
+	e.RunAll()
+	if !done {
+		t.Fatal("request lost")
+	}
+	// IdleFor is the minimum across members.
+	e.At(e.Now()+5, func() {})
+	e.RunAll()
+	if got := g.IdleFor(); got < 4.9 || got > 15.1 {
+		t.Errorf("post-completion IdleFor = %v", got)
+	}
+}
+
+func TestGroupCountersAggregate(t *testing.T) {
+	e, a := testArray(t, 1, 4, raid.RAID5)
+	g := a.Groups()[0]
+	for i := 0; i < 10; i++ {
+		a.Submit(int64(i)<<20, 8192, i%2 == 0, nil)
+	}
+	if g.QueueLen() == 0 {
+		t.Error("queue should be non-empty right after submission")
+	}
+	e.RunAll()
+	if g.QueueLen() != 0 {
+		t.Errorf("queue = %d after drain", g.QueueLen())
+	}
+	if g.Completed() == 0 {
+		t.Error("no completions aggregated")
+	}
+}
+
+func TestDoubleFreeSlotPanics(t *testing.T) {
+	_, a := testArray(t, 2, 1, raid.RAID0)
+	g := a.Groups()[0]
+	s, err := g.allocSlot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.freeSlot(s)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free must panic")
+		}
+	}()
+	g.freeSlot(s)
+}
+
+func TestGroupStandbyRace(t *testing.T) {
+	// Standby while a request is mid-flight on one member must refuse and
+	// leave the group serviceable.
+	e, a := testArray(t, 1, 2, raid.RAID0)
+	g := a.Groups()[0]
+	var done int
+	a.Submit(0, 1<<20, false, func(float64) { done++ })
+	if g.Standby() {
+		t.Fatal("standby accepted with in-flight work")
+	}
+	a.Submit(1<<21, 4096, false, func(float64) { done++ })
+	e.RunAll()
+	if done != 2 {
+		t.Fatalf("completed %d of 2", done)
+	}
+}
+
+func TestSpinUpDuringSpinDownGroup(t *testing.T) {
+	e, a := testArray(t, 1, 2, raid.RAID0)
+	g := a.Groups()[0]
+	if !g.Standby() {
+		t.Fatal("standby refused on idle group")
+	}
+	// Mid-spin-down wakeup.
+	e.Run(0.5)
+	g.SpinUp()
+	e.RunAll()
+	if g.AllStandby() {
+		t.Fatal("group stayed in standby despite SpinUp")
+	}
+	for _, d := range g.Disks() {
+		if d.State() != diskmodel.Idle {
+			t.Errorf("disk %d state %v, want Idle", d.ID(), d.State())
+		}
+	}
+}
+
+func TestEngineAccessor(t *testing.T) {
+	e, a := testArray(t, 1, 1, raid.RAID0)
+	if a.Engine() != e {
+		t.Fatal("Engine() returns the wrong engine")
+	}
+	if a.Spec() == nil || a.Spec().CapacityBytes == 0 {
+		t.Fatal("Spec() broken")
+	}
+}

@@ -1,0 +1,123 @@
+package array
+
+import (
+	"fmt"
+
+	"hibernator/internal/raid"
+)
+
+// Submit issues a logical volume request. done receives the response time
+// (completion minus submission) once every underlying physical operation
+// has finished, including RAID-5 parity maintenance.
+func (a *Array) Submit(off, size int64, write bool, done func(latency float64)) {
+	if off < 0 || size <= 0 || off+size > a.LogicalBytes() {
+		panic(fmt.Sprintf("array: request [%d,+%d) outside logical volume %d", off, size, a.LogicalBytes()))
+	}
+	start := a.engine.Now()
+	a.inFlight++
+	a.fanOut(off, size, write, false, func() {
+		lat := a.engine.Now() - start
+		a.inFlight--
+		a.completed++
+		a.resp.Add(lat)
+		a.respPct.Add(lat)
+		if a.onComplete != nil {
+			a.onComplete(lat, write)
+		}
+		if done != nil {
+			done(lat)
+		}
+	})
+}
+
+// SubmitBackground issues a logical request at background disk priority
+// without touching the response-time statistics — cache destage and other
+// housekeeping traffic.
+func (a *Array) SubmitBackground(off, size int64, write bool, done func()) {
+	if off < 0 || size <= 0 || off+size > a.LogicalBytes() {
+		panic(fmt.Sprintf("array: background request [%d,+%d) outside logical volume", off, size))
+	}
+	a.fanOut(off, size, write, true, func() {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// fanOut splits a logical range into per-extent pieces, maps each through
+// its group's RAID geometry, and drives the two-phase (pre-read, then
+// write) protocol. allDone fires after every physical operation completes.
+func (a *Array) fanOut(off, size int64, write, background bool, allDone func()) {
+	type groupIO struct {
+		group *Group
+		ios   []raid.PhysIO
+	}
+	var reads, writes []groupIO
+	eb := a.cfg.ExtentBytes
+	for size > 0 {
+		e := off / eb
+		within := off % eb
+		n := eb - within
+		if n > size {
+			n = size
+		}
+		loc := a.extentMap[e]
+		a.extentAccesses[e]++
+		g := a.groups[loc.Group]
+		goff := loc.Slot*eb + within
+		r, w := raid.Phases(g.geo.Map(goff, n, write))
+		if len(r) > 0 {
+			reads = append(reads, groupIO{g, r})
+		}
+		if len(w) > 0 {
+			writes = append(writes, groupIO{g, w})
+		}
+		off += n
+		size -= n
+	}
+	submitPhase := func(phase []groupIO, next func()) {
+		remaining := 0
+		for _, gio := range phase {
+			remaining += len(gio.ios)
+		}
+		if remaining == 0 {
+			next()
+			return
+		}
+		for _, gio := range phase {
+			for _, io := range gio.ios {
+				a.fanoutIOs++
+				a.dispatch(gio.group, io, background, func() {
+					remaining--
+					if remaining == 0 {
+						next()
+					}
+				})
+			}
+		}
+	}
+	submitPhase(reads, func() { submitPhase(writes, allDone) })
+}
+
+// groupIO performs one contiguous I/O in a group's logical space (used by
+// migration), honoring RAID write phases, and calls cb when all physical
+// operations complete.
+func (a *Array) groupIO(g *Group, goff, size int64, write, background bool, cb func()) {
+	reads, writes := raid.Phases(g.geo.Map(goff, size, write))
+	submit := func(ios []raid.PhysIO, next func()) {
+		if len(ios) == 0 {
+			next()
+			return
+		}
+		remaining := len(ios)
+		for _, io := range ios {
+			a.dispatch(g, io, background, func() {
+				remaining--
+				if remaining == 0 {
+					next()
+				}
+			})
+		}
+	}
+	submit(reads, func() { submit(writes, cb) })
+}

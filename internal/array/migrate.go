@@ -1,0 +1,166 @@
+package array
+
+import (
+	"fmt"
+)
+
+// migrationChunk is the I/O unit migrations stream data in. One chunk's
+// read must complete before its write issues, and chunks proceed strictly
+// in sequence, which naturally rate-limits a migration to one outstanding
+// chain per extent. Chunks are kept small enough that an in-service chunk
+// cannot stall a foreground request behind it for long, even at the
+// lowest spindle speed.
+const migrationChunk = 256 << 10
+
+// ErrNoFreeSlot is returned when the target group cannot accept an extent.
+var ErrNoFreeSlot = fmt.Errorf("array: target group has no free extent slot")
+
+// MigrateExtent moves logical extent e into toGroup, streaming the data as
+// chunked background (or foreground, if background is false) I/O. The
+// extent remains readable at its old location until the move completes,
+// when the mapping flips atomically. done (optional) fires on completion.
+//
+// Errors: migrating to the current group, an extent already in flight, or
+// a full target group.
+func (a *Array) MigrateExtent(e, toGroup int, background bool, done func()) error {
+	if e < 0 || e >= a.numExtent {
+		return fmt.Errorf("array: extent %d outside [0,%d)", e, a.numExtent)
+	}
+	if toGroup < 0 || toGroup >= len(a.groups) {
+		return fmt.Errorf("array: group %d outside [0,%d)", toGroup, len(a.groups))
+	}
+	src := a.extentMap[e]
+	if src.Group == toGroup {
+		return fmt.Errorf("array: extent %d already in group %d", e, toGroup)
+	}
+	if a.migrating == nil {
+		a.migrating = map[int]bool{}
+	}
+	if a.migrating[e] {
+		return fmt.Errorf("array: extent %d is already migrating", e)
+	}
+	dst := a.groups[toGroup]
+	slot, err := dst.allocSlot()
+	if err != nil {
+		return ErrNoFreeSlot
+	}
+	a.migrating[e] = true
+
+	eb := a.cfg.ExtentBytes
+	srcG := a.groups[src.Group]
+	var step func(chunkOff int64)
+	step = func(chunkOff int64) {
+		if chunkOff >= eb {
+			// Finished: flip the mapping, free the old slot.
+			srcG.freeSlot(src.Slot)
+			a.extentMap[e] = Location{Group: toGroup, Slot: slot}
+			delete(a.migrating, e)
+			a.migrations++
+			a.migratedBytes += uint64(eb)
+			if done != nil {
+				done()
+			}
+			return
+		}
+		n := int64(migrationChunk)
+		if chunkOff+n > eb {
+			n = eb - chunkOff
+		}
+		a.groupIO(srcG, src.Slot*eb+chunkOff, n, false, background, func() {
+			a.groupIO(dst, slot*eb+chunkOff, n, true, background, func() {
+				step(chunkOff + int64(migrationChunk))
+			})
+		})
+	}
+	step(0)
+	return nil
+}
+
+// SwapExtents exchanges two extents' contents via controller-memory
+// staging (read both, then write both cross-wise, chunk by chunk). It is
+// the migration primitive when no free slot exists. Both extents stay
+// addressable at their old locations until the swap completes.
+func (a *Array) SwapExtents(e1, e2 int, background bool, done func()) error {
+	if e1 == e2 {
+		return fmt.Errorf("array: cannot swap extent %d with itself", e1)
+	}
+	for _, e := range []int{e1, e2} {
+		if e < 0 || e >= a.numExtent {
+			return fmt.Errorf("array: extent %d outside [0,%d)", e, a.numExtent)
+		}
+	}
+	if a.migrating == nil {
+		a.migrating = map[int]bool{}
+	}
+	if a.migrating[e1] || a.migrating[e2] {
+		return fmt.Errorf("array: extent %d or %d is already migrating", e1, e2)
+	}
+	l1, l2 := a.extentMap[e1], a.extentMap[e2]
+	if l1.Group == l2.Group {
+		return fmt.Errorf("array: extents %d and %d share group %d; swap is pointless", e1, e2, l1.Group)
+	}
+	a.migrating[e1], a.migrating[e2] = true, true
+	g1, g2 := a.groups[l1.Group], a.groups[l2.Group]
+	eb := a.cfg.ExtentBytes
+
+	var step func(chunkOff int64)
+	step = func(chunkOff int64) {
+		if chunkOff >= eb {
+			a.extentMap[e1], a.extentMap[e2] = l2, l1
+			delete(a.migrating, e1)
+			delete(a.migrating, e2)
+			a.migrations += 2
+			a.migratedBytes += 2 * uint64(eb)
+			if done != nil {
+				done()
+			}
+			return
+		}
+		n := int64(migrationChunk)
+		if chunkOff+n > eb {
+			n = eb - chunkOff
+		}
+		remaining := 2
+		phase2 := func() {
+			remaining--
+			if remaining != 0 {
+				return
+			}
+			wleft := 2
+			next := func() {
+				wleft--
+				if wleft == 0 {
+					step(chunkOff + int64(migrationChunk))
+				}
+			}
+			a.groupIO(g1, l1.Slot*eb+chunkOff, n, true, background, next)
+			a.groupIO(g2, l2.Slot*eb+chunkOff, n, true, background, next)
+		}
+		a.groupIO(g1, l1.Slot*eb+chunkOff, n, false, background, phase2)
+		a.groupIO(g2, l2.Slot*eb+chunkOff, n, false, background, phase2)
+	}
+	step(0)
+	return nil
+}
+
+// Migrating reports whether an extent has a move in flight.
+func (a *Array) Migrating(e int) bool { return a.migrating[e] }
+
+// TeleportSwap instantly exchanges two extents' locations with no I/O.
+// This is a facility for oracle upper bounds and tests — real policies
+// must pay for movement via MigrateExtent/SwapExtents.
+func (a *Array) TeleportSwap(e1, e2 int) error {
+	if e1 == e2 {
+		return nil
+	}
+	for _, e := range []int{e1, e2} {
+		if e < 0 || e >= a.numExtent {
+			return fmt.Errorf("array: extent %d outside [0,%d)", e, a.numExtent)
+		}
+		if a.migrating[e] {
+			return fmt.Errorf("array: extent %d is migrating; cannot teleport", e)
+		}
+	}
+	a.extentMap[e1], a.extentMap[e2] = a.extentMap[e2], a.extentMap[e1]
+	return nil
+}

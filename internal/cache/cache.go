@@ -1,0 +1,236 @@
+// Package cache implements the array controller cache: a block-granular
+// LRU with write-back semantics. Reads that hit are absorbed; writes are
+// absorbed and marked dirty; evicting a dirty block emits a destage write
+// the array must perform. A background destager can drain dirty blocks
+// oldest-first.
+//
+// The cache is pure bookkeeping — it never performs I/O itself; it tells
+// the caller which byte ranges must move.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// Range is a contiguous logical byte range.
+type Range struct {
+	Off  int64
+	Size int64
+}
+
+// Cache is a block LRU. Not safe for concurrent use; the simulator is
+// single-threaded.
+type Cache struct {
+	blockSize int64
+	capacity  int // in blocks
+
+	lru     *list.List // front = most recent
+	entries map[int64]*list.Element
+
+	dirty      map[int64]bool
+	dirtyOrder *list.List // front = oldest dirty, for destage
+	dirtyElem  map[int64]*list.Element
+
+	hits       uint64
+	misses     uint64
+	destages   uint64
+	writeHits  uint64
+	writeAlloc uint64
+}
+
+type entry struct {
+	block int64
+	dirty bool
+}
+
+// New creates a cache of capacityBytes split into blockSize blocks. A zero
+// or negative capacity yields a cache that misses everything (useful for
+// "no cache" configurations).
+func New(capacityBytes, blockSize int64) *Cache {
+	if blockSize <= 0 {
+		panic(fmt.Sprintf("cache: block size must be positive, got %d", blockSize))
+	}
+	capBlocks := int(capacityBytes / blockSize)
+	if capBlocks < 0 {
+		capBlocks = 0
+	}
+	return &Cache{
+		blockSize:  blockSize,
+		capacity:   capBlocks,
+		lru:        list.New(),
+		entries:    map[int64]*list.Element{},
+		dirty:      map[int64]bool{},
+		dirtyOrder: list.New(),
+		dirtyElem:  map[int64]*list.Element{},
+	}
+}
+
+// BlockSize returns the cache block size in bytes.
+func (c *Cache) BlockSize() int64 { return c.blockSize }
+
+// Len returns the number of resident blocks.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// DirtyLen returns the number of dirty resident blocks.
+func (c *Cache) DirtyLen() int { return c.dirtyOrder.Len() }
+
+// Stats returns lifetime hit/miss/destage counters. Hits and misses count
+// blocks, not requests.
+func (c *Cache) Stats() (hits, misses, destages uint64) {
+	return c.hits, c.misses, c.destages
+}
+
+// blocksOf enumerates the block indices overlapping [off, off+size).
+func (c *Cache) blocksOf(off, size int64) (first, last int64) {
+	if off < 0 || size <= 0 {
+		panic(fmt.Sprintf("cache: invalid range [%d,+%d)", off, size))
+	}
+	return off / c.blockSize, (off + size - 1) / c.blockSize
+}
+
+// Read looks up a logical range. It returns the byte ranges that missed
+// (coalesced, block-aligned) and any dirty blocks evicted while inserting
+// the missed blocks. The caller must read the misses from the array and
+// write back the evictions.
+func (c *Cache) Read(off, size int64) (misses, evictions []Range) {
+	if c.capacity == 0 {
+		return []Range{{Off: off, Size: size}}, nil
+	}
+	first, last := c.blocksOf(off, size)
+	var missBlocks []int64
+	for b := first; b <= last; b++ {
+		if el, ok := c.entries[b]; ok {
+			c.hits++
+			c.lru.MoveToFront(el)
+			continue
+		}
+		c.misses++
+		missBlocks = append(missBlocks, b)
+	}
+	for _, b := range missBlocks {
+		evictions = append(evictions, c.insert(b, false)...)
+	}
+	return coalesce(missBlocks, c.blockSize), evictions
+}
+
+// Write absorbs a logical write, marking the covered blocks dirty, and
+// returns any dirty blocks evicted to make room. Partially covered blocks
+// are treated as allocate-on-write (no fetch-before-write; the simulated
+// destage rewrites whole blocks, a standard simplification).
+func (c *Cache) Write(off, size int64) (evictions []Range) {
+	if c.capacity == 0 {
+		return []Range{{Off: off, Size: size}}
+	}
+	first, last := c.blocksOf(off, size)
+	for b := first; b <= last; b++ {
+		if el, ok := c.entries[b]; ok {
+			c.writeHits++
+			c.lru.MoveToFront(el)
+			c.markDirty(el.Value.(*entry))
+			continue
+		}
+		c.writeAlloc++
+		evictions = append(evictions, c.insert(b, true)...)
+	}
+	return evictions
+}
+
+// insert adds a block (evicting as needed) and returns destage ranges for
+// evicted dirty blocks.
+func (c *Cache) insert(block int64, dirty bool) []Range {
+	var destage []int64
+	for c.lru.Len() >= c.capacity {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, ev.block)
+		if ev.dirty {
+			c.destages++
+			destage = append(destage, ev.block)
+			c.unmarkDirty(ev.block)
+		}
+	}
+	e := &entry{block: block, dirty: false}
+	c.entries[block] = c.lru.PushFront(e)
+	if dirty {
+		c.markDirty(e)
+	}
+	return coalesce(destage, c.blockSize)
+}
+
+func (c *Cache) markDirty(e *entry) {
+	if e.dirty {
+		return
+	}
+	e.dirty = true
+	c.dirty[e.block] = true
+	c.dirtyElem[e.block] = c.dirtyOrder.PushBack(e.block)
+}
+
+func (c *Cache) unmarkDirty(block int64) {
+	if el, ok := c.dirtyElem[block]; ok {
+		c.dirtyOrder.Remove(el)
+		delete(c.dirtyElem, block)
+	}
+	delete(c.dirty, block)
+}
+
+// FlushOldest cleans up to max dirty blocks (oldest first) and returns the
+// ranges to write out. The blocks stay resident, now clean.
+func (c *Cache) FlushOldest(max int) []Range {
+	var blocks []int64
+	for i := 0; i < max; i++ {
+		front := c.dirtyOrder.Front()
+		if front == nil {
+			break
+		}
+		b := front.Value.(int64)
+		if el, ok := c.entries[b]; ok {
+			el.Value.(*entry).dirty = false
+		}
+		c.unmarkDirty(b)
+		c.destages++
+		blocks = append(blocks, b)
+	}
+	return coalesce(blocks, c.blockSize)
+}
+
+// Contains reports whether the block holding the byte offset is resident.
+func (c *Cache) Contains(off int64) bool {
+	_, ok := c.entries[off/c.blockSize]
+	return ok
+}
+
+// coalesce turns sorted-ish block lists into merged byte ranges. Blocks
+// may arrive unsorted; adjacent blocks merge.
+func coalesce(blocks []int64, blockSize int64) []Range {
+	if len(blocks) == 0 {
+		return nil
+	}
+	sorted := append([]int64(nil), blocks...)
+	// Insertion sort: lists are tiny and mostly sorted.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var out []Range
+	start, prev := sorted[0], sorted[0]
+	for _, b := range sorted[1:] {
+		if b == prev { // duplicate
+			continue
+		}
+		if b == prev+1 {
+			prev = b
+			continue
+		}
+		out = append(out, Range{Off: start * blockSize, Size: (prev - start + 1) * blockSize})
+		start, prev = b, b
+	}
+	out = append(out, Range{Off: start * blockSize, Size: (prev - start + 1) * blockSize})
+	return out
+}

@@ -1,0 +1,61 @@
+package diskmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"hibernator/internal/simevent"
+)
+
+// BenchmarkDiskServiceThroughput measures raw event-processing speed of
+// the disk model: random 8 KiB requests through a single full-speed disk.
+func BenchmarkDiskServiceThroughput(b *testing.B) {
+	e := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	d := New(e, &spec, Config{Seed: 1, ExpectedRotLatency: true})
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Submit(&Request{
+			LBA:  rng.Int63n(spec.CapacityBytes - 8192),
+			Size: 8192,
+			Done: func(*Request, float64) {},
+		})
+		if d.QueueLen() > 64 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+// BenchmarkDiskSPTFQueue measures the SPTF scan cost at a deep queue.
+func BenchmarkDiskSPTFQueue(b *testing.B) {
+	e := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	d := New(e, &spec, Config{Seed: 1, ExpectedRotLatency: true, Scheduler: SPTF})
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Submit(&Request{
+			LBA:  rng.Int63n(spec.CapacityBytes - 8192),
+			Size: 8192,
+			Done: func(*Request, float64) {},
+		})
+		if d.QueueLen() > 256 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+// BenchmarkSpecServiceMoments measures the analytic model used inside the
+// CR composition loop.
+func BenchmarkSpecServiceMoments(b *testing.B) {
+	spec := MultiSpeedUltrastar(5, 3000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		spec.ServiceMoments(i%5, 8192, ExpectedSeekFrac)
+	}
+}

@@ -1,0 +1,114 @@
+package diskmodel
+
+import (
+	"testing"
+
+	"hibernator/internal/simevent"
+)
+
+func TestFailCompletesInFlightAndQueued(t *testing.T) {
+	e, d, _ := testDisk(t, 1)
+	var ok, failed int
+	for i := 0; i < 5; i++ {
+		d.Submit(&Request{LBA: int64(i) << 20, Size: 1 << 20, Done: func(r *Request, _ float64) {
+			if r.Failed {
+				failed++
+			} else {
+				ok++
+			}
+		}})
+	}
+	// Let the first request complete, then kill the disk mid-second.
+	e.Run(0.05)
+	d.Fail()
+	e.RunAll()
+	if d.State() != Failed {
+		t.Fatalf("state = %v, want Failed", d.State())
+	}
+	if ok+failed != 5 {
+		t.Fatalf("completions %d+%d, want all 5 requests resolved", ok, failed)
+	}
+	if failed == 0 {
+		t.Fatal("no request observed the failure")
+	}
+	if ok == 0 {
+		t.Fatal("expected at least the first request to succeed")
+	}
+}
+
+func TestSubmitToFailedDiskFailsFast(t *testing.T) {
+	e, d, _ := testDisk(t, 1)
+	d.Fail()
+	var gotFail bool
+	d.Submit(&Request{LBA: 0, Size: 4096, Done: func(r *Request, _ float64) {
+		gotFail = r.Failed
+	}})
+	e.RunAll()
+	if !gotFail {
+		t.Fatal("submission to failed disk must complete with Failed set")
+	}
+}
+
+func TestFailedDiskDrawsNoPower(t *testing.T) {
+	e, d, _ := testDisk(t, 1)
+	e.Run(10)
+	d.Fail()
+	before := func() float64 { d.CloseAccounting(); return d.Energy() }()
+	e.At(1000, func() {})
+	e.RunAll()
+	d.CloseAccounting()
+	if d.Energy() != before {
+		t.Errorf("failed disk accrued energy: %v -> %v", before, d.Energy())
+	}
+}
+
+func TestFailIgnoresSubsequentCommands(t *testing.T) {
+	e, d, _ := testDisk(t, 5)
+	d.Fail()
+	d.SetTargetLevel(0)
+	d.SpinUp()
+	if d.Standby() {
+		t.Error("failed disk accepted Standby")
+	}
+	e.RunAll()
+	if d.State() != Failed {
+		t.Fatalf("state = %v after commands, want Failed", d.State())
+	}
+	if d.LevelShifts() != 0 {
+		t.Error("failed disk shifted speed")
+	}
+}
+
+func TestFailDuringSpinUpStaysFailed(t *testing.T) {
+	e, d, spec := testDisk(t, 1)
+	d.Standby()
+	e.Run(spec.SpinDownTime + 0.1)
+	var failedReqs int
+	d.Submit(&Request{LBA: 0, Size: 4096, Done: func(r *Request, _ float64) {
+		if r.Failed {
+			failedReqs++
+		}
+	}})
+	// Mid-spin-up, the motor dies.
+	e.Run(spec.SpinDownTime + 0.1 + spec.SpinUpTime/2)
+	d.Fail()
+	e.RunAll()
+	if d.State() != Failed {
+		t.Fatalf("state = %v, want Failed", d.State())
+	}
+	if failedReqs != 1 {
+		t.Fatalf("queued request not failed: %d", failedReqs)
+	}
+}
+
+func TestFailIsIdempotent(t *testing.T) {
+	e := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	d := New(e, &spec, Config{Seed: 1})
+	d.Fail()
+	d.Fail()
+	e.RunAll()
+	if d.State() != Failed {
+		t.Fatal("double Fail broke the state machine")
+	}
+}

@@ -1,0 +1,92 @@
+package diskmodel
+
+import (
+	"math/rand"
+	"testing"
+
+	"hibernator/internal/simevent"
+)
+
+func schedDisk(t *testing.T, sched Scheduler) (*simevent.Engine, *Disk) {
+	t.Helper()
+	e := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	d := New(e, &spec, Config{Seed: 3, ExpectedRotLatency: true, Scheduler: sched})
+	return e, d
+}
+
+func TestSPTFPicksNearestRequest(t *testing.T) {
+	e, d := schedDisk(t, SPTF)
+	var order []string
+	// Occupy the disk, then queue far and near requests; SPTF must take
+	// the near one first even though it arrived last.
+	d.Submit(&Request{LBA: 0, Size: 1 << 20, Done: func(*Request, float64) { order = append(order, "first") }})
+	d.Submit(&Request{LBA: 30 << 30, Size: 4096, Done: func(*Request, float64) { order = append(order, "far") }})
+	d.Submit(&Request{LBA: 2 << 20, Size: 4096, Done: func(*Request, float64) { order = append(order, "near") }})
+	e.RunAll()
+	want := []string{"first", "near", "far"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestFCFSKeepsArrivalOrder(t *testing.T) {
+	e, d := schedDisk(t, FCFS)
+	var order []string
+	d.Submit(&Request{LBA: 0, Size: 1 << 20, Done: func(*Request, float64) { order = append(order, "first") }})
+	d.Submit(&Request{LBA: 30 << 30, Size: 4096, Done: func(*Request, float64) { order = append(order, "far") }})
+	d.Submit(&Request{LBA: 2 << 20, Size: 4096, Done: func(*Request, float64) { order = append(order, "near") }})
+	e.RunAll()
+	want := []string{"first", "far", "near"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// SPTF must reduce total seek work (busy time) on a random backlog.
+func TestSPTFBeatsFCFSOnBacklog(t *testing.T) {
+	run := func(sched Scheduler) float64 {
+		e, d := schedDisk(t, sched)
+		rng := rand.New(rand.NewSource(11))
+		n := 0
+		for i := 0; i < 200; i++ {
+			d.Submit(&Request{
+				LBA:  rng.Int63n(d.Spec().CapacityBytes - 4096),
+				Size: 4096,
+				Done: func(*Request, float64) { n++ },
+			})
+		}
+		e.RunAll()
+		if n != 200 {
+			t.Fatalf("completed %d of 200", n)
+		}
+		return d.BusyTime()
+	}
+	fcfs, sptf := run(FCFS), run(SPTF)
+	if sptf >= fcfs {
+		t.Errorf("SPTF busy time %v should beat FCFS %v on a deep random backlog", sptf, fcfs)
+	}
+}
+
+func TestSPTFCompletesEverythingUnderLoad(t *testing.T) {
+	// No request may be lost even with continuous arrivals (starvation is
+	// possible in principle but the backlog drains here).
+	e, d := schedDisk(t, SPTF)
+	rng := rand.New(rand.NewSource(13))
+	n := 0
+	for i := 0; i < 500; i++ {
+		at := float64(i) * 0.002
+		lba := rng.Int63n(d.Spec().CapacityBytes - 4096)
+		e.At(at, func() {
+			d.Submit(&Request{LBA: lba, Size: 4096, Done: func(*Request, float64) { n++ }})
+		})
+	}
+	e.RunAll()
+	if n != 500 {
+		t.Fatalf("completed %d of 500 under SPTF", n)
+	}
+}

@@ -1,0 +1,286 @@
+// Package diskmodel implements the multi-speed disk used by the Hibernator
+// reproduction: a mechanical timing model (seek, rotation, transfer as a
+// function of spindle speed) joined to a power model (per-level idle and
+// active power, standby, spin-up/-down and inter-level transitions).
+//
+// The default parameters derive from the IBM Ultrastar 36Z15, the drive the
+// DRPM line of work (Gurumurthi et al., ISCA'03) and Hibernator modeled,
+// extended to multiple RPM levels with spindle power scaling ~ RPM^2.8.
+package diskmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Spec describes one disk model. All times are seconds, powers watts,
+// energies joules, sizes bytes.
+type Spec struct {
+	Name          string
+	CapacityBytes int64
+
+	// RPM lists the supported spindle speeds in ascending order; the last
+	// entry is full speed. A conventional single-speed disk has one entry.
+	RPM []int
+
+	// IdlePower[i] is drawn while spinning at RPM[i] with no I/O in
+	// flight; ActivePower[i] while seeking/transferring at RPM[i].
+	IdlePower   []float64
+	ActivePower []float64
+
+	// StandbyPower is drawn with the spindle stopped.
+	StandbyPower float64
+
+	// Spin-up is standby -> full speed; spin-down the reverse.
+	SpinUpTime     float64
+	SpinUpEnergy   float64
+	SpinDownTime   float64
+	SpinDownEnergy float64
+
+	// Changing spindle speed while spinning costs time and energy
+	// proportional to the RPM change.
+	LevelShiftTimePer1000RPM   float64
+	LevelShiftEnergyPer1000RPM float64
+
+	// Seek model: time = SeekMin + (SeekMax-SeekMin)*sqrt(frac) where frac
+	// is the seek distance as a fraction of the full stroke. SeekMin covers
+	// head settle; a zero-distance access pays no seek.
+	SeekMin float64
+	SeekMax float64
+
+	// TransferRate[i] is the sustained media rate at RPM[i], bytes/second.
+	TransferRate []float64
+
+	// ControllerOverhead is added to every request's service time.
+	ControllerOverhead float64
+}
+
+// Validate returns an error describing the first inconsistency found.
+func (s *Spec) Validate() error {
+	n := len(s.RPM)
+	switch {
+	case n == 0:
+		return fmt.Errorf("diskmodel: spec %q has no RPM levels", s.Name)
+	case len(s.IdlePower) != n || len(s.ActivePower) != n || len(s.TransferRate) != n:
+		return fmt.Errorf("diskmodel: spec %q has %d RPM levels but %d/%d/%d idle/active/transfer entries",
+			s.Name, n, len(s.IdlePower), len(s.ActivePower), len(s.TransferRate))
+	case s.CapacityBytes <= 0:
+		return fmt.Errorf("diskmodel: spec %q has non-positive capacity", s.Name)
+	case s.SeekMin < 0 || s.SeekMax < s.SeekMin:
+		return fmt.Errorf("diskmodel: spec %q has invalid seek range [%v,%v]", s.Name, s.SeekMin, s.SeekMax)
+	case s.SpinUpTime <= 0 || s.SpinDownTime <= 0:
+		return fmt.Errorf("diskmodel: spec %q needs positive spin transition times", s.Name)
+	}
+	for i := 1; i < n; i++ {
+		if s.RPM[i] <= s.RPM[i-1] {
+			return fmt.Errorf("diskmodel: spec %q RPM levels must strictly ascend", s.Name)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if s.RPM[i] <= 0 || s.IdlePower[i] <= 0 || s.ActivePower[i] < s.IdlePower[i] || s.TransferRate[i] <= 0 {
+			return fmt.Errorf("diskmodel: spec %q level %d has invalid rpm/power/rate", s.Name, i)
+		}
+	}
+	if n > 1 && (s.LevelShiftTimePer1000RPM <= 0 || s.LevelShiftEnergyPer1000RPM < 0) {
+		return fmt.Errorf("diskmodel: multi-speed spec %q needs positive level-shift time", s.Name)
+	}
+	return nil
+}
+
+// Levels returns the number of RPM levels.
+func (s *Spec) Levels() int { return len(s.RPM) }
+
+// FullLevel returns the index of the highest speed.
+func (s *Spec) FullLevel() int { return len(s.RPM) - 1 }
+
+// RotationPeriod returns one revolution's duration at the given level.
+func (s *Spec) RotationPeriod(level int) float64 {
+	return 60.0 / float64(s.RPM[level])
+}
+
+// SeekTime returns the seek time for a stroke covering `frac` of the LBA
+// span (0 <= frac <= 1).
+func (s *Spec) SeekTime(frac float64) float64 {
+	if frac <= 0 {
+		return 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return s.SeekMin + (s.SeekMax-s.SeekMin)*math.Sqrt(frac)
+}
+
+// TransferTime returns how long `size` bytes take at the given level.
+func (s *Spec) TransferTime(level int, size int64) float64 {
+	return float64(size) / s.TransferRate[level]
+}
+
+// LevelShift returns the time and energy to move between two levels while
+// spinning; both scale with the RPM distance covered, so a full swing
+// costs the same regardless of how many intermediate levels exist.
+func (s *Spec) LevelShift(from, to int) (seconds, joules float64) {
+	delta := float64(s.RPM[from] - s.RPM[to])
+	if delta < 0 {
+		delta = -delta
+	}
+	return delta / 1000 * s.LevelShiftTimePer1000RPM, delta / 1000 * s.LevelShiftEnergyPer1000RPM
+}
+
+// ServiceMoments estimates the first and second moments of the service
+// time at a level for a random-access workload with mean request size
+// avgSize and mean seek fraction seekFrac. The CR optimizer and the DRPM
+// baseline feed these into M/G/1 response-time predictions.
+//
+// Model: S = overhead + seek(seekFrac) + U(0, rot) + transfer(avgSize).
+// Seek and transfer are treated as deterministic at their means, so the
+// variance comes from rotational latency: Var = rot^2/12.
+func (s *Spec) ServiceMoments(level int, avgSize int64, seekFrac float64) (es, es2 float64) {
+	rot := s.RotationPeriod(level)
+	es = s.ControllerOverhead + s.SeekTime(seekFrac) + rot/2 + s.TransferTime(level, avgSize)
+	variance := rot * rot / 12
+	es2 = variance + es*es
+	return es, es2
+}
+
+// ExpectedSeekFrac is the mean seek distance (as a stroke fraction)
+// between two uniformly random positions: E|X-Y| = 1/3.
+const ExpectedSeekFrac = 1.0 / 3.0
+
+// MultiSpeedUltrastar builds an n-level multi-speed disk modeled on the
+// IBM Ultrastar 36Z15 (36.7 GB, 15 000 RPM, 10.2 W idle, 13.5 W active,
+// 2.5 W standby, 10.9 s / 135 J spin-up, 1.5 s / 13 J spin-down), with
+// levels evenly spaced from minRPM to 15 000 RPM.
+//
+// Scaling laws, following the DRPM modeling methodology:
+//   - spindle idle power ∝ RPM^2.8 above a 1.4 W electronics floor
+//   - active power keeps the full-speed active/idle delta (seek energy is
+//     dominated by the arm, not the spindle)
+//   - media transfer rate ∝ RPM (fixed areal density)
+func MultiSpeedUltrastar(levels int, minRPM int) Spec {
+	if levels < 1 {
+		panic(fmt.Sprintf("diskmodel: need at least one level, got %d", levels))
+	}
+	const (
+		fullRPM        = 15000
+		fullIdle       = 10.2
+		fullActive     = 13.5
+		electronics    = 1.4
+		fullRate       = 55e6 // bytes/s sustained
+		capacity       = 36_700_000_000
+		standby        = 2.5
+		spinUpTime     = 10.9
+		spinUpEnergy   = 135.0
+		spinDownTime   = 1.5
+		spinDownEnergy = 13.0
+	)
+	if levels > 1 && (minRPM <= 0 || minRPM >= fullRPM) {
+		panic(fmt.Sprintf("diskmodel: minRPM %d outside (0, %d)", minRPM, fullRPM))
+	}
+	rpm := make([]int, levels)
+	if levels == 1 {
+		rpm[0] = fullRPM
+	} else {
+		step := float64(fullRPM-minRPM) / float64(levels-1)
+		for i := range rpm {
+			rpm[i] = minRPM + int(math.Round(step*float64(i)))
+		}
+		rpm[levels-1] = fullRPM
+	}
+	idle := make([]float64, levels)
+	active := make([]float64, levels)
+	rate := make([]float64, levels)
+	spindleFull := fullIdle - electronics
+	activeDelta := fullActive - fullIdle
+	for i, r := range rpm {
+		ratio := float64(r) / fullRPM
+		idle[i] = electronics + spindleFull*math.Pow(ratio, 2.8)
+		active[i] = idle[i] + activeDelta
+		rate[i] = fullRate * ratio
+	}
+	return Spec{
+		Name:                       fmt.Sprintf("ultrastar36z15-%dspeed", levels),
+		CapacityBytes:              capacity,
+		RPM:                        rpm,
+		IdlePower:                  idle,
+		ActivePower:                active,
+		StandbyPower:               standby,
+		SpinUpTime:                 spinUpTime,
+		SpinUpEnergy:               spinUpEnergy,
+		SpinDownTime:               spinDownTime,
+		SpinDownEnergy:             spinDownEnergy,
+		LevelShiftTimePer1000RPM:   1.0 / 3.0, // 1 s per 3000 RPM step, 4 s full swing
+		LevelShiftEnergyPer1000RPM: 4.0 / 3.0,
+		SeekMin:                    0.0006,
+		SeekMax:                    0.0065,
+		TransferRate:               rate,
+		ControllerOverhead:         0.0002,
+	}
+}
+
+// SingleSpeedUltrastar is the conventional (non-multi-speed) variant used
+// by Base, TPM, PDC and MAID.
+func SingleSpeedUltrastar() Spec {
+	return MultiSpeedUltrastar(1, 0)
+}
+
+// MultiSpeedSFF builds a small-form-factor (2.5", laptop/nearline class)
+// multi-speed disk: lower absolute power, slower mechanics, much cheaper
+// spin transitions. Modeled loosely on a Hitachi Travelstar-class drive
+// scaled the same way as MultiSpeedUltrastar. Useful for sensitivity
+// studies: the energy/performance trade-off sits at a different point, so
+// CR picks different tiers.
+func MultiSpeedSFF(levels int, minRPM int) Spec {
+	if levels < 1 {
+		panic(fmt.Sprintf("diskmodel: need at least one level, got %d", levels))
+	}
+	const (
+		fullRPM     = 5400
+		fullIdle    = 1.8
+		fullActive  = 2.6
+		electronics = 0.5
+		fullRate    = 30e6
+		capacity    = 60_000_000_000
+	)
+	if levels > 1 && (minRPM <= 0 || minRPM >= fullRPM) {
+		panic(fmt.Sprintf("diskmodel: minRPM %d outside (0, %d)", minRPM, fullRPM))
+	}
+	rpm := make([]int, levels)
+	if levels == 1 {
+		rpm[0] = fullRPM
+	} else {
+		step := float64(fullRPM-minRPM) / float64(levels-1)
+		for i := range rpm {
+			rpm[i] = minRPM + int(math.Round(step*float64(i)))
+		}
+		rpm[levels-1] = fullRPM
+	}
+	idle := make([]float64, levels)
+	active := make([]float64, levels)
+	rate := make([]float64, levels)
+	spindleFull := fullIdle - electronics
+	activeDelta := fullActive - fullIdle
+	for i, r := range rpm {
+		ratio := float64(r) / fullRPM
+		idle[i] = electronics + spindleFull*math.Pow(ratio, 2.8)
+		active[i] = idle[i] + activeDelta
+		rate[i] = fullRate * ratio
+	}
+	return Spec{
+		Name:                       fmt.Sprintf("sff-%dspeed", levels),
+		CapacityBytes:              capacity,
+		RPM:                        rpm,
+		IdlePower:                  idle,
+		ActivePower:                active,
+		StandbyPower:               0.25,
+		SpinUpTime:                 3.5,
+		SpinUpEnergy:               12,
+		SpinDownTime:               0.8,
+		SpinDownEnergy:             2,
+		LevelShiftTimePer1000RPM:   0.5,
+		LevelShiftEnergyPer1000RPM: 0.6,
+		SeekMin:                    0.0015,
+		SeekMax:                    0.012,
+		TransferRate:               rate,
+		ControllerOverhead:         0.0003,
+	}
+}

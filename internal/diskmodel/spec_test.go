@@ -1,0 +1,203 @@
+package diskmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMultiSpeedUltrastarValidates(t *testing.T) {
+	for _, levels := range []int{1, 2, 3, 5} {
+		spec := MultiSpeedUltrastar(levels, 3000)
+		if err := spec.Validate(); err != nil {
+			t.Errorf("levels=%d: %v", levels, err)
+		}
+		if spec.Levels() != levels {
+			t.Errorf("levels=%d: got %d", levels, spec.Levels())
+		}
+		if spec.RPM[spec.FullLevel()] != 15000 {
+			t.Errorf("levels=%d: full speed %d, want 15000", levels, spec.RPM[spec.FullLevel()])
+		}
+	}
+}
+
+func TestUltrastarPowerMatchesDatasheetAtFullSpeed(t *testing.T) {
+	spec := MultiSpeedUltrastar(5, 3000)
+	full := spec.FullLevel()
+	if math.Abs(spec.IdlePower[full]-10.2) > 1e-9 {
+		t.Errorf("full idle power = %v, want 10.2", spec.IdlePower[full])
+	}
+	if math.Abs(spec.ActivePower[full]-13.5) > 1e-9 {
+		t.Errorf("full active power = %v, want 13.5", spec.ActivePower[full])
+	}
+	if math.Abs(spec.TransferRate[full]-55e6) > 1e-3 {
+		t.Errorf("full rate = %v, want 55e6", spec.TransferRate[full])
+	}
+}
+
+func TestPowerMonotoneInRPM(t *testing.T) {
+	spec := MultiSpeedUltrastar(5, 3000)
+	for i := 1; i < spec.Levels(); i++ {
+		if spec.IdlePower[i] <= spec.IdlePower[i-1] {
+			t.Errorf("idle power not increasing at level %d", i)
+		}
+		if spec.TransferRate[i] <= spec.TransferRate[i-1] {
+			t.Errorf("transfer rate not increasing at level %d", i)
+		}
+	}
+	// Low speed must save real power: 3k RPM should draw far less than full.
+	if spec.IdlePower[0] > 0.4*spec.IdlePower[spec.FullLevel()] {
+		t.Errorf("low-speed idle %v is not a big saving vs %v", spec.IdlePower[0], spec.IdlePower[spec.FullLevel()])
+	}
+}
+
+func TestRotationPeriod(t *testing.T) {
+	spec := MultiSpeedUltrastar(5, 3000)
+	if got := spec.RotationPeriod(spec.FullLevel()); math.Abs(got-0.004) > 1e-12 {
+		t.Errorf("rotation at 15k = %v, want 4ms", got)
+	}
+	if got := spec.RotationPeriod(0); math.Abs(got-0.020) > 1e-12 {
+		t.Errorf("rotation at 3k = %v, want 20ms", got)
+	}
+}
+
+func TestSeekTime(t *testing.T) {
+	spec := MultiSpeedUltrastar(1, 0)
+	if got := spec.SeekTime(0); got != 0 {
+		t.Errorf("zero-distance seek = %v, want 0", got)
+	}
+	if got := spec.SeekTime(1); math.Abs(got-spec.SeekMax) > 1e-12 {
+		t.Errorf("full-stroke seek = %v, want %v", got, spec.SeekMax)
+	}
+	if got := spec.SeekTime(2); math.Abs(got-spec.SeekMax) > 1e-12 {
+		t.Errorf("clamped seek = %v, want %v", got, spec.SeekMax)
+	}
+	mid := spec.SeekTime(0.25)
+	if mid <= spec.SeekMin || mid >= spec.SeekMax {
+		t.Errorf("mid seek %v outside (%v,%v)", mid, spec.SeekMin, spec.SeekMax)
+	}
+}
+
+func TestTransferTimeScalesWithLevel(t *testing.T) {
+	spec := MultiSpeedUltrastar(5, 3000)
+	size := int64(1 << 20)
+	slow := spec.TransferTime(0, size)
+	fast := spec.TransferTime(spec.FullLevel(), size)
+	if slow <= fast {
+		t.Errorf("slow transfer %v should exceed fast %v", slow, fast)
+	}
+	ratio := slow / fast
+	want := float64(spec.RPM[spec.FullLevel()]) / float64(spec.RPM[0])
+	if math.Abs(ratio-want) > 0.01 {
+		t.Errorf("transfer ratio %v, want %v", ratio, want)
+	}
+}
+
+func TestLevelShift(t *testing.T) {
+	spec := MultiSpeedUltrastar(5, 3000)
+	deltaK := float64(spec.RPM[3]-spec.RPM[0]) / 1000
+	sec, j := spec.LevelShift(0, 3)
+	if sec != deltaK*spec.LevelShiftTimePer1000RPM || j != deltaK*spec.LevelShiftEnergyPer1000RPM {
+		t.Errorf("shift(0,3) = %v,%v", sec, j)
+	}
+	sec2, j2 := spec.LevelShift(3, 0)
+	if sec2 != sec || j2 != j {
+		t.Error("shift cost must be symmetric")
+	}
+	if s, e := spec.LevelShift(2, 2); s != 0 || e != 0 {
+		t.Error("no-op shift must be free")
+	}
+}
+
+func TestServiceMomentsOrdering(t *testing.T) {
+	spec := MultiSpeedUltrastar(5, 3000)
+	esSlow, es2Slow := spec.ServiceMoments(0, 8192, ExpectedSeekFrac)
+	esFast, es2Fast := spec.ServiceMoments(spec.FullLevel(), 8192, ExpectedSeekFrac)
+	if esSlow <= esFast {
+		t.Errorf("slow ES %v must exceed fast ES %v", esSlow, esFast)
+	}
+	if es2Slow <= esSlow*esSlow {
+		t.Errorf("ES2 %v must exceed ES^2 %v", es2Slow, esSlow*esSlow)
+	}
+	if es2Fast <= esFast*esFast {
+		t.Errorf("fast ES2 %v must exceed ES^2 %v", es2Fast, esFast*esFast)
+	}
+	// Full-speed small-request service should be a few ms.
+	if esFast < 0.002 || esFast > 0.01 {
+		t.Errorf("full-speed ES = %v s, expected 2-10 ms", esFast)
+	}
+}
+
+func TestValidateCatchesBadSpecs(t *testing.T) {
+	base := MultiSpeedUltrastar(3, 3000)
+	mutations := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"no levels", func(s *Spec) { s.RPM = nil }},
+		{"mismatched power", func(s *Spec) { s.IdlePower = s.IdlePower[:1] }},
+		{"zero capacity", func(s *Spec) { s.CapacityBytes = 0 }},
+		{"descending rpm", func(s *Spec) { s.RPM[1] = s.RPM[0] }},
+		{"active below idle", func(s *Spec) { s.ActivePower[0] = s.IdlePower[0] - 1 }},
+		{"bad seek", func(s *Spec) { s.SeekMax = s.SeekMin - 1 }},
+		{"zero spinup", func(s *Spec) { s.SpinUpTime = 0 }},
+		{"zero shift", func(s *Spec) { s.LevelShiftTimePer1000RPM = 0 }},
+		{"zero rate", func(s *Spec) { s.TransferRate[0] = 0 }},
+	}
+	for _, m := range mutations {
+		spec := base
+		spec.RPM = append([]int(nil), base.RPM...)
+		spec.IdlePower = append([]float64(nil), base.IdlePower...)
+		spec.ActivePower = append([]float64(nil), base.ActivePower...)
+		spec.TransferRate = append([]float64(nil), base.TransferRate...)
+		m.mut(&spec)
+		if spec.Validate() == nil {
+			t.Errorf("%s: expected validation error", m.name)
+		}
+	}
+}
+
+// Property: seek time is monotone in distance and bounded by [0, SeekMax].
+func TestSeekMonotoneProperty(t *testing.T) {
+	spec := MultiSpeedUltrastar(1, 0)
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		a, b = math.Mod(a, 1), math.Mod(b, 1)
+		if a > b {
+			a, b = b, a
+		}
+		ta, tb := spec.SeekTime(a), spec.SeekTime(b)
+		return ta <= tb+1e-15 && tb <= spec.SeekMax+1e-15 && ta >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiSpeedSFFValidatesAndContrasts(t *testing.T) {
+	sff := MultiSpeedSFF(4, 1800)
+	if err := sff.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	big := MultiSpeedUltrastar(4, 3000)
+	full := sff.FullLevel()
+	if sff.IdlePower[full] >= big.IdlePower[big.FullLevel()] {
+		t.Error("SFF drive should idle below the enterprise drive")
+	}
+	if sff.TransferRate[full] >= big.TransferRate[big.FullLevel()] {
+		t.Error("SFF drive should be slower")
+	}
+	if sff.SpinUpEnergy >= big.SpinUpEnergy {
+		t.Error("SFF spin-up should be cheaper")
+	}
+	if sec, _ := sff.LevelShift(0, full); sec <= 0 {
+		t.Error("level shift must take time")
+	}
+	single := MultiSpeedSFF(1, 0)
+	if single.Levels() != 1 {
+		t.Error("single-level SFF broken")
+	}
+}

@@ -1,0 +1,218 @@
+// Package dist provides the seeded random distributions used by the
+// workload generators and the disk model.
+//
+// Every distribution draws from an explicit *rand.Rand so that a simulation
+// run is fully reproducible from its configuration. Nothing in this package
+// touches the global rand source.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sampler produces one float64 per call. All continuous distributions in
+// this package implement it.
+type Sampler interface {
+	Sample() float64
+}
+
+// Source creates the package's canonical deterministic PRNG for a seed.
+func Source(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Exponential samples Exp(rate): mean 1/rate. Used for Poisson
+// inter-arrival times.
+type Exponential struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+// NewExponential panics unless rate > 0.
+func NewExponential(rng *rand.Rand, rate float64) *Exponential {
+	if rate <= 0 || math.IsNaN(rate) {
+		panic(fmt.Sprintf("dist: exponential rate must be positive, got %v", rate))
+	}
+	return &Exponential{rng: rng, rate: rate}
+}
+
+// Sample returns an Exp(rate) variate.
+func (e *Exponential) Sample() float64 {
+	return e.rng.ExpFloat64() / e.rate
+}
+
+// Mean returns 1/rate.
+func (e *Exponential) Mean() float64 { return 1 / e.rate }
+
+// Pareto samples a Pareto distribution with shape alpha and scale xm
+// (minimum value). Heavy-tailed: used for burst lengths and idle periods in
+// the Cello-like generator.
+type Pareto struct {
+	rng   *rand.Rand
+	alpha float64
+	xm    float64
+}
+
+// NewPareto panics unless alpha > 0 and xm > 0.
+func NewPareto(rng *rand.Rand, alpha, xm float64) *Pareto {
+	if alpha <= 0 || xm <= 0 {
+		panic(fmt.Sprintf("dist: pareto needs alpha>0, xm>0; got %v, %v", alpha, xm))
+	}
+	return &Pareto{rng: rng, alpha: alpha, xm: xm}
+}
+
+// Sample returns a Pareto(alpha, xm) variate via inverse transform.
+func (p *Pareto) Sample() float64 {
+	u := p.rng.Float64()
+	for u == 0 {
+		u = p.rng.Float64()
+	}
+	return p.xm / math.Pow(u, 1/p.alpha)
+}
+
+// Mean returns the distribution mean, or +Inf when alpha <= 1.
+func (p *Pareto) Mean() float64 {
+	if p.alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.alpha * p.xm / (p.alpha - 1)
+}
+
+// Uniform samples U[lo, hi).
+type Uniform struct {
+	rng    *rand.Rand
+	lo, hi float64
+}
+
+// NewUniform panics when hi < lo.
+func NewUniform(rng *rand.Rand, lo, hi float64) *Uniform {
+	if hi < lo {
+		panic(fmt.Sprintf("dist: uniform needs hi >= lo; got [%v,%v)", lo, hi))
+	}
+	return &Uniform{rng: rng, lo: lo, hi: hi}
+}
+
+// Sample returns a U[lo,hi) variate.
+func (u *Uniform) Sample() float64 {
+	return u.lo + u.rng.Float64()*(u.hi-u.lo)
+}
+
+// Zipf samples integers in [0, n) with Zipfian skew s >= 1: rank r drawn
+// with probability proportional to 1/(r+1)^s. It wraps math/rand's
+// rejection-inversion sampler, which is O(1) per draw.
+type Zipf struct {
+	z *rand.Zipf
+	n uint64
+}
+
+// NewZipf panics unless n > 0 and s > 1 (s == 1 is approximated by 1.0001,
+// matching common trace-generator practice).
+func NewZipf(rng *rand.Rand, s float64, n uint64) *Zipf {
+	if n == 0 {
+		panic("dist: zipf needs n > 0")
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	z := rand.NewZipf(rng, s, 1, n-1)
+	if z == nil {
+		panic(fmt.Sprintf("dist: invalid zipf parameters s=%v n=%v", s, n))
+	}
+	return &Zipf{z: z, n: n}
+}
+
+// Sample returns a rank in [0, n); rank 0 is the most popular.
+func (z *Zipf) Sample() uint64 { return z.z.Uint64() }
+
+// N returns the support size.
+func (z *Zipf) N() uint64 { return z.n }
+
+// Choice samples an index in [0, len(weights)) with probability
+// proportional to its weight, using precomputed cumulative sums and binary
+// search. Used for per-volume skew in the Cello-like generator.
+type Choice struct {
+	rng *rand.Rand
+	cum []float64
+}
+
+// NewChoice panics on an empty or non-positive-total weight vector.
+// Individual weights may be zero.
+func NewChoice(rng *rand.Rand, weights []float64) *Choice {
+	if len(weights) == 0 {
+		panic("dist: choice needs at least one weight")
+	}
+	cum := make([]float64, len(weights))
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("dist: negative weight %v at %d", w, i))
+		}
+		total += w
+		cum[i] = total
+	}
+	if total <= 0 {
+		panic("dist: choice weights sum to zero")
+	}
+	return &Choice{rng: rng, cum: cum}
+}
+
+// Sample returns a weighted index.
+func (c *Choice) Sample() int {
+	target := c.rng.Float64() * c.cum[len(c.cum)-1]
+	lo, hi := 0, len(c.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// LogNormal samples exp(N(mu, sigma)). Used for request-size variation.
+type LogNormal struct {
+	rng       *rand.Rand
+	mu, sigma float64
+}
+
+// NewLogNormal panics unless sigma >= 0.
+func NewLogNormal(rng *rand.Rand, mu, sigma float64) *LogNormal {
+	if sigma < 0 {
+		panic(fmt.Sprintf("dist: lognormal sigma must be >= 0, got %v", sigma))
+	}
+	return &LogNormal{rng: rng, mu: mu, sigma: sigma}
+}
+
+// Sample returns a LogNormal(mu, sigma) variate.
+func (l *LogNormal) Sample() float64 {
+	return math.Exp(l.mu + l.sigma*l.rng.NormFloat64())
+}
+
+// Mean returns exp(mu + sigma^2/2).
+func (l *LogNormal) Mean() float64 {
+	return math.Exp(l.mu + l.sigma*l.sigma/2)
+}
+
+// Bernoulli reports true with probability p.
+type Bernoulli struct {
+	rng *rand.Rand
+	p   float64
+}
+
+// NewBernoulli clamps p into [0, 1].
+func NewBernoulli(rng *rand.Rand, p float64) *Bernoulli {
+	if math.IsNaN(p) {
+		panic("dist: bernoulli p is NaN")
+	}
+	return &Bernoulli{rng: rng, p: math.Max(0, math.Min(1, p))}
+}
+
+// Sample returns true with probability p.
+func (b *Bernoulli) Sample() bool { return b.rng.Float64() < b.p }
+
+// P returns the success probability.
+func (b *Bernoulli) P() float64 { return b.p }

@@ -1,0 +1,263 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestExponentialMean(t *testing.T) {
+	rng := Source(1)
+	e := NewExponential(rng, 4) // mean 0.25
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := e.Sample()
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.25) > 0.01 {
+		t.Errorf("empirical mean %v, want ~0.25", mean)
+	}
+	if e.Mean() != 0.25 {
+		t.Errorf("Mean() = %v, want 0.25", e.Mean())
+	}
+}
+
+func TestExponentialInvalidRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rate <= 0 must panic")
+		}
+	}()
+	NewExponential(Source(1), 0)
+}
+
+func TestParetoBoundsAndMean(t *testing.T) {
+	rng := Source(2)
+	p := NewPareto(rng, 2.5, 3.0)
+	sum := 0.0
+	const n = 300000
+	for i := 0; i < n; i++ {
+		v := p.Sample()
+		if v < 3.0 {
+			t.Fatalf("pareto sample %v below scale 3.0", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	want := p.Mean() // 2.5*3/1.5 = 5
+	if math.Abs(mean-want)/want > 0.05 {
+		t.Errorf("empirical mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestParetoInfiniteMean(t *testing.T) {
+	p := NewPareto(Source(3), 0.9, 1)
+	if !math.IsInf(p.Mean(), 1) {
+		t.Errorf("alpha<=1 should have infinite mean, got %v", p.Mean())
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	u := NewUniform(Source(4), -2, 7)
+	for i := 0; i < 10000; i++ {
+		v := u.Sample()
+		if v < -2 || v >= 7 {
+			t.Fatalf("uniform sample %v outside [-2,7)", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(Source(5), 1.2, 1000)
+	counts := make([]int, 1000)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		r := z.Sample()
+		if r >= 1000 {
+			t.Fatalf("zipf sample %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Rank 0 must dominate rank 100 heavily.
+	if counts[0] < 10*counts[100] {
+		t.Errorf("expected strong skew: counts[0]=%d counts[100]=%d", counts[0], counts[100])
+	}
+	// Top-10% of ranks should carry well over half the accesses.
+	top := 0
+	for i := 0; i < 100; i++ {
+		top += counts[i]
+	}
+	if float64(top)/n < 0.5 {
+		t.Errorf("top 10%% of ranks carry only %.2f of accesses", float64(top)/n)
+	}
+}
+
+func TestZipfSEqualOneAccepted(t *testing.T) {
+	z := NewZipf(Source(6), 1.0, 10)
+	for i := 0; i < 100; i++ {
+		if r := z.Sample(); r >= 10 {
+			t.Fatalf("sample %d out of range", r)
+		}
+	}
+}
+
+func TestChoiceRespectsWeights(t *testing.T) {
+	c := NewChoice(Source(7), []float64{1, 0, 3})
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[c.Sample()]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight ratio %v, want ~3", ratio)
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	for _, weights := range [][]float64{{}, {0, 0}, {-1, 2}} {
+		weights := weights
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("weights %v must panic", weights)
+				}
+			}()
+			NewChoice(Source(8), weights)
+		}()
+	}
+}
+
+func TestLogNormalMean(t *testing.T) {
+	l := NewLogNormal(Source(9), 0, 0.5)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += l.Sample()
+	}
+	mean := sum / n
+	want := l.Mean()
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Errorf("empirical mean %v, want ~%v", mean, want)
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	b := NewBernoulli(Source(10), 0.3)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if b.Sample() {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("empirical p = %v, want ~0.3", p)
+	}
+	if NewBernoulli(Source(1), 2).P() != 1 {
+		t.Error("p should clamp to 1")
+	}
+	if NewBernoulli(Source(1), -1).P() != 0 {
+		t.Error("p should clamp to 0")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewExponential(Source(99), 1)
+	b := NewExponential(Source(99), 1)
+	for i := 0; i < 1000; i++ {
+		if a.Sample() != b.Sample() {
+			t.Fatal("same seed must reproduce the identical stream")
+		}
+	}
+}
+
+func TestDiurnalRate(t *testing.T) {
+	day := 86400.0
+	r := DiurnalRate(10, 100, day, 0.5) // peak at mid-period
+	if v := r(day / 2); math.Abs(v-100) > 1e-9 {
+		t.Errorf("rate at peak = %v, want 100", v)
+	}
+	if v := r(0); math.Abs(v-10) > 1e-9 {
+		t.Errorf("rate at trough = %v, want 10", v)
+	}
+	// Never out of [base, peak].
+	for ti := 0.0; ti < 2*day; ti += 977 {
+		v := r(ti)
+		if v < 10-1e-9 || v > 100+1e-9 {
+			t.Fatalf("rate %v at t=%v escapes [10,100]", v, ti)
+		}
+	}
+}
+
+func TestStepRate(t *testing.T) {
+	r := StepRate([]float64{5, 50, 7}, []float64{100, 200})
+	cases := []struct{ t, want float64 }{
+		{0, 5}, {99.9, 5}, {100, 50}, {199, 50}, {200, 7}, {1e9, 7},
+	}
+	for _, c := range cases {
+		if got := r(c.t); got != c.want {
+			t.Errorf("rate(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestNHPPMatchesConstantPoisson(t *testing.T) {
+	// With a constant rate, NHPP arrivals must average 1/rate apart.
+	rng := Source(11)
+	p := NewNonHomogeneousPoisson(rng, ConstantRate(10), 10)
+	tPrev, n, total := 0.0, 0, 0.0
+	for i := 0; i < 50000; i++ {
+		next := p.Next(tPrev)
+		total += next - tPrev
+		tPrev = next
+		n++
+	}
+	mean := total / float64(n)
+	if math.Abs(mean-0.1) > 0.005 {
+		t.Errorf("mean inter-arrival %v, want ~0.1", mean)
+	}
+}
+
+func TestNHPPThinning(t *testing.T) {
+	// Rate is 0 for t<100, then 20. No arrivals should land before 100.
+	rng := Source(12)
+	r := StepRate([]float64{0, 20}, []float64{100})
+	p := NewNonHomogeneousPoisson(rng, r, 20)
+	tcur := 0.0
+	for i := 0; i < 1000; i++ {
+		tcur = p.Next(tcur)
+		if tcur < 100 {
+			t.Fatalf("arrival at %v during zero-rate interval", tcur)
+		}
+	}
+}
+
+// Property: NHPP arrival times strictly increase.
+func TestNHPPMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := Source(seed)
+		p := NewNonHomogeneousPoisson(rng, DiurnalRate(1, 30, 1000, 0.3), 30)
+		tcur := 0.0
+		for i := 0; i < 200; i++ {
+			next := p.Next(tcur)
+			if next <= tcur {
+				return false
+			}
+			tcur = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

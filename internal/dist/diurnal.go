@@ -1,0 +1,97 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// RateFunc maps simulated time (seconds) to an instantaneous arrival rate
+// (requests per second). Workload generators use it to modulate Poisson
+// processes.
+type RateFunc func(t float64) float64
+
+// ConstantRate returns a RateFunc that always yields rate.
+func ConstantRate(rate float64) RateFunc {
+	return func(float64) float64 { return rate }
+}
+
+// DiurnalRate models a day/night cycle: a sinusoid with the given period
+// (typically 24 h) oscillating between base and peak requests/second, with
+// the peak at phase*period into each cycle. Night troughs are what TPM-like
+// spin-down policies exploit; the Hibernator CR algorithm re-evaluates
+// across them.
+func DiurnalRate(base, peak, period, phase float64) RateFunc {
+	if base < 0 || peak < base || period <= 0 {
+		panic(fmt.Sprintf("dist: invalid diurnal rate base=%v peak=%v period=%v", base, peak, period))
+	}
+	mid := (base + peak) / 2
+	amp := (peak - base) / 2
+	return func(t float64) float64 {
+		return mid + amp*math.Cos(2*math.Pi*(t/period-phase))
+	}
+}
+
+// StepRate returns a piecewise-constant RateFunc: rates[i] applies from
+// boundaries[i-1] (0 for i==0) until boundaries[i]; the final rate applies
+// forever. len(boundaries) must be len(rates)-1 and ascending.
+func StepRate(rates []float64, boundaries []float64) RateFunc {
+	if len(rates) == 0 || len(boundaries) != len(rates)-1 {
+		panic("dist: step rate needs len(boundaries) == len(rates)-1")
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if boundaries[i] <= boundaries[i-1] {
+			panic("dist: step rate boundaries must ascend")
+		}
+	}
+	return func(t float64) float64 {
+		for i, b := range boundaries {
+			if t < b {
+				return rates[i]
+			}
+		}
+		return rates[len(rates)-1]
+	}
+}
+
+// NonHomogeneousPoisson draws inter-arrival times from a Poisson process
+// whose rate varies with time, via Lewis-Shedler thinning against an upper
+// bound on the rate.
+type NonHomogeneousPoisson struct {
+	rate    RateFunc
+	maxRate float64
+	exp     *Exponential
+}
+
+// NewNonHomogeneousPoisson panics unless maxRate bounds rate from above
+// over the simulated horizon (the caller asserts this) and maxRate > 0.
+func NewNonHomogeneousPoisson(rng *rand.Rand, rate RateFunc, maxRate float64) *NonHomogeneousPoisson {
+	if maxRate <= 0 {
+		panic(fmt.Sprintf("dist: NHPP maxRate must be positive, got %v", maxRate))
+	}
+	return &NonHomogeneousPoisson{
+		rate:    rate,
+		maxRate: maxRate,
+		exp:     NewExponential(rng, maxRate),
+	}
+}
+
+// Next returns the absolute time of the next arrival after t, or +Inf if
+// thinning failed to accept within a generous bound (rate effectively zero).
+func (p *NonHomogeneousPoisson) Next(t float64) float64 {
+	const maxDraws = 1 << 20
+	for i := 0; i < maxDraws; i++ {
+		t += p.exp.Sample()
+		r := p.rate(t)
+		if r < 0 {
+			panic(fmt.Sprintf("dist: negative rate %v at t=%v", r, t))
+		}
+		if r > p.maxRate*(1+1e-9) {
+			panic(fmt.Sprintf("dist: rate %v exceeds declared max %v at t=%v", r, p.maxRate, t))
+		}
+		if p.exp.rng.Float64()*p.maxRate < r {
+			return t
+		}
+	}
+	return math.Inf(1)
+}

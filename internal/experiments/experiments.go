@@ -1,0 +1,119 @@
+// Package experiments reconstructs the paper's evaluation: one runnable
+// experiment per table/figure in DESIGN.md's index. Each experiment
+// returns report tables; cmd/hibexp prints them and bench_test.go wraps
+// them as benchmarks.
+//
+// Experiments are deterministic for a given Opts. Expensive multi-scheme
+// bake-offs are memoized per (workload, scale, seed) so that e.g. F1
+// (energy) and F2 (response time) share one set of simulation runs.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"hibernator/internal/report"
+)
+
+// Opts parameterizes a run.
+type Opts struct {
+	// Scale multiplies simulated durations (1.0 = the default multi-hour
+	// runs; benches use smaller). Clamped below at 0.02.
+	Scale float64
+	// Seed drives every generator in the experiment.
+	Seed int64
+	// Log, if non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (o *Opts) norm() {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Scale < 0.02 {
+		o.Scale = 0.02
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+func (o Opts) logf(format string, args ...any) {
+	if o.Log != nil {
+		fmt.Fprintf(o.Log, format+"\n", args...)
+	}
+}
+
+// Experiment is one reconstructed table or figure.
+type Experiment struct {
+	ID           string
+	Title        string
+	Reconstructs string // what in the paper this regenerates
+	Run          func(o Opts) ([]*report.Table, error)
+}
+
+var (
+	regMu    sync.Mutex
+	registry []Experiment
+)
+
+func register(e Experiment) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry = append(registry, e)
+}
+
+// All returns every experiment in ID order.
+func All() []Experiment {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders T1 < T2 < ... < F1 < F2 < ... < F11 < T3-style summary IDs
+// numerically within their prefix.
+func idLess(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		// Tables first, then figures, then extensions, then anything else.
+		rank := map[string]int{"T": 0, "F": 1, "X": 2}
+		ra, oka := rank[pa]
+		rb, okb := rank[pb]
+		switch {
+		case oka && okb:
+			return ra < rb
+		case oka:
+			return true
+		case okb:
+			return false
+		default:
+			return pa < pb
+		}
+	}
+	return na < nb
+}
+
+func splitID(id string) (prefix string, n int) {
+	for i := 0; i < len(id); i++ {
+		if id[i] >= '0' && id[i] <= '9' {
+			fmt.Sscanf(id[i:], "%d", &n)
+			return id[:i], n
+		}
+	}
+	return id, 0
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

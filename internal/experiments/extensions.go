@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/policy"
+	"hibernator/internal/report"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+// The X-series are extensions beyond the paper's evaluation: ablations of
+// engineering choices the paper leaves open (queue discipline, epoch
+// adaptation) and behavior under faults (degraded mode, rebuild), which the
+// paper's reliability discussion motivates but does not measure.
+
+func init() {
+	register(Experiment{
+		ID:           "X1",
+		Title:        "Disk scheduling ablation (FCFS vs SPTF)",
+		Reconstructs: "an engineering choice the paper leaves open: queue discipline under Hibernator",
+		Run:          runX1,
+	})
+	register(Experiment{
+		ID:           "X2",
+		Title:        "Adaptive epoch ablation",
+		Reconstructs: "the paper's future-work direction of tuning the epoch length automatically",
+		Run:          runX2,
+	})
+	register(Experiment{
+		ID:           "X4",
+		Title:        "Online Hibernator vs clairvoyant oracle",
+		Reconstructs: "an upper bound the paper implies: how much of the epoch-granularity headroom the online policy captures",
+		Run:          runX4,
+	})
+	register(Experiment{
+		ID:           "X3",
+		Title:        "Degraded mode and rebuild under power management",
+		Reconstructs: "the reliability interaction the paper discusses qualitatively: a disk failure mid-run",
+		Run:          runX3,
+	})
+}
+
+func runX1(o Opts) ([]*report.Table, error) {
+	o.norm()
+	dur := oltpBaseDuration * o.Scale
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wf := oltpFactory(o.Seed+101, vol, dur)
+	t := report.New("X1", "FCFS vs SPTF under Base and Hibernator (OLTP-like, goal 1.6x)",
+		"scheme", "scheduler", "energy (kJ)", "mean resp (ms)", "P95 (ms)", "P99 (ms)")
+	var baseMean float64
+	for _, sched := range []diskmodel.Scheduler{diskmodel.FCFS, diskmodel.SPTF} {
+		name := "FCFS"
+		if sched == diskmodel.SPTF {
+			name = "SPTF"
+		}
+		src, err := wf()
+		if err != nil {
+			return nil, err
+		}
+		cfg := arrayConfig(o.Seed, false, 0, 0, dur)
+		cfg.Scheduler = sched
+		base, err := sim.Run(cfg, src, policy.NewBase(), dur)
+		if err != nil {
+			return nil, err
+		}
+		if sched == diskmodel.FCFS {
+			baseMean = base.MeanResp
+		}
+		t.AddRow("Base", name, report.KJ(base.Energy), report.Ms(base.MeanResp),
+			report.Ms(base.P95Resp), report.Ms(base.P99Resp))
+
+		src, err = wf()
+		if err != nil {
+			return nil, err
+		}
+		cfg = arrayConfig(o.Seed, true, 0, 1.6*baseMean, dur)
+		cfg.Scheduler = sched
+		hib, err := sim.Run(cfg, src, hibernator.New(hibernator.Options{Epoch: dur / 4}), dur)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("Hibernator", name, report.KJ(hib.Energy), report.Ms(hib.MeanResp),
+			report.Ms(hib.P95Resp), report.Ms(hib.P99Resp))
+	}
+	t.AddNote("SPTF shortens positioning at queue depth > 1; the gain matters most on the hot tier where Hibernator concentrates the queueing")
+	return []*report.Table{t}, nil
+}
+
+func runX2(o Opts) ([]*report.Table, error) {
+	o.norm()
+	dur := oltpBaseDuration * o.Scale
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wf := oltpFactory(o.Seed+101, vol, dur)
+	src, err := wf()
+	if err != nil {
+		return nil, err
+	}
+	base, err := sim.Run(arrayConfig(o.Seed, false, 0, 0, dur), src, policy.NewBase(), dur)
+	if err != nil {
+		return nil, err
+	}
+	goal := 1.6 * base.MeanResp
+	t := report.New("X2", "Fixed vs adaptive CR epochs (OLTP-like, goal 1.6x, base epoch dur/8)",
+		"mode", "epochs run", "savings", "mean resp (ms)", "speed shifts", "violations")
+	for _, adaptive := range []bool{false, true} {
+		src, err := wf()
+		if err != nil {
+			return nil, err
+		}
+		ctrl := hibernator.New(hibernator.Options{Epoch: dur / 8, AdaptiveEpoch: adaptive})
+		res, err := sim.Run(arrayConfig(o.Seed, true, 0, goal, dur), src, ctrl, dur)
+		if err != nil {
+			return nil, err
+		}
+		mode := "fixed"
+		if adaptive {
+			mode = "adaptive"
+		}
+		t.AddRow(mode, report.N(ctrl.Epochs()), report.Pct(res.SavingsVs(base)),
+			report.Ms(res.MeanResp), report.N(res.LevelShifts), report.Pct(res.GoalViolationFrac))
+	}
+	t.AddNote("adaptive mode doubles the interval while plans repeat (cap 4x) and resets on change: fewer replans and transitions on stable load")
+	return []*report.Table{t}, nil
+}
+
+func runX3(o Opts) ([]*report.Table, error) {
+	o.norm()
+	dur := oltpBaseDuration * o.Scale
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	mkSrc := func() (trace.Source, error) {
+		return trace.NewOLTP(trace.OLTPConfig{
+			Seed: o.Seed + 601, VolumeBytes: vol, Duration: dur, MaxRate: 50,
+		})
+	}
+	// Hibernator with a spare; one disk of group 1 dies at dur/3 and a
+	// rebuild starts at dur/2. Compare against an undisturbed run.
+	run := func(inject bool) (*sim.Result, *failureInjector, error) {
+		src, err := mkSrc()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := arrayConfig(o.Seed, true, 1, 0.012, dur)
+		inj := &failureInjector{inner: hibernator.New(hibernator.Options{Epoch: dur / 4})}
+		if inject {
+			inj.failAt, inj.rebuildAt = dur/3, dur/2
+		}
+		res, err := sim.Run(cfg, src, inj, dur)
+		return res, inj, err
+	}
+	healthy, _, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	faulted, inj, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("X3", "Hibernator through a disk failure and rebuild (OLTP-like)",
+		"run", "energy (kJ)", "mean resp (ms)", "P95 (ms)", "lost IOs", "rebuilds")
+	t.AddRow("healthy", report.KJ(healthy.Energy), report.Ms(healthy.MeanResp),
+		report.Ms(healthy.P95Resp), "0", "0")
+	t.AddRow("fail+rebuild", report.KJ(faulted.Energy), report.Ms(faulted.MeanResp),
+		report.Ms(faulted.P95Resp), report.N(inj.lost()), report.N(inj.rebuilds()))
+	t.AddNote("RAID-5 reconstruction turns each op on the dead disk into reads of every survivor, so the degraded group runs hotter; the rebuild streams in the background")
+	return []*report.Table{t}, nil
+}
+
+// failureInjector wraps a controller and injects a failure + rebuild at
+// fixed times. The wrapped env stays accessible so the experiment can read
+// post-run fault counters.
+type failureInjector struct {
+	inner     sim.Controller
+	failAt    float64
+	rebuildAt float64
+	env       *sim.Env
+}
+
+func (f *failureInjector) Name() string { return f.inner.Name() }
+
+func (f *failureInjector) Init(env *sim.Env) {
+	f.env = env
+	f.inner.Init(env)
+	if f.failAt <= 0 {
+		return
+	}
+	env.Engine.Schedule(f.failAt, func() {
+		if err := env.Array.FailDisk(1, 0); err != nil {
+			panic(err)
+		}
+	})
+	env.Engine.Schedule(f.rebuildAt, func() {
+		if err := env.Array.Rebuild(1, 0, 0, true, nil); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func (f *failureInjector) lost() uint64     { return f.env.Array.LostIOs() }
+func (f *failureInjector) rebuilds() uint64 { return f.env.Array.Rebuilds() }
+
+func runX4(o Opts) ([]*report.Table, error) {
+	o.norm()
+	dur := oltpBaseDuration * o.Scale
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wf := oltpFactory(o.Seed+101, vol, dur)
+	src, err := wf()
+	if err != nil {
+		return nil, err
+	}
+	reqs := trace.Drain(src, 0)
+
+	base, err := sim.Run(arrayConfig(o.Seed, false, 0, 0, dur),
+		trace.NewSliceSource(reqs), policy.NewBase(), dur)
+	if err != nil {
+		return nil, err
+	}
+	goal := 1.6 * base.MeanResp
+	epoch := dur / 4
+
+	hib, err := sim.Run(arrayConfig(o.Seed, true, 0, goal, dur),
+		trace.NewSliceSource(reqs), hibernator.New(hibernator.Options{Epoch: epoch}), dur)
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := sim.Run(arrayConfig(o.Seed, true, 0, goal, dur),
+		trace.NewSliceSource(reqs), hibernator.NewOracle(reqs, hibernator.Options{Epoch: epoch}), dur)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("X4", "Online Hibernator vs clairvoyant oracle (OLTP-like, goal 1.6x)",
+		"policy", "energy (kJ)", "savings", "mean resp (ms)", "violations")
+	t.AddRow("Base", report.KJ(base.Energy), "0.0%", report.Ms(base.MeanResp), report.Pct(base.GoalViolationFrac))
+	t.AddRow("Hibernator", report.KJ(hib.Energy), report.Pct(hib.SavingsVs(base)),
+		report.Ms(hib.MeanResp), report.Pct(hib.GoalViolationFrac))
+	t.AddRow("Oracle", report.KJ(oracle.Energy), report.Pct(oracle.SavingsVs(base)),
+		report.Ms(oracle.MeanResp), report.Pct(oracle.GoalViolationFrac))
+	captured := 0.0
+	if os := oracle.SavingsVs(base); os > 0 {
+		captured = hib.SavingsVs(base) / os
+	}
+	t.AddNote("the online policy captured %.0f%% of the clairvoyant headroom; the gap pays for estimation lag, migration traffic and the first full-speed epoch", captured*100)
+	return []*report.Table{t}, nil
+}

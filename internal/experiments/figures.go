@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"sort"
+
+	"hibernator/internal/report"
+)
+
+func init() {
+	register(Experiment{
+		ID:           "F1",
+		Title:        "Energy by scheme (OLTP-like)",
+		Reconstructs: "the paper's OLTP energy-consumption figure",
+		Run: func(o Opts) ([]*report.Table, error) {
+			return energyFigure(o, "oltp", "F1", "Energy by scheme, OLTP-like workload")
+		},
+	})
+	register(Experiment{
+		ID:           "F2",
+		Title:        "Response time by scheme (OLTP-like)",
+		Reconstructs: "the paper's OLTP response-time figure",
+		Run: func(o Opts) ([]*report.Table, error) {
+			return respFigure(o, "oltp", "F2", "Response time by scheme, OLTP-like workload")
+		},
+	})
+	register(Experiment{
+		ID:           "F3",
+		Title:        "Energy by scheme (Cello-like)",
+		Reconstructs: "the paper's Cello99 energy-consumption figure",
+		Run: func(o Opts) ([]*report.Table, error) {
+			return energyFigure(o, "cello", "F3", "Energy by scheme, Cello-like workload")
+		},
+	})
+	register(Experiment{
+		ID:           "F4",
+		Title:        "Response time by scheme (Cello-like)",
+		Reconstructs: "the paper's Cello99 response-time figure",
+		Run: func(o Opts) ([]*report.Table, error) {
+			return respFigure(o, "cello", "F4", "Response time by scheme, Cello-like workload")
+		},
+	})
+	register(Experiment{
+		ID:           "F10",
+		Title:        "Energy breakdown by disk state (OLTP-like)",
+		Reconstructs: "the paper's where-does-the-energy-go breakdown",
+		Run:          runF10,
+	})
+}
+
+func energyFigure(o Opts, kind, id, title string) ([]*report.Table, error) {
+	b, err := memoBakeoff(o, kind)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New(id, title,
+		"scheme", "energy (kJ)", "normalized", "savings", "spin-ups", "speed shifts", "migrations")
+	for _, name := range b.order {
+		schemeRow(t, name, b, true)
+	}
+	t.AddNote("goal %.2f ms (%.1fx Base mean); duration %.1f h simulated", b.goal*1000, b.goalFactor, b.dur/3600)
+	return []*report.Table{t}, nil
+}
+
+func respFigure(o Opts, kind, id, title string) ([]*report.Table, error) {
+	b, err := memoBakeoff(o, kind)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New(id, title,
+		"scheme", "mean (ms)", "P95 (ms)", "P99 (ms)", "vs Base", "goal violations", "max (s)")
+	for _, name := range b.order {
+		schemeRow(t, name, b, false)
+	}
+	t.AddNote("goal %.2f ms; violations = fraction of observation windows whose mean exceeded it", b.goal*1000)
+	return []*report.Table{t}, nil
+}
+
+func runF10(o Opts) ([]*report.Table, error) {
+	b, err := memoBakeoff(o, "oltp")
+	if err != nil {
+		return nil, err
+	}
+	// Union of state names across schemes, stable order.
+	states := map[string]bool{}
+	for _, r := range b.results {
+		for s := range r.EnergyByState {
+			states[s] = true
+		}
+	}
+	names := make([]string, 0, len(states))
+	for s := range states {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	cols := append([]string{"scheme", "total (kJ)"}, names...)
+	t := report.New("F10", "Energy breakdown by disk state, OLTP-like workload (kJ)", cols...)
+	for _, scheme := range b.order {
+		r := b.results[scheme]
+		row := []string{scheme, report.KJ(r.Energy)}
+		for _, s := range names {
+			row = append(row, report.KJ(r.EnergyByState[s]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("idle dominates Base; power-managed schemes trade idle joules for standby/low-speed joules plus transition overheads")
+	return []*report.Table{t}, nil
+}

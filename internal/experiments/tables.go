@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/report"
+	"hibernator/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:           "T1",
+		Title:        "Multi-speed disk model parameters",
+		Reconstructs: "the paper's disk-parameter table (Ultrastar 36Z15 extended with DRPM-style speed levels)",
+		Run:          runT1,
+	})
+	register(Experiment{
+		ID:           "T2",
+		Title:        "Workload characteristics",
+		Reconstructs: "the paper's trace-characteristics table (OLTP and Cello99 stand-ins)",
+		Run:          runT2,
+	})
+	register(Experiment{
+		ID:           "T3",
+		Title:        "Summary: expected shape vs measured",
+		Reconstructs: "the paper's headline comparison across all schemes and both workloads",
+		Run:          runT3,
+	})
+}
+
+func runT1(o Opts) ([]*report.Table, error) {
+	spec := diskmodel.MultiSpeedUltrastar(5, 3000)
+	t := report.New("T1", "Multi-speed disk model ("+spec.Name+")",
+		"level", "RPM", "idle (W)", "active (W)", "rotation (ms)", "media rate (MB/s)")
+	for l := 0; l < spec.Levels(); l++ {
+		t.AddRow(
+			report.N(l),
+			report.N(spec.RPM[l]),
+			report.F(spec.IdlePower[l], 2),
+			report.F(spec.ActivePower[l], 2),
+			report.F(spec.RotationPeriod(l)*1000, 2),
+			report.F(spec.TransferRate[l]/1e6, 1),
+		)
+	}
+	fullShiftT, fullShiftJ := spec.LevelShift(0, spec.FullLevel())
+	t.AddNote("standby %.1f W; spin-up %.1f s / %.0f J; spin-down %.1f s / %.0f J; full speed swing %.1f s / %.0f J (cost ~ RPM delta)",
+		spec.StandbyPower, spec.SpinUpTime, spec.SpinUpEnergy,
+		spec.SpinDownTime, spec.SpinDownEnergy, fullShiftT, fullShiftJ)
+	t.AddNote("seek %.2f-%.2f ms; capacity %.1f GB; spindle power scales ~RPM^2.8 above a %.1f W floor",
+		spec.SeekMin*1000, spec.SeekMax*1000, float64(spec.CapacityBytes)/1e9, 1.4)
+	return []*report.Table{t}, nil
+}
+
+func runT2(o Opts) ([]*report.Table, error) {
+	o.norm()
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("T2", "Synthetic workload characteristics",
+		"workload", "requests", "read %", "mean size (KiB)", "mean gap (ms)", "duration (h)", "top-10% region share")
+	type wl struct {
+		name string
+		mk   workloadFactory
+	}
+	for _, w := range []wl{
+		{"OLTP-like", oltpFactory(o.Seed+101, vol, oltpBaseDuration*o.Scale)},
+		{"Cello-like", celloFactory(o.Seed+101, vol, celloBaseDuration*o.Scale)},
+	} {
+		src, err := w.mk()
+		if err != nil {
+			return nil, err
+		}
+		reqs := trace.Drain(src, 0)
+		c := trace.Characterize(reqs)
+		t.AddRow(
+			w.name,
+			report.N(c.Count),
+			report.Pct(c.ReadFraction),
+			report.F(c.MeanSizeBytes/1024, 1),
+			report.F(c.MeanInterarrival*1000, 2),
+			report.F(c.Duration/3600, 2),
+			report.Pct(c.Top10Coverage),
+		)
+	}
+	t.AddNote("volume %.1f GiB over %d data disks (4 RAID-5 groups of 4)", float64(vol)/(1<<30), bakeGroups*bakeGroupDisks)
+	return []*report.Table{t}, nil
+}
+
+func runT3(o Opts) ([]*report.Table, error) {
+	oltp, err := memoBakeoff(o, "oltp")
+	if err != nil {
+		return nil, err
+	}
+	cello, err := memoBakeoff(o, "cello")
+	if err != nil {
+		return nil, err
+	}
+	expected := map[string]string{
+		"Base":       "highest energy, best latency",
+		"TPM":        "little/no saving, latency spikes",
+		"DRPM":       "saves, but misses goals under bursts",
+		"PDC":        "saves on skew, degrades performance",
+		"MAID":       "saves on small working sets, degrades",
+		"Hibernator": "best saving among goal-meeting schemes",
+	}
+	t := report.New("T3", "Summary across schemes (savings vs Base; per-workload goals)",
+		"scheme", "OLTP savings", "OLTP resp/Base", "OLTP viol", "Cello savings", "Cello resp/Base", "Cello viol", "paper expectation")
+	for _, name := range oltp.order {
+		ro, rc := oltp.results[name], cello.results[name]
+		t.AddRow(
+			name,
+			report.Pct(ro.SavingsVs(oltp.base())),
+			report.F(ro.MeanResp/oltp.base().MeanResp, 2),
+			report.Pct(ro.GoalViolationFrac),
+			report.Pct(rc.SavingsVs(cello.base())),
+			report.F(rc.MeanResp/cello.base().MeanResp, 2),
+			report.Pct(rc.GoalViolationFrac),
+			expected[name],
+		)
+	}
+	t.AddNote("OLTP goal %.2f ms; Cello goal %.2f ms; see EXPERIMENTS.md for the shape discussion", oltp.goal*1000, cello.goal*1000)
+	return []*report.Table{t}, nil
+}
+
+// schemeRow renders one scheme's headline numbers, shared by F1-F4.
+func schemeRow(t *report.Table, name string, b *bakeoff, energyTable bool) {
+	r := b.results[name]
+	base := b.base()
+	if energyTable {
+		t.AddRow(
+			name,
+			report.KJ(r.Energy),
+			report.F(r.EnergyVs(base), 3),
+			report.Pct(r.SavingsVs(base)),
+			report.N(r.SpinUps),
+			report.N(r.LevelShifts),
+			report.N(r.Migrations),
+		)
+		return
+	}
+	t.AddRow(
+		name,
+		report.Ms(r.MeanResp),
+		report.Ms(r.P95Resp),
+		report.Ms(r.P99Resp),
+		report.F(r.MeanResp/base.MeanResp, 2),
+		report.Pct(r.GoalViolationFrac),
+		fmt.Sprintf("%.1f", r.MaxResp),
+	)
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"hibernator/internal/dist"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/policy"
+	"hibernator/internal/report"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:           "F9",
+		Title:        "Performance-guarantee dynamics under a load surge",
+		Reconstructs: "the paper's response-time timeline showing the automatic performance boost",
+		Run:          runF9,
+	})
+}
+
+func runF9(o Opts) ([]*report.Table, error) {
+	o.norm()
+	dur := oltpBaseDuration * o.Scale
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	// Quiet start so CR settles on slow speeds, then a surge at t=dur/3.
+	surging := func() (trace.Source, error) {
+		return trace.NewOLTP(trace.OLTPConfig{
+			Seed: o.Seed + 501, VolumeBytes: vol, Duration: dur,
+			Rate:    dist.StepRate([]float64{10, 120, 10}, []float64{dur / 3, 2 * dur / 3}),
+			MaxRate: 120,
+		})
+	}
+	src, err := surging()
+	if err != nil {
+		return nil, err
+	}
+	base, err := sim.Run(arrayConfig(o.Seed, false, 0, 0, dur), src, policy.NewBase(), dur)
+	if err != nil {
+		return nil, err
+	}
+	goal := 1.3 * base.MeanResp
+
+	runHib := func(disableBoost bool) (*sim.Result, *hibernator.Controller, error) {
+		src, err := surging()
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg := arrayConfig(o.Seed, true, 0, goal, dur)
+		cfg.SampleEvery = dur / 48
+		ctrl := hibernator.New(hibernator.Options{Epoch: dur / 12, DisableBoost: disableBoost})
+		res, err := sim.Run(cfg, src, ctrl, dur)
+		return res, ctrl, err
+	}
+	o.logf("  F9: Hibernator with boost")
+	withBoost, ctrlBoost, err := runHib(false)
+	if err != nil {
+		return nil, err
+	}
+	o.logf("  F9: Hibernator without boost (ablation)")
+	noBoost, _, err := runHib(true)
+	if err != nil {
+		return nil, err
+	}
+
+	ts := report.New("F9", "Windowed mean response time over a quiet/surge/quiet day (goal 1.3x Base)",
+		"t (s)", "boost: resp (ms)", "boost: full-speed disks", "no-boost: resp (ms)", "no-boost: full-speed disks")
+	n := len(withBoost.Series)
+	if len(noBoost.Series) < n {
+		n = len(noBoost.Series)
+	}
+	for i := 0; i < n; i++ {
+		a, b := withBoost.Series[i], noBoost.Series[i]
+		ts.AddRow(
+			report.F(a.T, 0),
+			report.Ms(a.WindowMeanResp),
+			report.N(a.FullSpeedDisks),
+			report.Ms(b.WindowMeanResp),
+			report.N(b.FullSpeedDisks),
+		)
+	}
+	ts.AddNote("goal %.2f ms; surge from t=%.0f to t=%.0f", goal*1000, dur/3, 2*dur/3)
+	ts.AddNote("boost fired %d time(s); with boost: mean %.2f ms, violations %s; without: mean %.2f ms, violations %s",
+		ctrlBoost.BoostCount(),
+		withBoost.MeanResp*1000, report.Pct(withBoost.GoalViolationFrac),
+		noBoost.MeanResp*1000, report.Pct(noBoost.GoalViolationFrac))
+	return []*report.Table{ts}, nil
+}

@@ -1,0 +1,89 @@
+// Package heat tracks per-extent access temperatures — exponentially
+// decayed access rates — from the array's lifetime access counters. Both
+// the PDC baseline and Hibernator's layout manager rank extents by
+// temperature to decide what data belongs on fast (or spinning) disks.
+package heat
+
+import (
+	"fmt"
+	"sort"
+
+	"hibernator/internal/array"
+)
+
+// Tracker maintains decayed per-extent temperatures. Call Update at each
+// epoch boundary; it diffs the array's lifetime counters against the last
+// snapshot.
+type Tracker struct {
+	arr   *array.Array
+	alpha float64
+	prev  []uint64
+	temp  []float64 // accesses per second, decayed
+}
+
+// NewTracker creates a tracker with newest-epoch weight alpha in (0,1].
+func NewTracker(arr *array.Array, alpha float64) *Tracker {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("heat: alpha %v outside (0,1]", alpha))
+	}
+	return &Tracker{
+		arr:   arr,
+		alpha: alpha,
+		prev:  make([]uint64, arr.NumExtents()),
+		temp:  make([]float64, arr.NumExtents()),
+	}
+}
+
+// Update folds the accesses since the previous Update into the
+// temperatures. epochSeconds is the elapsed simulated time and must be
+// positive.
+func (t *Tracker) Update(epochSeconds float64) {
+	if epochSeconds <= 0 {
+		panic(fmt.Sprintf("heat: epoch length %v must be positive", epochSeconds))
+	}
+	for e := range t.temp {
+		cur := t.arr.ExtentAccesses(e)
+		rate := float64(cur-t.prev[e]) / epochSeconds
+		t.prev[e] = cur
+		t.temp[e] = t.alpha*rate + (1-t.alpha)*t.temp[e]
+	}
+}
+
+// Temp returns the decayed access rate (accesses/second) of an extent.
+func (t *Tracker) Temp(e int) float64 { return t.temp[e] }
+
+// Total returns the sum of all extent temperatures — the predicted total
+// logical arrival rate onto the array.
+func (t *Tracker) Total() float64 {
+	sum := 0.0
+	for _, v := range t.temp {
+		sum += v
+	}
+	return sum
+}
+
+// Ranked returns extent indices sorted hottest-first, ties broken by
+// index for determinism.
+func (t *Tracker) Ranked() []int {
+	out := make([]int, len(t.temp))
+	for i := range out {
+		out[i] = i
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if t.temp[out[a]] != t.temp[out[b]] {
+			return t.temp[out[a]] > t.temp[out[b]]
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// GroupLoad sums the temperatures of the extents currently placed in each
+// group: the predicted arrival rate per group under the current layout.
+func (t *Tracker) GroupLoad() []float64 {
+	loads := make([]float64, len(t.arr.Groups()))
+	for e := range t.temp {
+		loads[t.arr.ExtentLocation(e).Group] += t.temp[e]
+	}
+	return loads
+}

@@ -1,0 +1,130 @@
+package heat
+
+import (
+	"math"
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/simevent"
+)
+
+func testArray(t *testing.T) (*simevent.Engine, *array.Array) {
+	t.Helper()
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	a, err := array.New(array.Config{
+		Engine: e, Spec: &spec, Groups: 2, GroupDisks: 1,
+		Level: raid.RAID0, ExtentBytes: 64 << 20, Seed: 1, ExpectedRotLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, a
+}
+
+func TestTemperatureFollowsAccesses(t *testing.T) {
+	e, a := testArray(t)
+	tr := NewTracker(a, 0.5)
+	eb := a.ExtentBytes()
+	// Hit extent 0 ten times, extent 1 once.
+	for i := 0; i < 10; i++ {
+		a.Submit(0, 4096, false, nil)
+	}
+	a.Submit(eb, 4096, false, nil)
+	e.RunAll()
+	tr.Update(10)
+	if tr.Temp(0) <= tr.Temp(1) {
+		t.Errorf("temp(0)=%v should exceed temp(1)=%v", tr.Temp(0), tr.Temp(1))
+	}
+	if math.Abs(tr.Temp(0)-0.5*10.0/10) > 1e-12 {
+		t.Errorf("temp(0) = %v, want alpha*rate = 0.5", tr.Temp(0))
+	}
+	ranked := tr.Ranked()
+	if ranked[0] != 0 || ranked[1] != 1 {
+		t.Errorf("ranking = %v", ranked[:3])
+	}
+}
+
+func TestTemperatureDecays(t *testing.T) {
+	e, a := testArray(t)
+	tr := NewTracker(a, 0.5)
+	for i := 0; i < 10; i++ {
+		a.Submit(0, 4096, false, nil)
+	}
+	e.RunAll()
+	tr.Update(10) // temp = 0.5
+	first := tr.Temp(0)
+	tr.Update(10) // no new accesses: temp halves
+	if math.Abs(tr.Temp(0)-first/2) > 1e-12 {
+		t.Errorf("decayed temp = %v, want %v", tr.Temp(0), first/2)
+	}
+	// Decay approaches zero but ranking stays deterministic.
+	for i := 0; i < 100; i++ {
+		tr.Update(10)
+	}
+	if tr.Temp(0) > 1e-9 {
+		t.Errorf("temp failed to decay: %v", tr.Temp(0))
+	}
+	r := tr.Ranked()
+	for i := 1; i < len(r); i++ {
+		if tr.Temp(r[i-1]) == tr.Temp(r[i]) && r[i-1] > r[i] {
+			t.Fatal("ties must break by index")
+		}
+	}
+}
+
+func TestTotalAndGroupLoad(t *testing.T) {
+	e, a := testArray(t)
+	tr := NewTracker(a, 1.0)
+	eb := a.ExtentBytes()
+	a.Submit(0, 4096, false, nil)    // extent 0
+	a.Submit(eb, 4096, false, nil)   // extent 1
+	a.Submit(eb, 4096, false, nil)   // extent 1
+	a.Submit(2*eb, 4096, false, nil) // extent 2
+	e.RunAll()
+	tr.Update(4)
+	if math.Abs(tr.Total()-1.0) > 1e-12 { // 4 accesses / 4 s
+		t.Errorf("total = %v, want 1.0", tr.Total())
+	}
+	loads := tr.GroupLoad()
+	sum := 0.0
+	for _, l := range loads {
+		sum += l
+	}
+	if math.Abs(sum-tr.Total()) > 1e-12 {
+		t.Errorf("group loads %v don't sum to total %v", loads, tr.Total())
+	}
+	// Extents 0 and 2 share a group (round-robin), extent 1 is alone.
+	g0 := a.ExtentLocation(0).Group
+	g1 := a.ExtentLocation(1).Group
+	if g0 == g1 {
+		t.Fatal("test assumes round-robin split")
+	}
+	if math.Abs(loads[g0]-0.5) > 1e-12 || math.Abs(loads[g1]-0.5) > 1e-12 {
+		t.Errorf("loads = %v, want 0.5 each", loads)
+	}
+}
+
+func TestBadInputsPanic(t *testing.T) {
+	_, a := testArray(t)
+	for _, alpha := range []float64{0, -1, 1.5} {
+		alpha := alpha
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("alpha %v must panic", alpha)
+				}
+			}()
+			NewTracker(a, alpha)
+		}()
+	}
+	tr := NewTracker(a, 0.5)
+	defer func() {
+		if recover() == nil {
+			t.Error("zero epoch must panic")
+		}
+	}()
+	tr.Update(0)
+}

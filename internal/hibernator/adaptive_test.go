@@ -1,0 +1,101 @@
+package hibernator
+
+import (
+	"testing"
+
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+func TestAdaptiveEpochLengthensWhenStable(t *testing.T) {
+	const duration = 4800.0
+	ctrl := New(Options{Epoch: 300, AdaptiveEpoch: true})
+	// Steady light load: after the first couple of epochs the plan should
+	// stabilize and the interval should grow.
+	_, err := sim.Run(hibConfig(31, 0.030), lightOLTP(t, 32, duration, 20), ctrl, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.CurrentEpoch() <= 300 {
+		t.Errorf("epoch stayed at %v under a stable plan, want > base", ctrl.CurrentEpoch())
+	}
+	if ctrl.CurrentEpoch() > 4*300 {
+		t.Errorf("epoch %v exceeds the 4x cap", ctrl.CurrentEpoch())
+	}
+	// Fewer epochs than the fixed schedule would have run.
+	if ctrl.Epochs() >= uint64(duration/300) {
+		t.Errorf("adaptive mode ran %d epochs, fixed would run %d", ctrl.Epochs(), int(duration/300))
+	}
+}
+
+func TestFixedEpochUnchangedByDefault(t *testing.T) {
+	const duration = 1500.0
+	ctrl := New(Options{Epoch: 300})
+	_, err := sim.Run(hibConfig(33, 0.030), lightOLTP(t, 34, duration, 20), ctrl, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.CurrentEpoch() != 300 {
+		t.Errorf("fixed mode drifted to %v", ctrl.CurrentEpoch())
+	}
+	if ctrl.Epochs() != 5 {
+		t.Errorf("ran %d epochs, want 5", ctrl.Epochs())
+	}
+}
+
+func TestLevelsEqual(t *testing.T) {
+	if !levelsEqual([]int{1, 2}, []int{1, 2}) {
+		t.Error("equal slices reported unequal")
+	}
+	if levelsEqual([]int{1, 2}, []int{1, 3}) || levelsEqual([]int{1}, []int{1, 2}) {
+		t.Error("unequal slices reported equal")
+	}
+}
+
+func TestOracleSavesAtLeastAsMuchTrend(t *testing.T) {
+	// The clairvoyant bound should meet the goal and save energy on a
+	// light workload; and with identical epochs it should not do *worse*
+	// than no power management.
+	const duration = 2400.0
+	goal := 0.030
+	src := lightOLTP(t, 42, duration, 20)
+	reqs := trace.Drain(src, 0)
+
+	base, err := sim.Run(hibConfig(41, goal), trace.NewSliceSource(reqs), baseController{}, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewOracle(reqs, Options{Epoch: 300})
+	res, err := sim.Run(hibConfig(41, goal), trace.NewSliceSource(reqs), oracle, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Epochs() < 8 {
+		t.Errorf("oracle planned %d epochs", oracle.Epochs())
+	}
+	if s := res.SavingsVs(base); s < 0.2 {
+		t.Errorf("oracle savings %.2f, want >= 0.2 on a light workload", s)
+	}
+	if res.MeanResp > goal {
+		t.Errorf("oracle mean %.4f broke the goal %.4f", res.MeanResp, goal)
+	}
+}
+
+func TestOracleFirstEpochAlreadySlow(t *testing.T) {
+	// Unlike the online controller, the oracle slows down from t=0 on a
+	// quiet trace.
+	const duration = 600.0
+	reqs := []trace.Request{{Time: 100, Off: 0, Size: 4096}}
+	oracle := NewOracle(reqs, Options{Epoch: 300})
+	res, err := sim.Run(hibConfig(43, 0.050), trace.NewSliceSource(reqs), oracle, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nearly the whole run at the lowest level: energy close to 4 disks
+	// at the slowest idle power.
+	spec := hibConfig(43, 0).Spec
+	ceiling := 1.3 * 4 * duration * spec.IdlePower[0]
+	if res.Energy > ceiling {
+		t.Errorf("oracle energy %.0f J, want near the all-slow floor (<%.0f)", res.Energy, ceiling)
+	}
+}

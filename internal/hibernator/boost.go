@@ -1,0 +1,130 @@
+package hibernator
+
+import (
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+)
+
+// Boost is the performance guarantee: a watchdog that compares observed
+// response times against the goal. On violation it spins every group to
+// full speed immediately; it releases the boost only when the *cumulative*
+// mean response time has enough slack to pay for the descent itself —
+// every speed shift stalls its group's queue, so dropping out of a boost
+// costs response time that must already be budgeted, or the controller
+// would oscillate its way past the goal.
+type Boost struct {
+	// CheckPeriod between watchdog checks (default RespWindow/6).
+	CheckPeriod float64
+	// EngageCumFactor: engage when the cumulative mean exceeds this
+	// fraction of the goal (default 0.98). This is the emergency brake on
+	// the lifetime average; planned descents briefly borrow slack (their
+	// cost is budgeted by CR), so the brake must sit above CR's planning
+	// margin or every descent would trip it.
+	EngageCumFactor float64
+	// ReleaseMargin: release only when the cumulative mean, *plus the
+	// projected cost of shifting back down*, stays under this fraction of
+	// the goal (default 0.85).
+	ReleaseMargin float64
+
+	env    *sim.Env
+	active bool
+	count  uint64
+	// muteUntil suppresses window-triggered engagement after a commanded
+	// transition: the descent stall we just ordered was already budgeted,
+	// and punishing it would re-engage immediately. Cumulative-mean
+	// engagement is never muted.
+	muteUntil float64
+	// descentCost (optional) returns the predicted total response-time
+	// seconds a descent to the current plan would add.
+	descentCost func() float64
+	// restore re-applies the CR plan after a boost ends.
+	restore func()
+}
+
+// NewBoost wires the watchdog; restore is invoked when a boost releases
+// (typically re-applying the last CR plan).
+func NewBoost(env *sim.Env, restore func()) *Boost {
+	b := &Boost{env: env, restore: restore}
+	if b.CheckPeriod == 0 {
+		b.CheckPeriod = env.Cfg.RespWindow / 6
+		if b.CheckPeriod <= 0 {
+			b.CheckPeriod = 10
+		}
+	}
+	if b.EngageCumFactor == 0 {
+		b.EngageCumFactor = 0.98
+	}
+	if b.ReleaseMargin == 0 {
+		b.ReleaseMargin = 0.85
+	}
+	if env.Goal() > 0 {
+		simevent.NewTicker(env.Engine, b.CheckPeriod, func(now float64) { b.check(now) })
+	}
+	return b
+}
+
+// SetDescentCost installs the estimator for the response-time cost of
+// leaving a boost (shift stalls on the downward path).
+func (b *Boost) SetDescentCost(fn func() float64) { b.descentCost = fn }
+
+// Active reports whether a boost is in force.
+func (b *Boost) Active() bool { return b.active }
+
+// Count returns how many boosts have fired.
+func (b *Boost) Count() uint64 { return b.count }
+
+func (b *Boost) check(now float64) {
+	goal := b.env.Goal()
+	windowMean, n := b.env.RespWindow.Mean(now)
+	cum := b.env.RespCum
+	if !b.active {
+		// Three ways in: (1) the lifetime average is about to breach the
+		// goal — emergency, never muted; (2) a severe surge (window >>
+		// goal) that would erode the average fast; (3) a sustained minor
+		// violation once the average has little slack left. A mildly bad
+		// window while the cumulative mean sits far below the goal is not
+		// a risk to the goal and is left to CR.
+		cumAtRisk := cum.Count() > 100 && cum.Mean() > b.EngageCumFactor*goal
+		severe := n > 0 && windowMean > 2*goal
+		minor := n > 0 && windowMean > goal && cum.Mean() > 0.9*goal
+		windowBlown := now >= b.muteUntil && (severe || minor)
+		if cumAtRisk || windowBlown {
+			b.engage()
+		}
+		return
+	}
+	// Release: cumulative average plus the projected descent cost must
+	// leave slack, and the current window must be calm.
+	if cum.Count() == 0 || (n > 0 && windowMean > goal) {
+		return
+	}
+	projected := cum.Mean()
+	if b.descentCost != nil {
+		projected = (cum.Mean()*float64(cum.Count()) + b.descentCost()) / float64(cum.Count())
+	}
+	if projected < b.ReleaseMargin*goal {
+		b.active = false
+		b.Mute(b.env.Cfg.RespWindow)
+		if b.restore != nil {
+			b.restore()
+		}
+	}
+}
+
+// Mute suppresses window-triggered engagement for the next d seconds
+// (called after a commanded speed transition).
+func (b *Boost) Mute(d float64) {
+	if until := b.env.Engine.Now() + d; until > b.muteUntil {
+		b.muteUntil = until
+	}
+}
+
+func (b *Boost) engage() {
+	b.active = true
+	b.count++
+	full := b.env.Cfg.Spec.FullLevel()
+	for _, g := range b.env.Array.Groups() {
+		g.SpinUp()
+		g.SetLevel(full)
+	}
+}

@@ -1,0 +1,175 @@
+package hibernator
+
+import (
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+	"hibernator/internal/stats"
+)
+
+// boostEnv builds a minimal Env around a real array so Boost's group
+// manipulation works, with hand-fed response-time trackers.
+func boostEnv(t *testing.T, goal float64) *sim.Env {
+	t.Helper()
+	engine := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(5, 3000)
+	arr, err := array.New(array.Config{
+		Engine: engine, Spec: &spec, Groups: 2, GroupDisks: 1,
+		Level: raid.RAID0, ExtentBytes: 64 << 20, Seed: 1,
+		InitialLevel: spec.FullLevel(), ExpectedRotLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &sim.Config{Spec: spec, RespGoal: goal, RespWindow: 60}
+	return &sim.Env{
+		Engine:     engine,
+		Array:      arr,
+		Cfg:        cfg,
+		RespWindow: stats.NewWindowTracker(60, 60),
+		RespCum:    &stats.CumulativeTracker{},
+	}
+}
+
+// feed injects n observations of value v at the engine's current time.
+func feed(env *sim.Env, n int, v float64) {
+	for i := 0; i < n; i++ {
+		env.RespWindow.Observe(env.Engine.Now(), v)
+		env.RespCum.Observe(v)
+	}
+}
+
+func TestBoostSevereSurgeEngagesImmediately(t *testing.T) {
+	env := boostEnv(t, 0.010)
+	restored := 0
+	b := NewBoost(env, func() { restored++ })
+	env.Array.Groups()[0].SetLevel(0)
+	env.Engine.Run(30) // let the shift finish
+
+	// Plenty of cumulative slack, but a severe surge (>2x goal).
+	feed(env, 500, 0.005)
+	feed(env, 50, 0.200)
+	env.Engine.Run(40) // next watchdog ticks
+	if !b.Active() {
+		t.Fatal("severe surge must engage the boost")
+	}
+	full := env.Cfg.Spec.FullLevel()
+	for _, g := range env.Array.Groups() {
+		if g.TargetLevel() != full {
+			t.Errorf("group %d not commanded to full speed", g.ID())
+		}
+	}
+	if b.Count() != 1 {
+		t.Errorf("Count = %d", b.Count())
+	}
+}
+
+func TestBoostToleratesMinorBlipWithSlack(t *testing.T) {
+	env := boostEnv(t, 0.010)
+	b := NewBoost(env, nil)
+	// Cumulative mean far below goal; one window slightly above it.
+	feed(env, 5000, 0.004)
+	feed(env, 100, 0.012)
+	env.Engine.Run(40)
+	if b.Active() {
+		t.Fatal("minor violation with ample slack must not engage")
+	}
+}
+
+func TestBoostMinorViolationWithoutSlackEngages(t *testing.T) {
+	env := boostEnv(t, 0.010)
+	b := NewBoost(env, nil)
+	// Cumulative mean already at 0.95x goal; let that history age out of
+	// the sliding window, then a minor violation arrives.
+	feed(env, 5000, 0.0095)
+	env.Engine.Run(100)
+	feed(env, 200, 0.012)
+	env.Engine.Run(140)
+	if !b.Active() {
+		t.Fatal("minor violation with eroded slack must engage")
+	}
+}
+
+func TestBoostCumEmergencyIgnoresMute(t *testing.T) {
+	env := boostEnv(t, 0.010)
+	b := NewBoost(env, nil)
+	b.Mute(1e6)             // mute "forever"
+	feed(env, 5000, 0.0099) // cumulative mean at 0.99x goal
+	env.Engine.Run(40)
+	if !b.Active() {
+		t.Fatal("cumulative emergency must bypass the mute")
+	}
+}
+
+func TestBoostMuteSuppressesWindowTrigger(t *testing.T) {
+	env := boostEnv(t, 0.010)
+	b := NewBoost(env, nil)
+	b.Mute(500)
+	// Lots of calm history keeps the cumulative mean low; age it past the
+	// window, then a severe spike arrives — muted, so no engagement.
+	feed(env, 100000, 0.004)
+	env.Engine.Run(100)
+	feed(env, 100, 0.300)
+	env.Engine.Run(140)
+	if b.Active() {
+		t.Fatal("muted window trigger fired")
+	}
+}
+
+func TestBoostReleaseNeedsProjectedSlack(t *testing.T) {
+	env := boostEnv(t, 0.010)
+	restored := 0
+	b := NewBoost(env, func() { restored++ })
+	b.SetDescentCost(func() float64 { return 0 })
+	// Engage via severe surge.
+	feed(env, 200, 0.500)
+	env.Engine.Run(40)
+	if !b.Active() {
+		t.Fatal("setup: boost did not engage")
+	}
+	// Cum is terrible; calm windows alone must not release.
+	env.Engine.Run(200)
+	if !b.Active() {
+		t.Fatal("released with cumulative mean far above goal")
+	}
+	// Dilute the cumulative mean below the release margin with calm data.
+	feed(env, 100000, 0.001)
+	env.Engine.Run(300)
+	if b.Active() {
+		t.Fatal("boost failed to release once slack was earned back")
+	}
+	if restored != 1 {
+		t.Errorf("restore ran %d times, want 1", restored)
+	}
+}
+
+func TestBoostReleaseBlockedByDescentCost(t *testing.T) {
+	env := boostEnv(t, 0.010)
+	b := NewBoost(env, nil)
+	// Descent would immediately cost more slack than exists.
+	b.SetDescentCost(func() float64 { return 1e9 })
+	feed(env, 200, 0.500)
+	env.Engine.Run(40)
+	if !b.Active() {
+		t.Fatal("setup: boost did not engage")
+	}
+	feed(env, 100000, 0.001)
+	env.Engine.Run(300)
+	if !b.Active() {
+		t.Fatal("release must be blocked when the descent cost would spend the slack")
+	}
+}
+
+func TestBoostNoGoalNoWatchdog(t *testing.T) {
+	env := boostEnv(t, 0)
+	b := NewBoost(env, nil)
+	feed(env, 100, 10.0)
+	env.Engine.Run(120)
+	if b.Active() || b.Count() != 0 {
+		t.Fatal("boost must stay inert without a goal")
+	}
+}

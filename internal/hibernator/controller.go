@@ -1,0 +1,323 @@
+package hibernator
+
+import (
+	"fmt"
+	"io"
+
+	"hibernator/internal/heat"
+	"hibernator/internal/sim"
+)
+
+// Options tunes the Hibernator controller. Zero values select the paper's
+// defaults.
+type Options struct {
+	// Epoch is the CR re-evaluation period in seconds (default 7200).
+	Epoch float64
+	// Margin derates the response-time goal during planning (default 0.9).
+	Margin float64
+	// MaxRho caps planned per-disk utilization (default 0.9).
+	MaxRho float64
+	// Alpha is the temperature decay weight (default 0.5).
+	Alpha float64
+	// Migration selects the data-movement strategy (default background).
+	Migration MigrationMode
+	// MigrationBudget caps extent moves per epoch in background mode
+	// (default: one move per 30 s of epoch, at least 16).
+	MigrationBudget int
+	// DisableBoost turns the performance guarantee off (ablation).
+	DisableBoost bool
+	// PhysFactorInit seeds the logical->physical I/O multiplier before
+	// the first epoch of measurements (default 1.5).
+	PhysFactorInit float64
+	// AdaptiveEpoch lets the epoch length breathe: every epoch whose plan
+	// matches the previous one doubles the next interval (capped at 4x
+	// Epoch); a plan change resets it to Epoch. Stable workloads then pay
+	// even fewer transitions, while shifts are still caught quickly.
+	AdaptiveEpoch bool
+	// DecisionLog, when non-nil, receives one line per epoch describing
+	// the measurements and the chosen plan.
+	DecisionLog io.Writer
+}
+
+func (o *Options) applyDefaults() {
+	if o.Epoch == 0 {
+		o.Epoch = 7200
+	}
+	if o.Margin == 0 {
+		o.Margin = 0.9
+	}
+	if o.MaxRho == 0 {
+		o.MaxRho = 0.9
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.5
+	}
+	if o.MigrationBudget == 0 {
+		o.MigrationBudget = int(o.Epoch / 30)
+		if o.MigrationBudget < 16 {
+			o.MigrationBudget = 16
+		}
+	}
+	if o.PhysFactorInit == 0 {
+		o.PhysFactorInit = 1.5
+	}
+}
+
+// Controller is the Hibernator policy: CR speed setting + sorted layout +
+// performance boost.
+type Controller struct {
+	opts Options
+
+	env     *sim.Env
+	tracker *heat.Tracker
+	layout  *Layout
+	boost   *Boost
+
+	lastPlan CRPlan
+	epochs   uint64
+	meter    meter
+	// planGen invalidates staggered plan-application steps when a newer
+	// plan or boost supersedes them.
+	planGen uint64
+	// curEpoch is the (possibly adapted) interval to the next boundary.
+	curEpoch float64
+	// curLoads are the per-group logical arrival rates under the current
+	// layout; sortedLoads the predicted rates under the fully sorted
+	// layout. applyPlan compares them to decide when a group is drained
+	// enough to slow down, and the boost uses curLoads for descent costs.
+	curLoads    []float64
+	sortedLoads []float64
+}
+
+// New returns a Hibernator controller with the given options.
+func New(opts Options) *Controller {
+	c := &Controller{opts: opts}
+	c.opts.applyDefaults()
+	return c
+}
+
+// NewDefault returns the paper-default configuration.
+func NewDefault() *Controller { return New(Options{}) }
+
+// Name implements sim.Controller.
+func (c *Controller) Name() string { return "Hibernator" }
+
+// Plan returns the most recent CR decision (instrumentation).
+func (c *Controller) Plan() CRPlan { return c.lastPlan }
+
+// Epochs returns how many epoch boundaries have been processed.
+func (c *Controller) Epochs() uint64 { return c.epochs }
+
+// BoostCount returns how many performance boosts have fired.
+func (c *Controller) BoostCount() uint64 {
+	if c.boost == nil {
+		return 0
+	}
+	return c.boost.Count()
+}
+
+// Layout exposes the layout manager (instrumentation).
+func (c *Controller) Layout() *Layout { return c.layout }
+
+// Init implements sim.Controller.
+func (c *Controller) Init(env *sim.Env) {
+	c.env = env
+	c.meter = meter{physInit: c.opts.PhysFactorInit}
+	c.tracker = heat.NewTracker(env.Array, c.opts.Alpha)
+	c.layout = NewLayout(env.Array, c.tracker, c.opts.Migration, c.opts.MigrationBudget)
+	c.layout.SetLevelOf(func(g int) int { return c.lastPlan.Levels[g] })
+	c.layout.SetMinMoveTemp(2 / c.opts.Epoch)
+	if !c.opts.DisableBoost {
+		c.boost = NewBoost(env, func() { c.applyPlan() })
+		// Descent cost: each group dropping from full to its planned level
+		// stalls for the shift duration; requests arriving meanwhile wait
+		// ~T/2 and then drain, so ~lambda_g*T^2 is a serviceable estimate
+		// of the total response-time seconds the descent adds.
+		c.boost.SetDescentCost(func() float64 {
+			spec := &env.Cfg.Spec
+			cost := 0.0
+			for i := range env.Array.Groups() {
+				if i >= len(c.curLoads) || i >= len(c.lastPlan.Levels) {
+					break
+				}
+				shiftT, _ := spec.LevelShift(spec.FullLevel(), c.lastPlan.Levels[i])
+				cost += c.curLoads[i] * shiftT * shiftT
+			}
+			return cost
+		})
+	}
+	full := env.Cfg.Spec.FullLevel()
+	c.lastPlan = CRPlan{Levels: allFull(len(env.Array.Groups()), full)}
+	c.curEpoch = c.opts.Epoch
+	c.scheduleEpoch()
+}
+
+// scheduleEpoch arms the next epoch boundary at the current (possibly
+// adapted) interval.
+func (c *Controller) scheduleEpoch() {
+	elapsed := c.curEpoch
+	c.env.Engine.Schedule(elapsed, func() {
+		c.onEpoch(elapsed)
+		c.scheduleEpoch()
+	})
+}
+
+// CurrentEpoch returns the interval to the next planned epoch boundary.
+func (c *Controller) CurrentEpoch() float64 { return c.curEpoch }
+
+func (c *Controller) onEpoch(elapsed float64) {
+	env := c.env
+	c.epochs++
+	c.tracker.Update(elapsed)
+	m := c.meter.sample(env)
+
+	// Predicted per-rank loads under the sorted layout.
+	groups := env.Array.Groups()
+	ranked := c.tracker.Ranked()
+	loads := make([]float64, len(groups))
+	gi, filled := 0, 0
+	capOf := func(g int) int { total, _ := groups[g].Slots(); return total }
+	for _, e := range ranked {
+		for filled >= capOf(gi) {
+			gi++
+			filled = 0
+		}
+		loads[gi] += c.tracker.Temp(e)
+		filled++
+	}
+	current := make([]int, len(groups))
+	for i, g := range groups {
+		current[i] = g.TargetLevel()
+	}
+
+	curLoads := c.tracker.GroupLoad()
+	prev := append([]int(nil), c.lastPlan.Levels...)
+	c.lastPlan = Solve(CRInput{
+		Spec:          &env.Cfg.Spec,
+		GroupLoads:    loads,
+		DisksPerGroup: len(groups[0].Disks()),
+		CurrentLevels: current,
+		PhysFactor:    m.physFactor,
+		AvgSize:       m.avgSize,
+		SeekOverhead:  m.seekOverhead,
+		SeqFraction:   m.seqFrac,
+		Goal:          m.effGoal,
+		Margin:        c.opts.Margin,
+		Epoch:         c.curEpoch,
+		MaxRho:        c.opts.MaxRho,
+	})
+	if c.opts.AdaptiveEpoch {
+		if prev != nil && levelsEqual(prev, c.lastPlan.Levels) {
+			c.curEpoch *= 2
+			if c.curEpoch > 4*c.opts.Epoch {
+				c.curEpoch = 4 * c.opts.Epoch
+			}
+		} else {
+			c.curEpoch = c.opts.Epoch
+		}
+	}
+	c.curLoads = curLoads
+	c.sortedLoads = loads
+	if c.opts.DecisionLog != nil {
+		fmt.Fprintf(c.opts.DecisionLog,
+			"epoch %d t=%.0f phys=%.2f size=%d pos=%.4f seq=%.2f effGoal=%.4f plan=%v pred=%.4f feas=%v boost=%v cum=%.4f loads=%.1f\n",
+			c.epochs, env.Engine.Now(), m.physFactor, m.avgSize, m.seekOverhead, m.seqFrac, m.effGoal,
+			c.lastPlan.Levels, c.lastPlan.PredictedResp, c.lastPlan.Feasible,
+			c.boost != nil && c.boost.Active(), env.RespCum.Mean(), sum(loads))
+	}
+	c.planGen++
+	c.applyPlan()
+	// Sorting data for a plan that is not in force would only add
+	// interference; rebalance when the plan actually governs the array.
+	if c.boost == nil || !c.boost.Active() {
+		c.layout.Rebalance()
+	}
+}
+
+// applyPlan pushes the last CR decision to the groups, unless a boost is
+// holding everything at full speed. Downward shifts are STAGGERED one
+// group at a time: a speed shift stalls its group's queue for seconds, and
+// shifting the whole array at once turns that into an array-wide outage
+// that poisons the response-time average the guarantee protects.
+func (c *Controller) applyPlan() {
+	if c.boost != nil && c.boost.Active() {
+		return
+	}
+	groups := c.env.Array.Groups()
+	spec := &c.env.Cfg.Spec
+	changed := false
+	delay := 0.0
+	gen := c.planGen
+	for i, g := range groups {
+		g.SpinUp() // Hibernator keeps disks spinning; low speed replaces standby
+		target := c.lastPlan.Levels[i]
+		if g.TargetLevel() == target {
+			continue
+		}
+		if target > g.TargetLevel() {
+			// Speeding up is urgent and cheap to overlap.
+			changed = true
+			g.SetLevel(target)
+			continue
+		}
+		// Migrate first, then slow down: a down-shift stalls the group's
+		// queue, so it waits until migration has drained the group's load
+		// to (roughly) its steady-state share under the sorted layout.
+		// Deferred groups are re-examined at the next epoch or boost
+		// release.
+		if i < len(c.curLoads) && i < len(c.sortedLoads) {
+			total := 0.0
+			for _, v := range c.curLoads {
+				total += v
+			}
+			if c.curLoads[i] > c.sortedLoads[i]+0.05*total {
+				continue
+			}
+		}
+		changed = true
+		shiftT, _ := spec.LevelShift(g.TargetLevel(), target)
+		g := g
+		if delay == 0 {
+			g.SetLevel(target)
+		} else {
+			c.env.Engine.Schedule(delay, func() {
+				// A newer plan or an active boost supersedes this step.
+				if c.planGen != gen || (c.boost != nil && c.boost.Active()) {
+					return
+				}
+				g.SetLevel(target)
+			})
+		}
+		delay += shiftT + 2
+	}
+	if changed && c.boost != nil {
+		// The commanded shifts will stall queues briefly; their cost is
+		// already in the CR prediction, so the watchdog must not treat
+		// them as violations. The spike stays visible in the sliding
+		// window for a full window length after the last staggered shift
+		// finishes, so mute for two windows past the stagger tail.
+		c.boost.Mute(2*c.env.Cfg.RespWindow + delay)
+	}
+}
+
+// sum adds a float slice (decision-log helper).
+func sum(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// levelsEqual reports whether two level assignments match.
+func levelsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

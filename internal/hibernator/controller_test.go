@@ -1,0 +1,256 @@
+package hibernator
+
+import (
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/dist"
+	"hibernator/internal/heat"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+	"hibernator/internal/trace"
+)
+
+// baseController is a local no-PM baseline to compare against (avoids a
+// dependency on the policy package from the core's tests).
+type baseController struct{}
+
+func (baseController) Name() string  { return "Base" }
+func (baseController) Init(*sim.Env) {}
+
+func hibConfig(seed int64, goal float64) sim.Config {
+	return sim.Config{
+		Spec:               diskmodel.MultiSpeedUltrastar(5, 3000),
+		Groups:             4,
+		GroupDisks:         1,
+		Level:              raid.RAID0,
+		ExtentBytes:        64 << 20,
+		RespGoal:           goal,
+		RespWindow:         60,
+		Seed:               seed,
+		ExpectedRotLatency: true,
+	}
+}
+
+func lightOLTP(t *testing.T, seed int64, duration, rate float64) trace.Source {
+	t.Helper()
+	g, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed:        seed,
+		VolumeBytes: 100 << 30,
+		Duration:    duration,
+		MaxRate:     rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHibernatorSavesEnergyAndMeetsGoal(t *testing.T) {
+	const duration = 2400.0
+	goal := 0.030
+
+	baseRes, err := sim.Run(hibConfig(1, goal), lightOLTP(t, 2, duration, 20), baseController{}, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := New(Options{Epoch: 300})
+	hibRes, err := sim.Run(hibConfig(1, goal), lightOLTP(t, 2, duration, 20), ctrl, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Epochs() < 7 {
+		t.Fatalf("only %d epochs processed", ctrl.Epochs())
+	}
+	savings := hibRes.SavingsVs(baseRes)
+	if savings < 0.2 {
+		t.Errorf("savings %.2f vs Base, want >= 0.2 on a light workload", savings)
+	}
+	if hibRes.MeanResp > goal {
+		t.Errorf("mean response %v breaks goal %v", hibRes.MeanResp, goal)
+	}
+	if hibRes.LevelShifts == 0 {
+		t.Error("hibernator never changed a speed")
+	}
+}
+
+func TestBoostFiresOnSurgeAndProtectsGoal(t *testing.T) {
+	// Quiet first epoch, then a violent surge: CR will have chosen slow
+	// speeds; the boost must rescue the response time.
+	const duration = 1800.0
+	goal := 0.020
+	mkSrc := func() trace.Source {
+		g, err := trace.NewOLTP(trace.OLTPConfig{
+			Seed:        5,
+			VolumeBytes: 100 << 30,
+			Duration:    duration,
+			Rate:        dist.StepRate([]float64{5, 120}, []float64{900}),
+			MaxRate:     120,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	withBoost := New(Options{Epoch: 300})
+	resBoost, err := sim.Run(hibConfig(3, goal), mkSrc(), withBoost, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noBoost := New(Options{Epoch: 300, DisableBoost: true})
+	resNo, err := sim.Run(hibConfig(3, goal), mkSrc(), noBoost, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withBoost.BoostCount() == 0 {
+		t.Fatal("boost never fired despite the surge")
+	}
+	if resBoost.MeanResp >= resNo.MeanResp {
+		t.Errorf("boosted mean %v should beat unboosted %v", resBoost.MeanResp, resNo.MeanResp)
+	}
+	if resBoost.GoalViolationFrac > resNo.GoalViolationFrac {
+		t.Errorf("boost increased violations: %v vs %v",
+			resBoost.GoalViolationFrac, resNo.GoalViolationFrac)
+	}
+}
+
+func TestLayoutSortsHotDataToFastTier(t *testing.T) {
+	// A moderate load with a goal that is feasible at mixed speeds but not
+	// all-slow pushes CR into a tiered configuration; the layout manager
+	// must then concentrate the hot extents on the fast tier.
+	const duration = 3600.0
+	ctrl := New(Options{Epoch: 300, MigrationBudget: 512})
+	res, err := sim.Run(hibConfig(7, 0.011), lightOLTP(t, 8, duration, 60), ctrl, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := ctrl.Plan()
+	if !plan.Feasible {
+		t.Fatalf("plan infeasible: %+v", plan)
+	}
+	if res.Migrations == 0 {
+		t.Fatal("array recorded no migrations")
+	}
+	// The fast rank must carry the bulk of the predicted load.
+	loads := ctrl.tracker.GroupLoad()
+	total := 0.0
+	for _, l := range loads {
+		total += l
+	}
+	if total <= 0 {
+		t.Fatal("tracker saw no load")
+	}
+	if loads[0]/total < 0.5 {
+		t.Errorf("rank-0 group carries %.2f of load, want majority (loads %v, levels %v)",
+			loads[0]/total, loads, plan.Levels)
+	}
+}
+
+func TestMigrationModeNoneMovesNothing(t *testing.T) {
+	const duration = 1200.0
+	ctrl := New(Options{Epoch: 300, Migration: MigrateNone})
+	res, err := sim.Run(hibConfig(9, 0.030), lightOLTP(t, 10, duration, 40), ctrl, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Migrations != 0 {
+		t.Errorf("MigrateNone produced %d migrations", res.Migrations)
+	}
+	moves, swaps := ctrl.Layout().Moves()
+	if moves+swaps != 0 {
+		t.Errorf("layout moved %d/%d under MigrateNone", moves, swaps)
+	}
+}
+
+func TestLayoutMigrationModesUnit(t *testing.T) {
+	// Deterministic layout exercise: heat up extents that live on the
+	// last group, declare group 0 fast and the rest slow, and compare how
+	// far each mode converges in a single Rebalance.
+	build := func(mode MigrationMode, budget int) (moved uint64, misplacedAfter int) {
+		e := simevent.New()
+		spec := diskmodel.MultiSpeedUltrastar(5, 3000)
+		arr, err := array.New(array.Config{
+			Engine: e, Spec: &spec, Groups: 4, GroupDisks: 1,
+			Level: raid.RAID0, ExtentBytes: 64 << 20, Seed: 21,
+			InitialLevel: spec.FullLevel(), ExpectedRotLatency: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tracker := heat.NewTracker(arr, 1.0)
+		// Touch 40 extents that currently live on group 3.
+		hot := 0
+		for ext := 0; ext < arr.NumExtents() && hot < 40; ext++ {
+			if arr.ExtentLocation(ext).Group == 3 {
+				for k := 0; k < 5; k++ {
+					arr.Submit(int64(ext)*arr.ExtentBytes(), 4096, false, nil)
+				}
+				hot++
+			}
+		}
+		e.RunAll()
+		tracker.Update(10)
+		lay := NewLayout(arr, tracker, mode, budget)
+		lay.SetLevelOf(func(g int) int {
+			if g == 0 {
+				return 4
+			}
+			return 0
+		})
+		lay.Rebalance()
+		e.RunAll()
+		m, s := lay.Moves()
+		return m + s, lay.Misplaced()
+	}
+	eagerMoves, eagerLeft := build(MigrateEager, 1)
+	bgMoves, bgLeft := build(MigrateBackground, 8)
+	noneMoves, _ := build(MigrateNone, 8)
+	if noneMoves != 0 {
+		t.Errorf("MigrateNone moved %d", noneMoves)
+	}
+	if eagerMoves != 40 {
+		t.Errorf("eager moved %d, want all 40 hot extents", eagerMoves)
+	}
+	if eagerLeft != 0 {
+		t.Errorf("eager left %d misplaced", eagerLeft)
+	}
+	if bgMoves != 8 {
+		t.Errorf("background with budget 8 moved %d", bgMoves)
+	}
+	if bgLeft != 32 {
+		t.Errorf("background left %d misplaced, want 32", bgLeft)
+	}
+}
+
+func TestDeterministicHibernatorRuns(t *testing.T) {
+	const duration = 900.0
+	mk := func() *sim.Result {
+		ctrl := New(Options{Epoch: 300})
+		res, err := sim.Run(hibConfig(13, 0.030), lightOLTP(t, 14, duration, 30), ctrl, duration)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := mk(), mk()
+	if a.Energy != b.Energy || a.MeanResp != b.MeanResp || a.Migrations != b.Migrations {
+		t.Errorf("hibernator runs diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	c := New(Options{})
+	if c.opts.Epoch != 7200 || c.opts.Migration != MigrateBackground || c.opts.MigrationBudget != 240 {
+		t.Errorf("defaults = %+v", c.opts)
+	}
+	c2 := New(Options{Migration: MigrateNone})
+	if c2.opts.Migration != MigrateNone {
+		t.Error("explicit MigrateNone overridden")
+	}
+	if MigrateBackground.String() != "background" || MigrateEager.String() != "eager" ||
+		MigrateNone.String() != "none" || MigrationMode(9).String() != "unknown" {
+		t.Error("MigrationMode.String broken")
+	}
+}

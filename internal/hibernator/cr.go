@@ -1,0 +1,232 @@
+// Package hibernator implements the paper's contribution: the Hibernator
+// disk-array energy manager. It combines
+//
+//   - CR, a coarse-grained epoch-based speed-setting algorithm that picks
+//     how many RAID groups spin at each speed by minimizing predicted
+//     energy subject to a response-time constraint (cr.go);
+//   - a temperature-sorted multi-tier data layout with budgeted background
+//     migration (layout.go);
+//   - a performance guarantee that boosts every disk to full speed when
+//     the observed response time endangers the goal, resuming power
+//     saving only once the long-run average recovers (boost.go);
+//
+// glued together by Controller (controller.go), which plugs into the
+// simulation harness like any baseline policy.
+package hibernator
+
+import (
+	"fmt"
+	"math"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/mg1"
+)
+
+// CRInput is everything the epoch optimizer needs.
+type CRInput struct {
+	Spec *diskmodel.Spec
+
+	// GroupLoads[g] is the predicted arrival rate (logical accesses/s)
+	// onto group-rank g under the temperature-sorted layout: rank 0 holds
+	// the hottest data and will be assigned the fastest level.
+	GroupLoads []float64
+	// DisksPerGroup scales per-group load to per-disk load.
+	DisksPerGroup int
+	// CurrentLevels[g] is each group's present speed (for transition
+	// costs).
+	CurrentLevels []int
+
+	// PhysFactor converts logical accesses to physical disk I/Os
+	// (parity, splits); AvgSize is the observed mean physical request
+	// size in bytes.
+	PhysFactor float64
+	AvgSize    int64
+
+	// SeekOverhead, when positive, is the measured mean positioning time
+	// (controller overhead + seek) of the workload, and SeqFraction the
+	// measured fraction of strictly sequential requests. Together they
+	// calibrate the per-level service predictions; zero falls back to the
+	// analytic random-access model (1/3-stroke seeks), which is far too
+	// pessimistic for sequential workloads.
+	SeekOverhead float64
+	SeqFraction  float64
+
+	// Goal is the mean response-time limit in seconds (0 = none: always
+	// feasible). Margin derates it for planning headroom.
+	Goal   float64
+	Margin float64
+
+	// Epoch is the planning horizon in seconds.
+	Epoch float64
+
+	// MaxRho rejects assignments driving any disk beyond this utilization
+	// (default 0.9 via Solve).
+	MaxRho float64
+}
+
+// CRPlan is the optimizer's decision.
+type CRPlan struct {
+	// Levels[g] is the chosen speed for group-rank g (nonincreasing).
+	Levels []int
+	// PredictedResp and PredictedEnergy are the model's estimates for the
+	// coming epoch (energy includes speed-transition costs).
+	PredictedResp   float64
+	PredictedEnergy float64
+	// Feasible reports whether any assignment met the constraint; when
+	// false, Levels is all-full-speed.
+	Feasible bool
+	// Evaluated counts compositions examined (instrumentation).
+	Evaluated int
+}
+
+// Solve enumerates the compositions of the group count over the speed
+// levels (fast levels assigned to hot group-ranks first), evaluates each
+// with the M/G/1 model, and returns the minimum-energy feasible plan.
+//
+// With G groups and m levels the composition count is C(G+m-1, m-1); for
+// the arrays the paper studies (a few tens of disks, 2–5 levels) this is
+// a few thousand evaluations per epoch — the point of coarse-grained
+// control is that this runs once every couple of hours.
+func Solve(in CRInput) CRPlan {
+	g := len(in.GroupLoads)
+	if g == 0 || len(in.CurrentLevels) != g {
+		panic(fmt.Sprintf("hibernator: CR needs matching group arrays (loads %d, levels %d)",
+			g, len(in.CurrentLevels)))
+	}
+	if in.DisksPerGroup <= 0 || in.Epoch <= 0 {
+		panic("hibernator: CR needs positive disks-per-group and epoch")
+	}
+	if in.PhysFactor <= 0 {
+		in.PhysFactor = 1
+	}
+	if in.AvgSize <= 0 {
+		in.AvgSize = 8192
+	}
+	if in.Margin <= 0 || in.Margin > 1 {
+		in.Margin = 0.9
+	}
+	if in.MaxRho <= 0 || in.MaxRho >= 1 {
+		in.MaxRho = 0.9
+	}
+	spec := in.Spec
+	m := spec.Levels()
+	full := spec.FullLevel()
+
+	// Pre-compute per-level service moments and per-disk loads by rank.
+	es := make([]float64, m)
+	es2 := make([]float64, m)
+	for l := 0; l < m; l++ {
+		if in.SeekOverhead > 0 {
+			rot := spec.RotationPeriod(l)
+			randFrac := 1 - in.SeqFraction
+			es[l] = in.SeekOverhead + randFrac*rot/2 + spec.TransferTime(l, in.AvgSize)
+			es2[l] = randFrac*rot*rot/12 + es[l]*es[l]
+		} else {
+			es[l], es2[l] = spec.ServiceMoments(l, in.AvgSize, diskmodel.ExpectedSeekFrac)
+		}
+	}
+	perDisk := make([]float64, g)
+	totalLoad := 0.0
+	for i, load := range in.GroupLoads {
+		perDisk[i] = load * in.PhysFactor / float64(in.DisksPerGroup)
+		totalLoad += load
+	}
+
+	best := CRPlan{Levels: allFull(g, full), Feasible: false}
+	bestEnergy := math.Inf(1)
+
+	evalCount := 0
+	// levels[g] built by walking compositions: counts[l] groups at level
+	// l, assigned fastest-first.
+	counts := make([]int, m)
+	var walk func(level, remaining int)
+	assign := make([]int, g)
+	var evaluate func()
+	evaluate = func() {
+		evalCount++
+		// Expand counts into per-rank levels, fastest level first.
+		idx := 0
+		for l := full; l >= 0; l-- {
+			for c := 0; c < counts[l]; c++ {
+				assign[idx] = l
+				idx++
+			}
+		}
+		var energy, respWeighted float64
+		for i := 0; i < g; i++ {
+			l := assign[i]
+			lambda := perDisk[i]
+			rho := mg1.Utilization(lambda, es[l])
+			if rho >= in.MaxRho {
+				return // infeasible
+			}
+			r := mg1.ResponseTime(lambda, es[l], es2[l])
+			respWeighted += in.GroupLoads[i] * r
+			// A speed shift stalls the group's queue for its duration.
+			// Requests arriving during a stall of length T wait T/2 on
+			// average, so the epoch-mean penalty is T^2/(2*epoch): the
+			// quantitative reason coarse epochs amortize transitions.
+			// (The controller defers down-shifts until migration has
+			// drained a group, so the steady-state occupants' load is the
+			// right weight.)
+			shiftT, shiftJ := spec.LevelShift(in.CurrentLevels[i], l)
+			respWeighted += in.GroupLoads[i] * shiftT * shiftT / (2 * in.Epoch)
+			power := spec.IdlePower[l]*(1-rho) + spec.ActivePower[l]*rho
+			energy += power * in.Epoch * float64(in.DisksPerGroup)
+			energy += shiftJ * float64(in.DisksPerGroup)
+		}
+		var resp float64
+		if totalLoad > 0 {
+			resp = respWeighted / totalLoad
+		}
+		if in.Goal > 0 && resp > in.Goal*in.Margin {
+			return
+		}
+		if energy < bestEnergy {
+			bestEnergy = energy
+			best.Levels = append(best.Levels[:0], assign...)
+			best.PredictedResp = resp
+			best.PredictedEnergy = energy
+			best.Feasible = true
+		}
+	}
+	walk = func(level, remaining int) {
+		if level == m-1 {
+			counts[level] = remaining
+			evaluate()
+			counts[level] = 0
+			return
+		}
+		for c := 0; c <= remaining; c++ {
+			counts[level] = c
+			walk(level+1, remaining-c)
+		}
+		counts[level] = 0
+	}
+	walk(0, g)
+	best.Evaluated = evalCount
+	if !best.Feasible {
+		// Fall back to all-full-speed and report its predictions.
+		var energy, respWeighted float64
+		for i := 0; i < g; i++ {
+			lambda := perDisk[i]
+			rho := math.Min(mg1.Utilization(lambda, es[full]), 1)
+			respWeighted += in.GroupLoads[i] * mg1.ResponseTime(lambda, es[full], es2[full])
+			power := spec.IdlePower[full]*(1-rho) + spec.ActivePower[full]*rho
+			energy += power * in.Epoch * float64(in.DisksPerGroup)
+		}
+		if totalLoad > 0 {
+			best.PredictedResp = respWeighted / totalLoad
+		}
+		best.PredictedEnergy = energy
+	}
+	return best
+}
+
+func allFull(g, full int) []int {
+	out := make([]int, g)
+	for i := range out {
+		out[i] = full
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+package hibernator
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hibernator/internal/diskmodel"
+)
+
+func crInput(loads []float64, goal float64) CRInput {
+	spec := diskmodel.MultiSpeedUltrastar(5, 3000)
+	cur := make([]int, len(loads))
+	for i := range cur {
+		cur[i] = spec.FullLevel()
+	}
+	return CRInput{
+		Spec:          &spec,
+		GroupLoads:    loads,
+		DisksPerGroup: 1,
+		CurrentLevels: cur,
+		PhysFactor:    1,
+		AvgSize:       8192,
+		Goal:          goal,
+		Margin:        0.9,
+		Epoch:         3600,
+		MaxRho:        0.9,
+	}
+}
+
+func TestIdleArrayGoesSlowest(t *testing.T) {
+	in := crInput([]float64{0, 0, 0, 0}, 0.010)
+	plan := Solve(in)
+	if !plan.Feasible {
+		t.Fatal("zero load must be feasible")
+	}
+	for i, l := range plan.Levels {
+		if l != 0 {
+			t.Errorf("group %d level %d, want 0 (slowest)", i, l)
+		}
+	}
+}
+
+func TestHeavyLoadStaysFast(t *testing.T) {
+	// Per-disk service at full speed ~4 ms: 200 req/s saturates. Load at
+	// 150/s per group forces full speed everywhere with a tight goal.
+	in := crInput([]float64{150, 150, 150, 150}, 0.010)
+	plan := Solve(in)
+	full := in.Spec.FullLevel()
+	for i, l := range plan.Levels {
+		if l != full {
+			t.Errorf("group %d level %d under heavy load, want %d", i, l, full)
+		}
+	}
+}
+
+func TestSkewedLoadCreatesTiers(t *testing.T) {
+	// Hot rank 0, lukewarm rank 1, cold ranks 2-3: CR should build a
+	// multi-speed configuration with a moderately loose goal.
+	in := crInput([]float64{120, 20, 0.5, 0.01}, 0.030)
+	plan := Solve(in)
+	if !plan.Feasible {
+		t.Fatal("plan should be feasible")
+	}
+	if plan.Levels[0] <= plan.Levels[3] {
+		t.Errorf("levels %v: hot rank should be faster than cold", plan.Levels)
+	}
+	// Nonincreasing by construction.
+	for i := 1; i < len(plan.Levels); i++ {
+		if plan.Levels[i] > plan.Levels[i-1] {
+			t.Fatalf("levels %v not nonincreasing", plan.Levels)
+		}
+	}
+	// Energy prediction should beat all-full.
+	full := Solve(crInput([]float64{120, 20, 0.5, 0.01}, 0)) // no goal: min energy
+	if plan.PredictedEnergy > 1.001*energyOfAllFull(in) {
+		t.Errorf("plan energy %v should not exceed all-full %v", plan.PredictedEnergy, energyOfAllFull(in))
+	}
+	_ = full
+}
+
+func energyOfAllFull(in CRInput) float64 {
+	spec := in.Spec
+	fullLevel := spec.FullLevel()
+	es, _ := spec.ServiceMoments(fullLevel, in.AvgSize, diskmodel.ExpectedSeekFrac)
+	sum := 0.0
+	for _, load := range in.GroupLoads {
+		rho := load * es
+		sum += (spec.IdlePower[fullLevel]*(1-rho) + spec.ActivePower[fullLevel]*rho) * in.Epoch
+	}
+	return sum
+}
+
+func TestTightGoalFallsBackToFull(t *testing.T) {
+	// Goal below even the full-speed response time: infeasible, expect
+	// all-full fallback flagged infeasible.
+	in := crInput([]float64{50, 50, 50, 50}, 0.0001)
+	plan := Solve(in)
+	if plan.Feasible {
+		t.Fatal("impossibly tight goal must be infeasible")
+	}
+	full := in.Spec.FullLevel()
+	for _, l := range plan.Levels {
+		if l != full {
+			t.Errorf("fallback level %d, want full", l)
+		}
+	}
+	if plan.PredictedEnergy <= 0 {
+		t.Error("fallback must still predict energy")
+	}
+}
+
+func TestNoGoalMinimizesEnergy(t *testing.T) {
+	in := crInput([]float64{10, 5, 1, 0}, 0)
+	plan := Solve(in)
+	if !plan.Feasible {
+		t.Fatal("no goal: always feasible (subject to rho)")
+	}
+	// With no goal, everything that fits under MaxRho should sink to the
+	// lowest level.
+	for i, l := range plan.Levels {
+		es, _ := in.Spec.ServiceMoments(0, in.AvgSize, diskmodel.ExpectedSeekFrac)
+		if in.GroupLoads[i]*es < 0.9 && l != 0 {
+			t.Errorf("group %d at level %d despite fitting at level 0", i, l)
+		}
+	}
+}
+
+func TestRhoCapRespected(t *testing.T) {
+	// Load that fits at full speed but would saturate slow levels: the
+	// plan must never assign a level where rho >= MaxRho.
+	in := crInput([]float64{100, 80, 60, 40}, 0.050)
+	plan := Solve(in)
+	for i, l := range plan.Levels {
+		es, _ := in.Spec.ServiceMoments(l, in.AvgSize, diskmodel.ExpectedSeekFrac)
+		rho := in.GroupLoads[i] * in.PhysFactor * es
+		if rho >= in.MaxRho {
+			t.Errorf("group %d: rho %v at level %d breaches cap", i, rho, l)
+		}
+	}
+}
+
+func TestTransitionCostDiscouragesChurn(t *testing.T) {
+	// Current levels already at a good configuration; a tiny load change
+	// should keep the same levels rather than paying shift energy.
+	in := crInput([]float64{0, 0, 0, 0}, 0.050)
+	in.CurrentLevels = []int{0, 0, 0, 0}
+	plan := Solve(in)
+	for i, l := range plan.Levels {
+		if l != 0 {
+			t.Errorf("group %d moved to %d for no reason", i, l)
+		}
+	}
+}
+
+func TestSingleLevelSpecDegenerates(t *testing.T) {
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	in := CRInput{
+		Spec:          &spec,
+		GroupLoads:    []float64{10, 10},
+		DisksPerGroup: 2,
+		CurrentLevels: []int{0, 0},
+		Epoch:         3600,
+	}
+	plan := Solve(in)
+	if plan.Evaluated != 1 {
+		t.Errorf("single level should evaluate exactly one composition, got %d", plan.Evaluated)
+	}
+	if plan.Levels[0] != 0 || plan.Levels[1] != 0 {
+		t.Errorf("levels = %v", plan.Levels)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	spec := diskmodel.MultiSpeedUltrastar(2, 6000)
+	cases := []CRInput{
+		{Spec: &spec, GroupLoads: nil, CurrentLevels: nil, DisksPerGroup: 1, Epoch: 1},
+		{Spec: &spec, GroupLoads: []float64{1}, CurrentLevels: []int{0, 0}, DisksPerGroup: 1, Epoch: 1},
+		{Spec: &spec, GroupLoads: []float64{1}, CurrentLevels: []int{0}, DisksPerGroup: 0, Epoch: 1},
+		{Spec: &spec, GroupLoads: []float64{1}, CurrentLevels: []int{0}, DisksPerGroup: 1, Epoch: 0},
+	}
+	for i := range cases {
+		in := cases[i]
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d must panic", i)
+				}
+			}()
+			Solve(in)
+		}()
+	}
+}
+
+// Property: the chosen plan is never worse (in predicted energy) than the
+// all-full-speed assignment when both are feasible, and levels are always
+// nonincreasing across ranks.
+func TestPlanDominatesFullProperty(t *testing.T) {
+	f := func(raw [4]uint16, goalRaw uint8) bool {
+		loads := make([]float64, 4)
+		for i, r := range raw {
+			loads[i] = float64(r%2000) / 10 // 0..200 req/s
+		}
+		// Sort descending to mimic the sorted layout.
+		for i := 0; i < len(loads); i++ {
+			for j := i + 1; j < len(loads); j++ {
+				if loads[j] > loads[i] {
+					loads[i], loads[j] = loads[j], loads[i]
+				}
+			}
+		}
+		goal := 0.005 + float64(goalRaw)/255.0*0.1
+		in := crInput(loads, goal)
+		plan := Solve(in)
+		for i := 1; i < len(plan.Levels); i++ {
+			if plan.Levels[i] > plan.Levels[i-1] {
+				return false
+			}
+		}
+		if !plan.Feasible {
+			return true
+		}
+		return plan.PredictedEnergy <= energyOfAllFull(in)*1.0001+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: loosening the goal never increases the minimum energy.
+func TestMonotoneInGoalProperty(t *testing.T) {
+	loads := []float64{90, 40, 10, 1}
+	prev := math.Inf(1)
+	for _, goal := range []float64{0.006, 0.010, 0.020, 0.040, 0.080, 0.2} {
+		plan := Solve(crInput(loads, goal))
+		if !plan.Feasible {
+			continue
+		}
+		if plan.PredictedEnergy > prev*1.0001 {
+			t.Errorf("goal %v: energy %v exceeds tighter goal's %v", goal, plan.PredictedEnergy, prev)
+		}
+		prev = plan.PredictedEnergy
+	}
+	if math.IsInf(prev, 1) {
+		t.Fatal("no goal was feasible; test broken")
+	}
+}
+
+// BenchmarkSolve measures one epoch's composition enumeration at the
+// paper's scale (16 groups x 5 levels: C(20,4) = 4845 evaluations).
+func BenchmarkSolve(b *testing.B) {
+	loads := make([]float64, 16)
+	for i := range loads {
+		loads[i] = 100 / float64(i+1)
+	}
+	in := crInput(loads, 0.020)
+	in.CurrentLevels = make([]int, 16)
+	for i := range in.CurrentLevels {
+		in.CurrentLevels[i] = in.Spec.FullLevel()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(in)
+	}
+}

@@ -1,0 +1,216 @@
+package hibernator
+
+import (
+	"math"
+
+	"hibernator/internal/array"
+	"hibernator/internal/heat"
+)
+
+// MigrationMode selects how the layout manager moves data (the F8
+// ablation).
+type MigrationMode int
+
+// Migration modes. The zero value is the paper's default.
+const (
+	// MigrateBackground moves a budgeted number of extents per epoch as
+	// background I/O — the Hibernator default.
+	MigrateBackground MigrationMode = iota
+	// MigrateEager moves every mismatched extent at once, as foreground
+	// I/O — fast convergence, heavy interference.
+	MigrateEager
+	// MigrateNone disables data movement: speeds still adapt, but hot
+	// data may sit on slow groups.
+	MigrateNone
+)
+
+// String names the mode.
+func (m MigrationMode) String() string {
+	switch m {
+	case MigrateNone:
+		return "none"
+	case MigrateEager:
+		return "eager"
+	case MigrateBackground:
+		return "background"
+	default:
+		return "unknown"
+	}
+}
+
+// Layout maintains the temperature-sorted placement: the hottest extents
+// belong on group-rank 0 (the fastest tier), the coldest on the last.
+type Layout struct {
+	arr     *array.Array
+	tracker *heat.Tracker
+	mode    MigrationMode
+	budget  int // extent moves per Rebalance in background mode
+
+	// levelOf (optional) reports each group's planned speed level; when
+	// set, Rebalance skips moves between equal-speed groups — relocating
+	// data between same-speed tiers costs I/O and buys nothing.
+	levelOf func(group int) int
+
+	// minMoveTemp is the minimum access rate (accesses/second) an extent
+	// must sustain to be worth migrating.
+	minMoveTemp float64
+
+	moves uint64
+	swaps uint64
+}
+
+// SetLevelOf installs the group-speed oracle used to prune useless moves.
+func (l *Layout) SetLevelOf(fn func(group int) int) { l.levelOf = fn }
+
+// SetMinMoveTemp sets the minimum access rate that justifies a migration
+// (typically ~20 accesses per epoch).
+func (l *Layout) SetMinMoveTemp(v float64) { l.minMoveTemp = v }
+
+// NewLayout builds a layout manager over the array and tracker.
+func NewLayout(arr *array.Array, tracker *heat.Tracker, mode MigrationMode, budget int) *Layout {
+	if budget <= 0 {
+		budget = 256
+	}
+	return &Layout{arr: arr, tracker: tracker, mode: mode, budget: budget}
+}
+
+// Moves returns how many extent moves and swaps this manager has issued.
+func (l *Layout) Moves() (moves, swaps uint64) { return l.moves, l.swaps }
+
+// TargetGroup returns the group-rank an extent should occupy under the
+// sorted layout: ranked position divided by per-group capacity.
+func (l *Layout) targetOf(ranked []int) []int {
+	targets := make([]int, l.arr.NumExtents())
+	groups := l.arr.Groups()
+	gi, filled := 0, 0
+	capOf := func(g int) int { total, _ := groups[g].Slots(); return total }
+	for _, e := range ranked {
+		for filled >= capOf(gi) {
+			gi++
+			filled = 0
+		}
+		targets[e] = gi
+		filled++
+	}
+	return targets
+}
+
+// Rebalance moves mismatched extents toward their target groups,
+// hottest-first, within the mode's budget. It returns the number of
+// extents scheduled to move.
+func (l *Layout) Rebalance() int {
+	if l.mode == MigrateNone {
+		return 0
+	}
+	// A uniform plan (every group at one speed) makes placement moot:
+	// moving data would cost I/O and buy nothing, and the tail-drain
+	// exception below only prepares descents that a uniform plan is not
+	// going to make.
+	if l.levelOf != nil {
+		uniform := true
+		first := l.levelOf(0)
+		for g := 1; g < len(l.arr.Groups()); g++ {
+			if l.levelOf(g) != first {
+				uniform = false
+				break
+			}
+		}
+		if uniform {
+			return 0
+		}
+	}
+	ranked := l.tracker.Ranked()
+	targets := l.targetOf(ranked)
+	budget := l.budget
+	background := true
+	if l.mode == MigrateEager {
+		budget = math.MaxInt
+		background = false
+	}
+	scheduled := 0
+	// Skip the cold tail: moving an extent costs two extent-sized
+	// transfers, so a migration must pay for itself within an epoch —
+	// otherwise the tail's one-hit wonders and boundary jitter churn the
+	// budget forever. minMoveTemp (set by the controller from the epoch
+	// length) demands a minimum access rate; the relative floor demands a
+	// non-trivial share of total load.
+	minTemp := math.Max(l.minMoveTemp, l.tracker.Total()*1e-4)
+	for _, e := range ranked {
+		if budget <= 0 {
+			break
+		}
+		if l.tracker.Temp(e) < minTemp {
+			// Ranked order: everything after is colder still.
+			break
+		}
+		cur := l.arr.ExtentLocation(e).Group
+		want := targets[e]
+		if cur == want || l.arr.Migrating(e) {
+			continue
+		}
+		if l.levelOf != nil && l.levelOf(cur) == l.levelOf(want) {
+			// Moving between equal-speed groups usually buys nothing —
+			// except draining the last-rank group, which is what lets CR
+			// slow it down next epoch. Allow that one case.
+			lastRank := len(l.arr.Groups()) - 1
+			if cur != lastRank && want != lastRank {
+				continue
+			}
+		}
+		if err := l.arr.MigrateExtent(e, want, background, nil); err == nil {
+			l.moves++
+			scheduled++
+			budget--
+			continue
+		}
+		// Target full: swap with the coldest extent misplaced there.
+		victim := l.coldestMisplacedIn(want, targets)
+		if victim < 0 || l.arr.Migrating(victim) {
+			continue
+		}
+		if err := l.arr.SwapExtents(e, victim, background, nil); err == nil {
+			l.swaps++
+			scheduled += 2
+			budget -= 2
+		}
+	}
+	return scheduled
+}
+
+// coldestMisplacedIn finds the coldest extent in group g whose target is
+// another group (so the swap helps both), or any coldest if none is
+// misplaced.
+func (l *Layout) coldestMisplacedIn(g int, targets []int) int {
+	best, bestAny := -1, -1
+	bestTemp, bestAnyTemp := math.Inf(1), math.Inf(1)
+	for e := 0; e < l.arr.NumExtents(); e++ {
+		if l.arr.ExtentLocation(e).Group != g || l.arr.Migrating(e) {
+			continue
+		}
+		t := l.tracker.Temp(e)
+		if t < bestAnyTemp {
+			bestAny, bestAnyTemp = e, t
+		}
+		if targets[e] != g && t < bestTemp {
+			best, bestTemp = e, t
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	return bestAny
+}
+
+// Misplaced counts extents whose current group differs from the sorted
+// target (instrumentation for tests and the F8 ablation).
+func (l *Layout) Misplaced() int {
+	ranked := l.tracker.Ranked()
+	targets := l.targetOf(ranked)
+	n := 0
+	for e := 0; e < l.arr.NumExtents(); e++ {
+		if l.tracker.Temp(e) > 0 && l.arr.ExtentLocation(e).Group != targets[e] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,83 @@
+package hibernator
+
+import "hibernator/internal/sim"
+
+// meter samples the per-epoch workload measurements CR's model needs:
+// logical→physical amplification, mean physical request size, positioning
+// time, sequentiality, and the cache-miss fraction that translates the
+// array-level goal into the disk-level budget. Both the online Controller
+// and the clairvoyant Oracle meter the same way — clairvoyance covers
+// future loads, not hardware calibration.
+type meter struct {
+	physInit   float64
+	prevLogIO  uint64
+	prevPhysIO uint64
+	prevArrIO  uint64
+	prevReqs   uint64
+}
+
+// metrics is one epoch's sample.
+type metrics struct {
+	physFactor   float64
+	avgSize      int64
+	seekOverhead float64
+	seqFrac      float64
+	// effGoal is the disk-level response budget implied by the array
+	// goal and the measured miss fraction (equal to goal when unknown).
+	effGoal float64
+}
+
+// sample reads the array's counters, diffs them against the previous
+// sample and returns this epoch's metrics.
+func (m *meter) sample(env *sim.Env) metrics {
+	out := metrics{physFactor: m.physInit, avgSize: 8192, effGoal: env.Goal()}
+	var logIO uint64
+	for e := 0; e < env.Array.NumExtents(); e++ {
+		logIO += env.Array.ExtentAccesses(e)
+	}
+	physIO := env.Array.FanoutIOs()
+	var sizeSum, sizeCnt, posSum, posCnt, seqCnt float64
+	for _, g := range env.Array.Groups() {
+		for _, d := range g.Disks() {
+			sizeSum += d.SizeMoments().Sum()
+			sizeCnt += float64(d.SizeMoments().Count())
+			posSum += d.PositionMoments().Sum()
+			posCnt += float64(d.PositionMoments().Count())
+			seqCnt += float64(d.SequentialForeground())
+		}
+	}
+	if dLog := logIO - m.prevLogIO; dLog > 0 {
+		if pf := float64(physIO-m.prevPhysIO) / float64(dLog); pf > 0 {
+			out.physFactor = pf
+		}
+	}
+	m.prevLogIO, m.prevPhysIO = logIO, physIO
+	if sizeCnt > 0 {
+		out.avgSize = int64(sizeSum / sizeCnt)
+	}
+	if posCnt > 0 {
+		out.seekOverhead = posSum / posCnt
+		out.seqFrac = seqCnt / posCnt
+	}
+	// The goal constrains the *array-level* mean response time, but the
+	// controller cache absorbs a fraction of requests at near-zero
+	// latency; the disks only have to keep the remainder fast:
+	//   goal = miss*R_disk + (1-miss)*cacheLat  =>  allowed R_disk.
+	if out.effGoal > 0 {
+		arrIO := env.Array.Completed()
+		reqs := env.RespCum.Count()
+		if dReqs := reqs - m.prevReqs; dReqs > 0 {
+			missFrac := float64(arrIO-m.prevArrIO) / float64(dReqs)
+			if missFrac > 1 {
+				missFrac = 1
+			}
+			if missFrac > 0.01 {
+				if adj := (out.effGoal - (1-missFrac)*sim.CacheHitLatency) / missFrac; adj > out.effGoal {
+					out.effGoal = adj
+				}
+			}
+		}
+		m.prevArrIO, m.prevReqs = arrIO, reqs
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package hibernator
+
+import (
+	"sort"
+
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+// Oracle is the clairvoyant upper bound on epoch-based speed setting: it
+// receives the entire request stream in advance, computes each epoch's
+// per-extent load exactly (no estimation, no decay), assumes data is
+// always perfectly sorted onto tiers (no migration cost or interference),
+// and feeds those future loads to the same CR optimizer Hibernator uses.
+//
+// It is unrealizable — no online policy knows the future — but it bounds
+// how much energy any epoch-granularity policy with the same goal could
+// save, which calibrates how much of the headroom Hibernator's estimation
+// and migration machinery actually captures (experiment X4).
+type Oracle struct {
+	opts Options
+	reqs []trace.Request
+
+	env      *sim.Env
+	pos      int // index of the first request at or after the next epoch
+	lastPlan CRPlan
+	epochs   uint64
+	meter    meter
+}
+
+// NewOracle builds the clairvoyant policy over a fully materialized trace
+// (which must be time-ordered, as all trace.Sources are).
+func NewOracle(reqs []trace.Request, opts Options) *Oracle {
+	o := &Oracle{opts: opts, reqs: reqs}
+	o.opts.applyDefaults()
+	return o
+}
+
+// Name implements sim.Controller.
+func (o *Oracle) Name() string { return "Oracle" }
+
+// Epochs returns how many epoch boundaries have been processed.
+func (o *Oracle) Epochs() uint64 { return o.epochs }
+
+// Plan returns the most recent decision.
+func (o *Oracle) Plan() CRPlan { return o.lastPlan }
+
+// Init implements sim.Controller. The oracle plans epoch [0, E) before any
+// request arrives — it knows the future, so there is no warm-up epoch at
+// full speed.
+func (o *Oracle) Init(env *sim.Env) {
+	o.env = env
+	o.meter = meter{physInit: o.opts.PhysFactorInit}
+	o.planEpoch(0)
+	var tick func(start float64)
+	tick = func(start float64) {
+		env.Engine.At(start, func() {
+			o.planEpoch(start)
+			tick(start + o.opts.Epoch)
+		})
+	}
+	tick(o.opts.Epoch)
+}
+
+// planEpoch sets levels for the epoch starting at `start` using its exact
+// future loads.
+func (o *Oracle) planEpoch(start float64) {
+	env := o.env
+	o.epochs++
+	end := start + o.opts.Epoch
+	eb := env.Array.ExtentBytes()
+	temp := make([]float64, env.Array.NumExtents())
+	for ; o.pos < len(o.reqs) && o.reqs[o.pos].Time < end; o.pos++ {
+		r := o.reqs[o.pos]
+		if e := int(r.Off / eb); e < len(temp) {
+			temp[e] += 1 / o.opts.Epoch
+		}
+	}
+	// Rank extents by this epoch's exact load, hottest first.
+	ranked := make([]int, len(temp))
+	for i := range ranked {
+		ranked[i] = i
+	}
+	sort.SliceStable(ranked, func(a, b int) bool { return temp[ranked[a]] > temp[ranked[b]] })
+
+	// Teleport the layout into the perfect sort: clairvoyance plus free,
+	// instant migration — the upper bound on what any layout policy with
+	// the same epochs could achieve. Swaps are resolved rank by rank.
+	groups := env.Array.Groups()
+	loads := make([]float64, len(groups))
+	gi, filled := 0, 0
+	capOf := func(g int) int { total, _ := groups[g].Slots(); return total }
+	// slotOccupant[g] lists extents currently in group g.
+	occupants := make([][]int, len(groups))
+	for e := 0; e < env.Array.NumExtents(); e++ {
+		g := env.Array.ExtentLocation(e).Group
+		occupants[g] = append(occupants[g], e)
+	}
+	taken := make([]bool, env.Array.NumExtents())
+	for _, e := range ranked {
+		for filled >= capOf(gi) {
+			gi++
+			filled = 0
+		}
+		want := gi
+		loads[gi] += temp[e]
+		filled++
+		cur := env.Array.ExtentLocation(e).Group
+		taken[e] = true
+		if cur == want || temp[e] == 0 {
+			continue
+		}
+		// Swap with any not-yet-finalized occupant of the target group.
+		swapped := false
+		for len(occupants[want]) > 0 {
+			victim := occupants[want][len(occupants[want])-1]
+			occupants[want] = occupants[want][:len(occupants[want])-1]
+			if taken[victim] || env.Array.ExtentLocation(victim).Group != want {
+				continue
+			}
+			if err := env.Array.TeleportSwap(e, victim); err == nil {
+				occupants[cur] = append(occupants[cur], victim)
+				swapped = true
+			}
+			break
+		}
+		_ = swapped
+	}
+	current := make([]int, len(groups))
+	for i, g := range groups {
+		current[i] = g.TargetLevel()
+	}
+	// Clairvoyance covers loads; hardware calibration and the cache-miss
+	// goal translation are metered exactly like the online controller.
+	m := o.meter.sample(env)
+	o.lastPlan = Solve(CRInput{
+		Spec:          &env.Cfg.Spec,
+		GroupLoads:    loads,
+		DisksPerGroup: len(groups[0].Disks()),
+		CurrentLevels: current,
+		PhysFactor:    m.physFactor,
+		AvgSize:       m.avgSize,
+		SeekOverhead:  m.seekOverhead,
+		SeqFraction:   m.seqFrac,
+		Goal:          m.effGoal,
+		Margin:        o.opts.Margin,
+		Epoch:         o.opts.Epoch,
+		MaxRho:        o.opts.MaxRho,
+	})
+	for i, g := range groups {
+		g.SpinUp()
+		g.SetLevel(o.lastPlan.Levels[i])
+	}
+}

@@ -1,0 +1,56 @@
+// Package mg1 provides the M/G/1 queueing approximations the Hibernator CR
+// optimizer and the DRPM baseline use to predict per-disk response times
+// from observed load and the disk model's service moments.
+package mg1
+
+import (
+	"fmt"
+	"math"
+)
+
+// Utilization returns rho = lambda * E[S].
+func Utilization(lambda, es float64) float64 {
+	return lambda * es
+}
+
+// ResponseTime returns the mean M/G/1 response time (Pollaczek–Khinchine):
+//
+//	R = E[S] + lambda*E[S^2] / (2*(1-rho))
+//
+// for Poisson arrivals at rate lambda and service moments es = E[S],
+// es2 = E[S^2]. It returns +Inf when the queue is unstable (rho >= 1).
+func ResponseTime(lambda, es, es2 float64) float64 {
+	if lambda < 0 || es < 0 || es2 < 0 {
+		panic(fmt.Sprintf("mg1: negative inputs lambda=%v es=%v es2=%v", lambda, es, es2))
+	}
+	if lambda == 0 {
+		return es
+	}
+	rho := Utilization(lambda, es)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return es + lambda*es2/(2*(1-rho))
+}
+
+// WaitTime returns only the queueing delay component.
+func WaitTime(lambda, es, es2 float64) float64 {
+	r := ResponseTime(lambda, es, es2)
+	if math.IsInf(r, 1) {
+		return r
+	}
+	return r - es
+}
+
+// MaxStableLambda returns the largest arrival rate that keeps utilization
+// at or below the given target (e.g. 0.85 for headroom), for mean service
+// time es.
+func MaxStableLambda(es, targetRho float64) float64 {
+	if es <= 0 {
+		return math.Inf(1)
+	}
+	if targetRho <= 0 || targetRho >= 1 {
+		panic(fmt.Sprintf("mg1: target utilization %v outside (0,1)", targetRho))
+	}
+	return targetRho / es
+}

@@ -1,0 +1,168 @@
+package mg1
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/simevent"
+)
+
+func TestZeroLambdaIsPureService(t *testing.T) {
+	if got := ResponseTime(0, 0.005, 5e-5); got != 0.005 {
+		t.Errorf("R(0) = %v, want E[S]", got)
+	}
+}
+
+func TestUnstableQueueIsInfinite(t *testing.T) {
+	if got := ResponseTime(300, 0.005, 5e-5); !math.IsInf(got, 1) {
+		t.Errorf("rho=1.5 should yield +Inf, got %v", got)
+	}
+	if got := ResponseTime(200, 0.005, 5e-5); !math.IsInf(got, 1) {
+		t.Errorf("rho=1 should yield +Inf, got %v", got)
+	}
+}
+
+func TestMM1ClosedForm(t *testing.T) {
+	// For exponential service, E[S^2] = 2*E[S]^2 and R = 1/(mu - lambda).
+	mu := 200.0
+	es := 1 / mu
+	es2 := 2 * es * es
+	for _, lambda := range []float64{10, 100, 150, 190} {
+		want := 1 / (mu - lambda)
+		got := ResponseTime(lambda, es, es2)
+		if math.Abs(got-want)/want > 1e-12 {
+			t.Errorf("lambda=%v: R=%v, want %v", lambda, got, want)
+		}
+	}
+}
+
+func TestWaitTime(t *testing.T) {
+	es, es2 := 0.005, 5e-5
+	r := ResponseTime(100, es, es2)
+	w := WaitTime(100, es, es2)
+	if math.Abs(r-w-es) > 1e-15 {
+		t.Errorf("R - W = %v, want E[S]", r-w)
+	}
+}
+
+func TestMaxStableLambda(t *testing.T) {
+	if got := MaxStableLambda(0.01, 0.8); math.Abs(got-80) > 1e-12 {
+		t.Errorf("MaxStableLambda = %v, want 80", got)
+	}
+	if !math.IsInf(MaxStableLambda(0, 0.5), 1) {
+		t.Error("zero service time should allow infinite rate")
+	}
+}
+
+// Property: response time is monotone increasing in lambda below
+// saturation.
+func TestMonotoneInLambda(t *testing.T) {
+	es, es2 := 0.004, 3e-5
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		limit := 0.99 / es
+		a, b = math.Mod(a, limit), math.Mod(b, limit)
+		if a > b {
+			a, b = b, a
+		}
+		return ResponseTime(a, es, es2) <= ResponseTime(b, es, es2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Cross-check the analytic model against the discrete-event disk: drive a
+// single disk with Poisson arrivals of uniform-random LBAs and compare the
+// simulated mean response time with the M/G/1 prediction fed by the spec's
+// service moments. They should agree within ~20% (the disk's seek
+// correlation and non-Poisson completion structure cause small drift).
+func TestModelMatchesSimulatedDisk(t *testing.T) {
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	d := diskmodel.New(e, &spec, diskmodel.Config{Seed: 5})
+
+	const lambda = 60.0 // req/s, moderate load
+	const size = 8192
+	rng := simRand(17)
+	var sumResp float64
+	var n int
+	tArr := 0.0
+	for i := 0; i < 20000; i++ {
+		tArr += rng.exp() / lambda
+		lba := rng.int63n(spec.CapacityBytes - size)
+		at := tArr
+		e.At(at, func() {
+			d.Submit(&diskmodel.Request{LBA: lba, Size: size, Done: func(_ *diskmodel.Request, done float64) {
+				sumResp += done - at
+				n++
+			}})
+		})
+	}
+	e.RunAll()
+	simMean := sumResp / float64(n)
+
+	es, es2 := spec.ServiceMoments(spec.FullLevel(), size, diskmodel.ExpectedSeekFrac)
+	pred := ResponseTime(lambda, es, es2)
+	if rel := math.Abs(simMean-pred) / pred; rel > 0.2 {
+		t.Errorf("simulated mean %v vs predicted %v (rel err %.2f)", simMean, pred, rel)
+	}
+}
+
+// Minimal deterministic PRNG for the cross-check (avoids importing
+// math/rand twice with different purposes).
+type xorshift struct{ s uint64 }
+
+func simRand(seed uint64) *xorshift { return &xorshift{s: seed} }
+
+func (x *xorshift) next() uint64 {
+	x.s ^= x.s << 13
+	x.s ^= x.s >> 7
+	x.s ^= x.s << 17
+	return x.s
+}
+
+func (x *xorshift) float64() float64 {
+	return float64(x.next()>>11) / float64(1<<53)
+}
+
+func (x *xorshift) exp() float64 {
+	u := x.float64()
+	for u == 0 {
+		u = x.float64()
+	}
+	return -math.Log(u)
+}
+
+func (x *xorshift) int63n(n int64) int64 {
+	return int64(x.next() % uint64(n))
+}
+
+func TestNegativeInputsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative lambda must panic")
+		}
+	}()
+	ResponseTime(-1, 0.01, 1e-4)
+}
+
+func TestWaitTimeInfinite(t *testing.T) {
+	if !math.IsInf(WaitTime(1000, 0.01, 1e-4), 1) {
+		t.Fatal("unstable wait time should be +Inf")
+	}
+}
+
+func TestMaxStableLambdaValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("target rho >= 1 must panic")
+		}
+	}()
+	MaxStableLambda(0.01, 1.0)
+}

@@ -1,0 +1,30 @@
+// Package policy implements the baseline disk-array energy-management
+// schemes Hibernator is evaluated against:
+//
+//   - Base: no power management (full speed, always on)
+//   - TPM:  traditional power management — spin down after a fixed idle
+//     threshold, spin up on demand
+//   - DRPM: fine-grained per-group speed control driven by short-window
+//     load observation (Gurumurthi et al., ISCA'03 style)
+//   - PDC:  Popular Data Concentration — migrate hot data onto a few
+//     disks, spin the rest down (Pinheiro & Bianchini, ICS'04 style)
+//   - MAID: cache disks absorb the active set; data disks spin down
+//     (Colarelli & Grunwald, SC'02 style)
+//
+// All policies act through the sim.Env control surface and the array's
+// group API, never on disk internals, keeping the comparison fair.
+package policy
+
+import "hibernator/internal/sim"
+
+// Base performs no power management: every disk idles at full speed.
+type Base struct{}
+
+// NewBase returns the no-power-management baseline.
+func NewBase() *Base { return &Base{} }
+
+// Name implements sim.Controller.
+func (*Base) Name() string { return "Base" }
+
+// Init implements sim.Controller. Base does nothing.
+func (*Base) Init(*sim.Env) {}

@@ -1,0 +1,97 @@
+package policy
+
+import (
+	"hibernator/internal/array"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+)
+
+// DRPM is fine-grained dynamic RPM control in the style of Gurumurthi et
+// al.: every short window each group's utilization is examined; lightly
+// loaded groups step one speed level down, loaded groups step up, and a
+// response-time tripwire yanks everything to full speed. The frequent
+// transitions are exactly what Hibernator's coarse epochs argue against.
+type DRPM struct {
+	// Window between adjustments (default 2 s).
+	Window float64
+	// StepDownUtil / StepUpUtil bound the per-group utilization band
+	// (defaults 0.15 and 0.45). Utilization is busy-time fraction of the
+	// window at the current level.
+	StepDownUtil float64
+	StepUpUtil   float64
+	// TripFactor: if the array's windowed mean response time exceeds
+	// TripFactor*goal, all groups go to full speed (default 1.0; ignored
+	// when no goal is configured).
+	TripFactor float64
+
+	env      *sim.Env
+	prevBusy []float64
+}
+
+// NewDRPM returns a DRPM policy with default tuning.
+func NewDRPM() *DRPM { return &DRPM{} }
+
+// Name implements sim.Controller.
+func (*DRPM) Name() string { return "DRPM" }
+
+// Init implements sim.Controller.
+func (d *DRPM) Init(env *sim.Env) {
+	d.env = env
+	if d.Window == 0 {
+		d.Window = 2.0
+	}
+	if d.StepDownUtil == 0 {
+		d.StepDownUtil = 0.15
+	}
+	if d.StepUpUtil == 0 {
+		d.StepUpUtil = 0.45
+	}
+	if d.TripFactor == 0 {
+		d.TripFactor = 1.0
+	}
+	groups := env.Array.Groups()
+	d.prevBusy = make([]float64, len(groups))
+	simevent.NewTicker(env.Engine, d.Window, func(now float64) { d.adjust(now) })
+}
+
+func (d *DRPM) adjust(now float64) {
+	env := d.env
+	full := env.Cfg.Spec.FullLevel()
+	// Response-time tripwire.
+	if goal := env.Goal(); goal > 0 {
+		if mean, n := env.RespWindow.Mean(now); n > 0 && mean > d.TripFactor*goal {
+			for _, g := range env.Array.Groups() {
+				g.SetLevel(full)
+			}
+			d.snapshotBusy()
+			return
+		}
+	}
+	for gi, g := range env.Array.Groups() {
+		busy := groupBusyTime(g)
+		util := (busy - d.prevBusy[gi]) / (d.Window * float64(len(g.Disks())))
+		d.prevBusy[gi] = busy
+		level := g.TargetLevel()
+		switch {
+		case util > d.StepUpUtil && level < full:
+			g.SetLevel(level + 1)
+		case util < d.StepDownUtil && level > 0:
+			g.SetLevel(level - 1)
+		}
+	}
+}
+
+func (d *DRPM) snapshotBusy() {
+	for gi, g := range d.env.Array.Groups() {
+		d.prevBusy[gi] = groupBusyTime(g)
+	}
+}
+
+// groupBusyTime sums cumulative busy seconds across a group's disks.
+func groupBusyTime(g *array.Group) float64 {
+	sum := 0.0
+	for _, d := range g.Disks() {
+		sum += d.BusyTime()
+	}
+	return sum
+}

@@ -1,0 +1,279 @@
+package policy
+
+import (
+	"container/list"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+	"hibernator/internal/trace"
+)
+
+// MAID (Massive Array of Idle Disks) routes the active working set through
+// a small set of always-on cache disks (the array's spare disks) so the
+// data disks can spin down. Reads that hit a cached chunk are served from
+// cache disks; misses go to the array and trigger a background copy-in.
+// Writes land on the cache disks (write-back) and destage in the
+// background. Data-disk groups spin down after an idle threshold.
+//
+// The array must be configured with SpareDisks > 0.
+type MAID struct {
+	// ChunkBytes is the cache-disk allocation unit (default 1 MiB).
+	ChunkBytes int64
+	// IdleThreshold for data-disk spin-down (0 = break-even time).
+	IdleThreshold float64
+	// DestagePeriod / DestageMax drive write-back draining (defaults 5 s,
+	// 8 chunks per tick).
+	DestagePeriod float64
+	DestageMax    int
+
+	env    *sim.Env
+	spares []*diskmodel.Disk
+	slots  int64 // per spare disk
+
+	lru        *list.List // front = most recent; values are chunk ids
+	entries    map[int64]*list.Element
+	where      map[int64]slotRef
+	dirty      map[int64]bool
+	dirtyOrder *list.List
+	dirtyElem  map[int64]*list.Element
+	free       []slotRef
+
+	hits, misses uint64
+}
+
+type slotRef struct {
+	spare int
+	slot  int64
+}
+
+// NewMAID returns a MAID policy with default tuning.
+func NewMAID() *MAID { return &MAID{} }
+
+// Name implements sim.Controller.
+func (*MAID) Name() string { return "MAID" }
+
+// Init implements sim.Controller.
+func (m *MAID) Init(env *sim.Env) {
+	m.env = env
+	m.spares = env.Array.Spares()
+	if len(m.spares) == 0 {
+		panic("policy: MAID requires SpareDisks > 0 in the array config")
+	}
+	if m.ChunkBytes == 0 {
+		m.ChunkBytes = 1 << 20
+	}
+	if m.IdleThreshold == 0 {
+		m.IdleThreshold = BreakEvenTime(&env.Cfg.Spec)
+	}
+	if m.DestagePeriod == 0 {
+		m.DestagePeriod = 5
+	}
+	if m.DestageMax == 0 {
+		m.DestageMax = 8
+	}
+	m.slots = env.Cfg.Spec.CapacityBytes / m.ChunkBytes
+	m.lru = list.New()
+	m.entries = map[int64]*list.Element{}
+	m.where = map[int64]slotRef{}
+	m.dirty = map[int64]bool{}
+	m.dirtyOrder = list.New()
+	m.dirtyElem = map[int64]*list.Element{}
+	for si := range m.spares {
+		for s := int64(0); s < m.slots; s++ {
+			m.free = append(m.free, slotRef{spare: si, slot: s})
+		}
+	}
+	simevent.NewTicker(env.Engine, 1.0, func(float64) {
+		for _, g := range env.Array.Groups() {
+			if g.IdleFor() >= m.IdleThreshold {
+				g.Standby()
+			}
+		}
+	})
+	simevent.NewTicker(env.Engine, m.DestagePeriod, func(float64) { m.destage() })
+}
+
+// CacheStats returns chunk-level hit/miss counters.
+func (m *MAID) CacheStats() (hits, misses uint64) { return m.hits, m.misses }
+
+// Route implements sim.Router.
+func (m *MAID) Route(r trace.Request, finish func()) bool {
+	c0 := r.Off / m.ChunkBytes
+	c1 := (r.Off + r.Size - 1) / m.ChunkBytes
+	if r.Write {
+		// Absorb the write on cache disks.
+		remaining := 0
+		type span struct {
+			ref       slotRef
+			off, size int64
+		}
+		var spans []span
+		for c := c0; c <= c1; c++ {
+			ref := m.ensure(c)
+			m.markDirty(c)
+			lo, hi := m.overlap(r, c)
+			spans = append(spans, span{ref, ref.slot*m.ChunkBytes + lo, hi - lo})
+			remaining++
+		}
+		for _, sp := range spans {
+			m.spares[sp.ref.spare].Submit(&diskmodel.Request{
+				LBA: sp.off, Size: sp.size, Write: true,
+				Done: func(_ *diskmodel.Request, _ float64) {
+					remaining--
+					if remaining == 0 {
+						finish()
+					}
+				},
+			})
+		}
+		return true
+	}
+	// Read: serve only if every chunk is cached.
+	for c := c0; c <= c1; c++ {
+		if _, ok := m.entries[c]; !ok {
+			m.misses++
+			m.copyInLater(c0, c1)
+			return false
+		}
+	}
+	m.hits++
+	remaining := 0
+	type span struct {
+		ref       slotRef
+		off, size int64
+	}
+	var spans []span
+	for c := c0; c <= c1; c++ {
+		el := m.entries[c]
+		m.lru.MoveToFront(el)
+		ref := m.where[c]
+		lo, hi := m.overlap(r, c)
+		spans = append(spans, span{ref, ref.slot*m.ChunkBytes + lo, hi - lo})
+		remaining++
+	}
+	for _, sp := range spans {
+		m.spares[sp.ref.spare].Submit(&diskmodel.Request{
+			LBA: sp.off, Size: sp.size,
+			Done: func(_ *diskmodel.Request, _ float64) {
+				remaining--
+				if remaining == 0 {
+					finish()
+				}
+			},
+		})
+	}
+	return true
+}
+
+// overlap returns the byte range of r within chunk c, chunk-relative.
+func (m *MAID) overlap(r trace.Request, c int64) (lo, hi int64) {
+	base := c * m.ChunkBytes
+	lo, hi = r.Off-base, r.Off+r.Size-base
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > m.ChunkBytes {
+		hi = m.ChunkBytes
+	}
+	return lo, hi
+}
+
+// copyInLater installs missing chunks and writes them to cache disks in
+// the background (the foreground array read brings the data into
+// controller memory; only the cache-disk write costs extra I/O).
+func (m *MAID) copyInLater(c0, c1 int64) {
+	for c := c0; c <= c1; c++ {
+		if _, ok := m.entries[c]; ok {
+			continue
+		}
+		ref := m.ensure(c)
+		m.spares[ref.spare].Submit(&diskmodel.Request{
+			LBA: ref.slot * m.ChunkBytes, Size: m.ChunkBytes, Write: true, Background: true,
+			Done: func(_ *diskmodel.Request, _ float64) {},
+		})
+	}
+}
+
+// ensure returns the chunk's slot, inserting (and evicting) as needed.
+func (m *MAID) ensure(c int64) slotRef {
+	if el, ok := m.entries[c]; ok {
+		m.lru.MoveToFront(el)
+		return m.where[c]
+	}
+	var ref slotRef
+	if len(m.free) > 0 {
+		ref = m.free[len(m.free)-1]
+		m.free = m.free[:len(m.free)-1]
+	} else {
+		back := m.lru.Back()
+		if back == nil {
+			panic("policy: MAID cache has zero slots")
+		}
+		victim := back.Value.(int64)
+		m.lru.Remove(back)
+		delete(m.entries, victim)
+		ref = m.where[victim]
+		delete(m.where, victim)
+		if m.dirty[victim] {
+			m.writeBack(victim, ref)
+			m.unmarkDirty(victim)
+		}
+	}
+	m.entries[c] = m.lru.PushFront(c)
+	m.where[c] = ref
+	return ref
+}
+
+func (m *MAID) markDirty(c int64) {
+	if m.dirty[c] {
+		return
+	}
+	m.dirty[c] = true
+	m.dirtyElem[c] = m.dirtyOrder.PushBack(c)
+}
+
+func (m *MAID) unmarkDirty(c int64) {
+	if el, ok := m.dirtyElem[c]; ok {
+		m.dirtyOrder.Remove(el)
+		delete(m.dirtyElem, c)
+	}
+	delete(m.dirty, c)
+}
+
+// writeBack stages a dirty chunk to the array: background read from the
+// cache disk, then background write to the data disks.
+func (m *MAID) writeBack(c int64, ref slotRef) {
+	arrOff := c * m.ChunkBytes
+	limit := m.env.Array.LogicalBytes()
+	if arrOff >= limit {
+		return
+	}
+	size := m.ChunkBytes
+	if arrOff+size > limit {
+		size = limit - arrOff
+	}
+	m.spares[ref.spare].Submit(&diskmodel.Request{
+		LBA: ref.slot * m.ChunkBytes, Size: size, Background: true,
+		Done: func(_ *diskmodel.Request, _ float64) {
+			m.env.Array.SubmitBackground(arrOff, size, true, nil)
+		},
+	})
+}
+
+func (m *MAID) destage() {
+	for i := 0; i < m.DestageMax; i++ {
+		front := m.dirtyOrder.Front()
+		if front == nil {
+			return
+		}
+		c := front.Value.(int64)
+		ref, ok := m.where[c]
+		if !ok {
+			m.unmarkDirty(c)
+			continue
+		}
+		m.writeBack(c, ref)
+		m.unmarkDirty(c)
+	}
+}

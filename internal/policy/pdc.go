@@ -1,0 +1,185 @@
+package policy
+
+import (
+	"math"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/heat"
+	"hibernator/internal/mg1"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+)
+
+// PDC is Popular Data Concentration: every epoch it ranks extents by
+// temperature and concentrates the hottest data onto the fewest groups
+// that can carry the load; the remaining groups spin down via an idle
+// threshold. The known weakness — which the Hibernator paper exploits —
+// is performance: the concentrated disks run hot, and popularity shifts
+// force bulk migrations.
+type PDC struct {
+	// Epoch between re-concentrations (default 1800 s).
+	Epoch float64
+	// TargetUtil is the per-disk utilization ceiling when sizing the hot
+	// group set (default 0.6).
+	TargetUtil float64
+	// MigrationBudget caps extent moves per epoch (default 128).
+	MigrationBudget int
+	// IdleThreshold for spinning down cold groups (0 = break-even).
+	IdleThreshold float64
+	// Alpha is the temperature decay weight (default 0.5).
+	Alpha float64
+
+	env     *sim.Env
+	tracker *heat.Tracker
+	hot     int // groups currently designated hot
+}
+
+// NewPDC returns a PDC policy with default tuning.
+func NewPDC() *PDC { return &PDC{} }
+
+// Name implements sim.Controller.
+func (*PDC) Name() string { return "PDC" }
+
+// Init implements sim.Controller.
+func (p *PDC) Init(env *sim.Env) {
+	p.env = env
+	if p.Epoch == 0 {
+		p.Epoch = 1800
+	}
+	if p.TargetUtil == 0 {
+		p.TargetUtil = 0.6
+	}
+	if p.MigrationBudget == 0 {
+		p.MigrationBudget = 128
+	}
+	if p.IdleThreshold == 0 {
+		p.IdleThreshold = BreakEvenTime(&env.Cfg.Spec)
+	}
+	if p.Alpha == 0 {
+		p.Alpha = 0.5
+	}
+	p.tracker = heat.NewTracker(env.Array, p.Alpha)
+	p.hot = len(env.Array.Groups())
+	simevent.NewTicker(env.Engine, p.Epoch, func(float64) { p.reconcentrate() })
+	simevent.NewTicker(env.Engine, 1.0, func(float64) { p.spinDownCold() })
+}
+
+// HotGroups returns how many groups currently hold the popular data.
+func (p *PDC) HotGroups() int { return p.hot }
+
+func (p *PDC) reconcentrate() {
+	env := p.env
+	p.tracker.Update(p.Epoch)
+	groups := env.Array.Groups()
+	spec := &env.Cfg.Spec
+
+	// Size the hot set: smallest k whose disks keep utilization under
+	// TargetUtil at full speed, given the predicted total physical rate.
+	// Each logical access costs ~1 physical I/O (RAID0) or up to 4
+	// (RAID5 small write); use 2 as the blended factor.
+	avgSize := int64(8192)
+	es, _ := spec.ServiceMoments(spec.FullLevel(), avgSize, diskmodel.ExpectedSeekFrac)
+	lambdaTotal := 2 * p.tracker.Total()
+	perDisk := mg1.MaxStableLambda(es, p.TargetUtil)
+	disksNeeded := 1
+	if perDisk > 0 && !math.IsInf(perDisk, 1) {
+		disksNeeded = int(math.Ceil(lambdaTotal / perDisk))
+	}
+	groupSize := len(groups[0].Disks())
+	k := (disksNeeded + groupSize - 1) / groupSize
+	if k < 1 {
+		k = 1
+	}
+	if k > len(groups) {
+		k = len(groups)
+	}
+	p.hot = k
+
+	// Wake the hot groups so migration is not fighting spin-ups.
+	for gi := 0; gi < k; gi++ {
+		groups[gi].SpinUp()
+	}
+
+	// Move the hottest extents into groups [0,k): walk ranked extents
+	// until the hot groups' slots are spoken for, migrating outsiders in.
+	budget := p.MigrationBudget
+	capacity := 0
+	for gi := 0; gi < k; gi++ {
+		total, _ := groups[gi].Slots()
+		capacity += total
+	}
+	ranked := p.tracker.Ranked()
+	if len(ranked) < capacity {
+		capacity = len(ranked)
+	}
+	// Only data carrying real load is worth a 2x-extent-size transfer.
+	// Demand a sustained access rate (>= ~2 accesses/epoch) so the Zipf
+	// tail's one-hit wonders don't churn the full budget forever — the
+	// migration I/O itself would keep the cold disks awake.
+	minTemp := math.Max(2/p.Epoch, p.tracker.Total()*1e-4)
+	for _, e := range ranked[:capacity] {
+		if budget <= 0 {
+			break
+		}
+		if p.tracker.Temp(e) < minTemp {
+			break // everything after is colder; concentration done
+		}
+		loc := env.Array.ExtentLocation(e)
+		if loc.Group < k || env.Array.Migrating(e) {
+			continue
+		}
+		target := p.pickHotGroup(k)
+		if target < 0 {
+			// Hot groups full: swap with their coldest extent.
+			victim := p.coldestIn(k)
+			if victim < 0 || env.Array.Migrating(victim) {
+				break
+			}
+			if err := env.Array.SwapExtents(e, victim, true, nil); err != nil {
+				break
+			}
+			budget -= 2
+			continue
+		}
+		if err := env.Array.MigrateExtent(e, target, true, nil); err != nil {
+			continue
+		}
+		budget--
+	}
+}
+
+// pickHotGroup returns the hot group with the most free slots, or -1.
+func (p *PDC) pickHotGroup(k int) int {
+	best, bestFree := -1, 0
+	for gi := 0; gi < k; gi++ {
+		if free := p.env.Array.Groups()[gi].FreeSlots(); free > bestFree {
+			best, bestFree = gi, free
+		}
+	}
+	return best
+}
+
+// coldestIn returns the coldest extent currently placed in groups [0,k)
+// that is not already migrating.
+func (p *PDC) coldestIn(k int) int {
+	best := -1
+	bestTemp := math.Inf(1)
+	for e := 0; e < p.env.Array.NumExtents(); e++ {
+		if p.env.Array.ExtentLocation(e).Group >= k || p.env.Array.Migrating(e) {
+			continue
+		}
+		if t := p.tracker.Temp(e); t < bestTemp {
+			best, bestTemp = e, t
+		}
+	}
+	return best
+}
+
+func (p *PDC) spinDownCold() {
+	groups := p.env.Array.Groups()
+	for gi := p.hot; gi < len(groups); gi++ {
+		if groups[gi].IdleFor() >= p.IdleThreshold {
+			groups[gi].Standby()
+		}
+	}
+}

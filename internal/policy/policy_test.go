@@ -1,0 +1,323 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/dist"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+func singleSpeedConfig(seed int64) sim.Config {
+	return sim.Config{
+		Spec:               diskmodel.SingleSpeedUltrastar(),
+		Groups:             4,
+		GroupDisks:         1,
+		Level:              raid.RAID0,
+		ExtentBytes:        64 << 20,
+		Seed:               seed,
+		ExpectedRotLatency: true,
+	}
+}
+
+func multiSpeedConfig(seed int64) sim.Config {
+	cfg := singleSpeedConfig(seed)
+	cfg.Spec = diskmodel.MultiSpeedUltrastar(5, 3000)
+	return cfg
+}
+
+// burstyIdle produces bursts separated by long silences — the workload
+// spin-down policies love.
+func burstyIdle(t *testing.T, seed int64, duration float64) trace.Source {
+	t.Helper()
+	g, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed:        seed,
+		VolumeBytes: 100 << 30,
+		Duration:    duration,
+		Rate: dist.StepRate(
+			[]float64{60, 0, 60, 0, 60, 0},
+			[]float64{100, 400, 500, 800, 900},
+		),
+		MaxRate: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func steady(t *testing.T, seed int64, duration, rate float64) trace.Source {
+	t.Helper()
+	g, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed: seed, VolumeBytes: 100 << 30, Duration: duration, MaxRate: rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustRun(t *testing.T, cfg sim.Config, src trace.Source, ctrl sim.Controller, dur float64) *sim.Result {
+	t.Helper()
+	res, err := sim.Run(cfg, src, ctrl, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestBaseDoesNothing(t *testing.T) {
+	res := mustRun(t, singleSpeedConfig(1), steady(t, 2, 300, 20), NewBase(), 300)
+	if res.SpinUps != 0 || res.SpinDowns != 0 || res.LevelShifts != 0 {
+		t.Errorf("Base transitioned disks: %+v", res)
+	}
+	if res.Scheme != "Base" {
+		t.Errorf("scheme = %q", res.Scheme)
+	}
+}
+
+func TestBreakEvenTime(t *testing.T) {
+	spec := diskmodel.SingleSpeedUltrastar()
+	want := (spec.SpinDownEnergy + spec.SpinUpEnergy) / (spec.IdlePower[0] - spec.StandbyPower)
+	if got := BreakEvenTime(&spec); math.Abs(got-want) > 1e-12 {
+		t.Errorf("BreakEvenTime = %v, want %v", got, want)
+	}
+	if got := BreakEvenTime(&spec); got < 5 || got > 60 {
+		t.Errorf("break-even %v s implausible for an Ultrastar-class disk", got)
+	}
+}
+
+func TestTPMSavesOnIdleWorkload(t *testing.T) {
+	const dur = 1200.0
+	base := mustRun(t, singleSpeedConfig(3), burstyIdle(t, 4, dur), NewBase(), dur)
+	tpm := mustRun(t, singleSpeedConfig(3), burstyIdle(t, 4, dur), NewTPM(0), dur)
+	if tpm.SpinDowns == 0 {
+		t.Fatal("TPM never spun a disk down despite long idle periods")
+	}
+	if s := tpm.SavingsVs(base); s < 0.15 {
+		t.Errorf("TPM savings %.2f on idle-heavy workload, want >= 0.15", s)
+	}
+	// The spin-up penalty must be visible in the tail.
+	if tpm.MaxResp < base.MaxResp+5 {
+		t.Errorf("TPM max response %v should include multi-second spin-up waits (base %v)",
+			tpm.MaxResp, base.MaxResp)
+	}
+}
+
+func TestTPMUselessOnSteadyLoad(t *testing.T) {
+	// Steady 20 req/s across 4 disks: per-disk gaps far below break-even.
+	const dur = 600.0
+	tpm := mustRun(t, singleSpeedConfig(5), steady(t, 6, dur, 20), NewTPM(0), dur)
+	if tpm.SpinDowns > 2 {
+		t.Errorf("TPM spun down %d times under steady load", tpm.SpinDowns)
+	}
+}
+
+func TestDRPMStepsDownUnderLightLoad(t *testing.T) {
+	const dur = 600.0
+	base := mustRun(t, multiSpeedConfig(7), steady(t, 8, dur, 8), NewBase(), dur)
+	drpm := mustRun(t, multiSpeedConfig(7), steady(t, 8, dur, 8), NewDRPM(), dur)
+	if drpm.LevelShifts == 0 {
+		t.Fatal("DRPM never changed speed")
+	}
+	if s := drpm.SavingsVs(base); s < 0.2 {
+		t.Errorf("DRPM savings %.2f under light load, want >= 0.2", s)
+	}
+}
+
+func TestDRPMTripwireRestoresFullSpeed(t *testing.T) {
+	// Light load then surge; with a goal configured, the tripwire must
+	// bring groups back toward full speed.
+	const dur = 900.0
+	cfg := multiSpeedConfig(9)
+	cfg.RespGoal = 0.015
+	cfg.RespWindow = 30
+	g, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed: 10, VolumeBytes: 100 << 30, Duration: dur,
+		Rate:    dist.StepRate([]float64{5, 150}, []float64{600}),
+		MaxRate: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drpm := NewDRPM()
+	res, err := sim.Run(cfg, g, drpm, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := cfg.Spec.FullLevel()
+	for gi, grp := range drpm.env.Array.Groups() {
+		if grp.TargetLevel() != full {
+			t.Errorf("group %d at level %d after surge, want full", gi, grp.TargetLevel())
+		}
+	}
+	_ = res
+}
+
+func TestPDCConcentratesPopularData(t *testing.T) {
+	// PDC only wins when the popular set is small enough that cold disks
+	// see essentially zero traffic — any Zipf tail trickle keeps them
+	// spinning (exactly the weakness the Hibernator paper exploits). Use
+	// extreme skew so PDC's favorable case exists, and a run long enough
+	// to amortize the one-time concentration migration.
+	const dur = 7200.0
+	cfg := singleSpeedConfig(11)
+	pdc := NewPDC()
+	pdc.Epoch = 300
+	pdc.IdleThreshold = 10 // PDC papers use aggressive thresholds on cold disks
+	// Confine all traffic to the first 10 GiB: the touched extents fit in
+	// one group, and after concentration the other groups see nothing.
+	extremeSkew := func() trace.Source {
+		g, err := trace.NewOLTP(trace.OLTPConfig{
+			Seed: 12, VolumeBytes: 10 << 30, Duration: dur, MaxRate: 15,
+			Regions: 16, ZipfS: 2.0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	res := mustRun(t, cfg, extremeSkew(), pdc, dur)
+	if pdc.HotGroups() >= 4 {
+		t.Errorf("PDC kept all %d groups hot under light load", pdc.HotGroups())
+	}
+	if res.Migrations == 0 {
+		t.Error("PDC never migrated data")
+	}
+	if res.SpinDowns == 0 {
+		t.Error("PDC never spun down a cold group")
+	}
+	base := mustRun(t, singleSpeedConfig(11), extremeSkew(), NewBase(), dur)
+	if s := res.SavingsVs(base); s < 0.1 {
+		t.Errorf("PDC savings %.2f, want >= 0.1 on skewed light load", s)
+	}
+}
+
+func TestMAIDServesFromCacheDisks(t *testing.T) {
+	const dur = 1200.0
+	cfg := singleSpeedConfig(13)
+	cfg.SpareDisks = 2
+	// Tight working set (small volume, steep skew) so the cache disks can
+	// absorb it; batched destage plus a short threshold verify the
+	// spin-down machinery once misses decay.
+	g, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed: 14, VolumeBytes: 20 << 30, Duration: dur, MaxRate: 25,
+		Regions: 16, ZipfS: 2.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maid := NewMAID()
+	maid.DestagePeriod = 120
+	maid.IdleThreshold = 3
+	res, err := sim.Run(cfg, g, maid, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := maid.CacheStats()
+	if hits == 0 {
+		t.Fatal("MAID cache disks never served a read")
+	}
+	if hits < misses {
+		t.Errorf("hits %d < misses %d on a tight working set", hits, misses)
+	}
+	if res.SpinDowns == 0 {
+		t.Error("MAID data disks never spun down")
+	}
+	if res.Requests == 0 {
+		t.Fatal("no requests completed")
+	}
+}
+
+func TestMAIDRequiresSpares(t *testing.T) {
+	cfg := singleSpeedConfig(15)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MAID without spares must panic at Init")
+		}
+	}()
+	_, _ = sim.Run(cfg, steady(t, 16, 10, 5), NewMAID(), 10)
+}
+
+func TestPoliciesAreDeterministic(t *testing.T) {
+	for _, mk := range []func() sim.Controller{
+		func() sim.Controller { return NewTPM(0) },
+		func() sim.Controller { return NewDRPM() },
+	} {
+		run := func() *sim.Result {
+			cfg := multiSpeedConfig(17)
+			return mustRun(t, cfg, steady(t, 18, 300, 15), mk(), 300)
+		}
+		a, b := run(), run()
+		if a.Energy != b.Energy || a.MeanResp != b.MeanResp {
+			t.Errorf("%s diverged between identical runs", a.Scheme)
+		}
+	}
+}
+
+func TestMAIDRouteMechanics(t *testing.T) {
+	// Unit-level exercise of the Router contract: a write is absorbed by
+	// cache disks; a read of the same chunk then hits.
+	cfg := singleSpeedConfig(31)
+	cfg.SpareDisks = 1
+	reqs := []trace.Request{
+		{Time: 0.1, Off: 0, Size: 4096, Write: true},
+		{Time: 0.2, Off: 0, Size: 4096},
+		{Time: 0.3, Off: 512 << 20, Size: 4096}, // different chunk: miss
+	}
+	maid := NewMAID()
+	res, err := sim.Run(cfg, trace.NewSliceSource(reqs), maid, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := maid.CacheStats()
+	if hits != 1 {
+		t.Errorf("hits = %d, want 1 (read of the written chunk)", hits)
+	}
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1", misses)
+	}
+	if res.Requests != 3 {
+		t.Errorf("requests = %d, want 3", res.Requests)
+	}
+	// The write landed on a cache disk, not the array.
+	var spareWrites uint64
+	_, spareWrites = maid.spares[0].BytesMoved()
+	if spareWrites == 0 {
+		t.Error("write did not land on the cache disk")
+	}
+}
+
+func TestTPMCustomThresholdHonored(t *testing.T) {
+	// A huge threshold must prevent all spin-downs on the idle workload
+	// that makes the default threshold spin down.
+	const dur = 1200.0
+	never := mustRun(t, singleSpeedConfig(33), burstyIdle(t, 34, dur), NewTPM(1e9), dur)
+	if never.SpinDowns != 0 {
+		t.Errorf("TPM with infinite threshold spun down %d times", never.SpinDowns)
+	}
+	eager := mustRun(t, singleSpeedConfig(33), burstyIdle(t, 34, dur), NewTPM(2), dur)
+	if eager.SpinDowns == 0 {
+		t.Error("TPM with a 2s threshold never spun down")
+	}
+}
+
+func TestPDCSizesHotSetWithLoad(t *testing.T) {
+	// Heavy aggregate load must keep more groups hot than light load.
+	const dur = 1200.0
+	light := NewPDC()
+	light.Epoch = 300
+	mustRun(t, singleSpeedConfig(35), steady(t, 36, dur, 10), light, dur)
+	heavy := NewPDC()
+	heavy.Epoch = 300
+	mustRun(t, singleSpeedConfig(35), steady(t, 36, dur, 400), heavy, dur)
+	if heavy.HotGroups() < light.HotGroups() {
+		t.Errorf("heavy load kept %d hot groups, light %d", heavy.HotGroups(), light.HotGroups())
+	}
+	if heavy.HotGroups() < 2 {
+		t.Errorf("400 req/s should need >= 2 groups, got %d", heavy.HotGroups())
+	}
+}

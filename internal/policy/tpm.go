@@ -1,0 +1,57 @@
+package policy
+
+import (
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+)
+
+// TPM is traditional threshold-based power management: a group that has
+// been idle longer than the threshold spins down; the array spins it back
+// up on the next request (paying the spin-up delay in that request's
+// response time — the behavior that makes TPM dangerous for data-center
+// workloads).
+type TPM struct {
+	// IdleThreshold in seconds; 0 selects the break-even time of the disk
+	// spec (the 2-competitive setting).
+	IdleThreshold float64
+	// CheckPeriod is how often idle times are polled (default 1 s).
+	CheckPeriod float64
+
+	env *sim.Env
+}
+
+// NewTPM returns a TPM policy with the given threshold (0 = break-even).
+func NewTPM(idleThreshold float64) *TPM {
+	return &TPM{IdleThreshold: idleThreshold}
+}
+
+// Name implements sim.Controller.
+func (*TPM) Name() string { return "TPM" }
+
+// BreakEvenTime returns the idle duration at which spinning down exactly
+// pays for the transition energy of a spec:
+//
+//	T_be = (E_down + E_up) / (P_idle - P_standby)
+func BreakEvenTime(spec *diskmodel.Spec) float64 {
+	full := spec.FullLevel()
+	return (spec.SpinDownEnergy + spec.SpinUpEnergy) / (spec.IdlePower[full] - spec.StandbyPower)
+}
+
+// Init implements sim.Controller.
+func (t *TPM) Init(env *sim.Env) {
+	t.env = env
+	if t.IdleThreshold == 0 {
+		t.IdleThreshold = BreakEvenTime(&env.Cfg.Spec)
+	}
+	if t.CheckPeriod == 0 {
+		t.CheckPeriod = 1.0
+	}
+	simevent.NewTicker(env.Engine, t.CheckPeriod, func(float64) {
+		for _, g := range env.Array.Groups() {
+			if g.IdleFor() >= t.IdleThreshold {
+				g.Standby()
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+// Package raid maps logical volume addresses onto the disks of a RAID
+// group and expands writes into the physical operations parity maintenance
+// requires. It is pure address arithmetic: the array layer turns the
+// resulting PhysIO list into diskmodel requests.
+//
+// RAID-5 uses the left-symmetric layout (parity rotates across disks,
+// starting at the last disk for row 0). Partial-stripe writes expand to
+// read-modify-write (old data + old parity reads, new data + new parity
+// writes); writes covering a full stripe row skip the pre-reads.
+package raid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Level selects the redundancy scheme of a group.
+type Level int
+
+// Supported RAID levels.
+const (
+	RAID0 Level = iota
+	RAID5
+	// RAID1 stripes across mirror pairs (RAID-10): even disk counts,
+	// reads served by one side of the pair (alternating by row), writes
+	// duplicated to both.
+	RAID1
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case RAID0:
+		return "RAID0"
+	case RAID5:
+		return "RAID5"
+	case RAID1:
+		return "RAID1"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// IOKind classifies a physical operation for statistics.
+type IOKind int
+
+// Physical operation kinds.
+const (
+	DataRead IOKind = iota
+	DataWrite
+	ParityRead
+	ParityWrite
+)
+
+// String names the kind.
+func (k IOKind) String() string {
+	switch k {
+	case DataRead:
+		return "data-read"
+	case DataWrite:
+		return "data-write"
+	case ParityRead:
+		return "parity-read"
+	case ParityWrite:
+		return "parity-write"
+	default:
+		return fmt.Sprintf("IOKind(%d)", int(k))
+	}
+}
+
+// PhysIO is one physical disk operation within a group.
+type PhysIO struct {
+	Disk   int // index within the group
+	Offset int64
+	Size   int64
+	Write  bool
+	Kind   IOKind
+}
+
+// Geometry describes a RAID group.
+type Geometry struct {
+	Level      Level
+	Disks      int
+	StripeUnit int64 // bytes per strip
+}
+
+// Validate reports the first configuration error.
+func (g Geometry) Validate() error {
+	switch {
+	case g.Disks <= 0:
+		return fmt.Errorf("raid: group needs at least one disk, got %d", g.Disks)
+	case g.StripeUnit <= 0:
+		return fmt.Errorf("raid: stripe unit must be positive, got %d", g.StripeUnit)
+	case g.Level == RAID5 && g.Disks < 3:
+		return fmt.Errorf("raid: RAID5 needs >= 3 disks, got %d", g.Disks)
+	case g.Level == RAID1 && (g.Disks < 2 || g.Disks%2 != 0):
+		return fmt.Errorf("raid: RAID1 needs an even disk count >= 2, got %d", g.Disks)
+	case g.Level != RAID0 && g.Level != RAID5 && g.Level != RAID1:
+		return fmt.Errorf("raid: unsupported level %v", g.Level)
+	}
+	return nil
+}
+
+// dataDisks returns the number of strips per row that hold data.
+func (g Geometry) dataDisks() int {
+	switch g.Level {
+	case RAID5:
+		return g.Disks - 1
+	case RAID1:
+		return g.Disks / 2
+	default:
+		return g.Disks
+	}
+}
+
+// LogicalCapacity returns the usable bytes given a per-disk capacity,
+// rounded down to whole stripe rows.
+func (g Geometry) LogicalCapacity(diskCapacity int64) int64 {
+	rows := diskCapacity / g.StripeUnit
+	return rows * int64(g.dataDisks()) * g.StripeUnit
+}
+
+// parityDisk returns which disk holds parity for a stripe row
+// (left-symmetric rotation). RAID0 has none (-1).
+func (g Geometry) parityDisk(row int64) int {
+	if g.Level != RAID5 {
+		return -1
+	}
+	return int((int64(g.Disks) - 1 - row%int64(g.Disks)) % int64(g.Disks))
+}
+
+// stripLocation places logical strip index s at (disk, row). For RAID1
+// it returns the read-primary side of the mirror pair, alternating by row
+// to spread read load.
+func (g Geometry) stripLocation(s int64) (disk int, row int64) {
+	dd := int64(g.dataDisks())
+	row = s / dd
+	j := s % dd
+	switch g.Level {
+	case RAID5:
+		p := int64(g.parityDisk(row))
+		disk = int((p + 1 + j) % int64(g.Disks))
+	case RAID1:
+		disk = int(2*j) + int(row%2)
+	default:
+		disk = int(j)
+	}
+	return disk, row
+}
+
+// mirrorOf returns the other side of a RAID1 pair.
+func (g Geometry) mirrorOf(disk int) int { return disk ^ 1 }
+
+// piece is a fragment of the logical access within one strip.
+type piece struct {
+	strip  int64 // logical strip index
+	within int64 // offset inside the strip
+	size   int64
+}
+
+func (g Geometry) split(off, size int64) []piece {
+	if off < 0 || size <= 0 {
+		panic(fmt.Sprintf("raid: invalid access [%d,+%d)", off, size))
+	}
+	var out []piece
+	for size > 0 {
+		strip := off / g.StripeUnit
+		within := off % g.StripeUnit
+		n := g.StripeUnit - within
+		if n > size {
+			n = size
+		}
+		out = append(out, piece{strip: strip, within: within, size: n})
+		off += n
+		size -= n
+	}
+	return out
+}
+
+// Map translates a logical byte access into the physical operations it
+// requires. Reads touch only data strips; RAID5 writes additionally touch
+// parity. The result is ordered: all reads first, then all writes, since
+// read-modify-write must complete its pre-reads before committing — the
+// array layer preserves this two-phase structure.
+func (g Geometry) Map(off, size int64, write bool) []PhysIO {
+	pieces := g.split(off, size)
+	if !write {
+		out := make([]PhysIO, 0, len(pieces))
+		for _, p := range pieces {
+			disk, row := g.stripLocation(p.strip)
+			out = append(out, PhysIO{
+				Disk:   disk,
+				Offset: row*g.StripeUnit + p.within,
+				Size:   p.size,
+				Kind:   DataRead,
+			})
+		}
+		return coalescePhys(out)
+	}
+	if g.Level == RAID0 {
+		out := make([]PhysIO, 0, len(pieces))
+		for _, p := range pieces {
+			disk, row := g.stripLocation(p.strip)
+			out = append(out, PhysIO{
+				Disk:   disk,
+				Offset: row*g.StripeUnit + p.within,
+				Size:   p.size,
+				Write:  true,
+				Kind:   DataWrite,
+			})
+		}
+		return coalescePhys(out)
+	}
+	if g.Level == RAID1 {
+		out := make([]PhysIO, 0, 2*len(pieces))
+		for _, p := range pieces {
+			disk, row := g.stripLocation(p.strip)
+			phys := row*g.StripeUnit + p.within
+			out = append(out,
+				PhysIO{Disk: disk, Offset: phys, Size: p.size, Write: true, Kind: DataWrite},
+				PhysIO{Disk: g.mirrorOf(disk), Offset: phys, Size: p.size, Write: true, Kind: DataWrite},
+			)
+		}
+		return coalescePhys(out)
+	}
+	return g.mapRAID5Write(pieces)
+}
+
+// coalescePhys merges physically contiguous operations on the same disk
+// with the same kind — a long sequential logical run lands as one streamed
+// transfer per disk instead of a strip-sized I/O per row. The input is
+// ordered by logical address, so per-disk operations arrive in ascending
+// physical order already; a single stable pass suffices and preserves the
+// read-before-write phase structure.
+func coalescePhys(ios []PhysIO) []PhysIO {
+	if len(ios) < 2 {
+		return ios
+	}
+	out := ios[:0]
+	last := map[int]int{} // disk -> index in out of its latest op
+	for _, io := range ios {
+		if li, ok := last[io.Disk]; ok {
+			prev := &out[li]
+			if prev.Kind == io.Kind && prev.Offset+prev.Size == io.Offset {
+				prev.Size += io.Size
+				continue
+			}
+		}
+		out = append(out, io)
+		last[io.Disk] = len(out) - 1
+	}
+	return out
+}
+
+// rowAccess accumulates the pieces of one stripe row.
+type rowAccess struct {
+	row    int64
+	pieces []piece
+	bytes  int64
+	// union of within-strip ranges, for sizing the parity I/O
+	lo, hi int64
+}
+
+func (g Geometry) mapRAID5Write(pieces []piece) []PhysIO {
+	rows := map[int64]*rowAccess{}
+	var order []int64
+	dd := int64(g.dataDisks())
+	for _, p := range pieces {
+		row := p.strip / dd
+		ra := rows[row]
+		if ra == nil {
+			ra = &rowAccess{row: row, lo: p.within, hi: p.within + p.size}
+			rows[row] = ra
+			order = append(order, row)
+		}
+		ra.pieces = append(ra.pieces, p)
+		ra.bytes += p.size
+		if p.within < ra.lo {
+			ra.lo = p.within
+		}
+		if p.within+p.size > ra.hi {
+			ra.hi = p.within + p.size
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+
+	var reads, writes []PhysIO
+	for _, rowIdx := range order {
+		ra := rows[rowIdx]
+		pd := g.parityDisk(ra.row)
+		fullStripe := ra.bytes == dd*g.StripeUnit
+		for _, p := range ra.pieces {
+			disk, row := g.stripLocation(p.strip)
+			phys := row*g.StripeUnit + p.within
+			if !fullStripe {
+				reads = append(reads, PhysIO{Disk: disk, Offset: phys, Size: p.size, Kind: DataRead})
+			}
+			writes = append(writes, PhysIO{Disk: disk, Offset: phys, Size: p.size, Write: true, Kind: DataWrite})
+		}
+		parityOff := ra.row*g.StripeUnit + ra.lo
+		paritySize := ra.hi - ra.lo
+		if fullStripe {
+			parityOff = ra.row * g.StripeUnit
+			paritySize = g.StripeUnit
+		} else {
+			reads = append(reads, PhysIO{Disk: pd, Offset: parityOff, Size: paritySize, Kind: ParityRead})
+		}
+		writes = append(writes, PhysIO{Disk: pd, Offset: parityOff, Size: paritySize, Write: true, Kind: ParityWrite})
+	}
+	return append(coalescePhys(reads), coalescePhys(writes)...)
+}
+
+// Phases splits a Map result into its pre-read and write phases. The
+// second phase must not start before the first completes.
+func Phases(ios []PhysIO) (reads, writes []PhysIO) {
+	for i, io := range ios {
+		if io.Write {
+			return ios[:i], ios[i:]
+		}
+	}
+	return ios, nil
+}

@@ -1,0 +1,94 @@
+package raid
+
+import "testing"
+
+func TestRAID1Validate(t *testing.T) {
+	good := []int{2, 4, 8}
+	for _, n := range good {
+		g := Geometry{RAID1, n, 65536}
+		if err := g.Validate(); err != nil {
+			t.Errorf("disks=%d: %v", n, err)
+		}
+	}
+	bad := []int{1, 3, 5}
+	for _, n := range bad {
+		g := Geometry{RAID1, n, 65536}
+		if err := g.Validate(); err == nil {
+			t.Errorf("disks=%d should be rejected", n)
+		}
+	}
+}
+
+func TestRAID1Capacity(t *testing.T) {
+	g := Geometry{RAID1, 4, 1024}
+	if got := g.LogicalCapacity(10240); got != 2*10240 {
+		t.Errorf("capacity = %d, want half the raw space", got)
+	}
+}
+
+func TestRAID1WriteDuplicates(t *testing.T) {
+	g := Geometry{RAID1, 4, 1000}
+	ios := g.Map(0, 500, true)
+	if len(ios) != 2 {
+		t.Fatalf("got %d IOs, want mirrored pair: %+v", len(ios), ios)
+	}
+	if ios[0].Disk/2 != ios[1].Disk/2 || ios[0].Disk == ios[1].Disk {
+		t.Errorf("writes landed on %d and %d; want both sides of one pair", ios[0].Disk, ios[1].Disk)
+	}
+	for _, io := range ios {
+		if !io.Write || io.Offset != 0 || io.Size != 500 {
+			t.Errorf("bad mirrored write %+v", io)
+		}
+	}
+}
+
+func TestRAID1ReadSingleSide(t *testing.T) {
+	g := Geometry{RAID1, 4, 1000}
+	ios := g.Map(0, 500, false)
+	if len(ios) != 1 {
+		t.Fatalf("read produced %d IOs, want 1", len(ios))
+	}
+}
+
+func TestRAID1ReadsAlternateByRow(t *testing.T) {
+	g := Geometry{RAID1, 2, 1000}
+	// Same pair (only one), consecutive rows alternate primaries.
+	r0 := g.Map(0, 100, false)[0].Disk
+	r1 := g.Map(1000, 100, false)[0].Disk
+	if r0 == r1 {
+		t.Errorf("rows 0 and 1 read from the same side (%d)", r0)
+	}
+	if r0/2 != r1/2 {
+		t.Errorf("rows 0 and 1 left the pair: %d vs %d", r0, r1)
+	}
+}
+
+func TestRAID1SpansPairs(t *testing.T) {
+	g := Geometry{RAID1, 4, 1000}
+	// Row 0: strips 0 (pair 0) and 1 (pair 1).
+	ios := g.Map(0, 2000, true)
+	pairs := map[int]int{}
+	for _, io := range ios {
+		pairs[io.Disk/2]++
+	}
+	if len(pairs) != 2 || pairs[0] != 2 || pairs[1] != 2 {
+		t.Errorf("pair distribution %v, want 2 writes on each of 2 pairs", pairs)
+	}
+}
+
+func TestRAID1WriteAmplificationExactlyTwo(t *testing.T) {
+	g := Geometry{RAID1, 6, 2048}
+	for _, sz := range []int64{100, 2048, 5000, 50000} {
+		ios := g.Map(137, sz, true)
+		var total int64
+		for _, io := range ios {
+			if !io.Write {
+				t.Fatalf("RAID1 write produced a read: %+v", io)
+			}
+			total += io.Size
+		}
+		if total != 2*sz {
+			t.Errorf("size %d: wrote %d bytes, want exactly 2x", sz, total)
+		}
+	}
+}

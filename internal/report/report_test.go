@@ -1,0 +1,67 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFprintAlignment(t *testing.T) {
+	tb := New("F1", "Energy by scheme", "scheme", "energy (kJ)")
+	tb.AddRow("Base", "1000.0")
+	tb.AddRow("Hibernator", "650.5")
+	tb.AddNote("normalized to Base")
+	var b strings.Builder
+	if err := tb.Fprint(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"=== F1: Energy by scheme ===", "scheme", "Hibernator  650.5", "note: normalized to Base"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header and rows start at the same column widths.
+	if !strings.HasPrefix(lines[1], "scheme    ") {
+		t.Errorf("header not padded to widest cell: %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tb := New("T1", "t", "a", "b")
+	tb.AddRow(`with,comma`, `with"quote`)
+	var b strings.Builder
+	if err := tb.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"with,comma\",\"with\"\"quote\"\n"
+	if b.String() != want {
+		t.Errorf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestRowArityPanics(t *testing.T) {
+	tb := New("X", "x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row must panic")
+		}
+	}()
+	tb.AddRow("only one")
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{F(3.14159, 2), "3.14"},
+		{Ms(0.00525), "5.25"},
+		{KJ(123456), "123.5"},
+		{Pct(0.295), "29.5%"},
+		{N(42), "42"},
+		{N(uint64(7)), "7"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}

@@ -1,0 +1,424 @@
+// Package sim wires a workload, the controller cache, the disk array and
+// an energy-management policy into one run, and collects the quantities
+// the paper's evaluation reports: energy (total and by state), response
+// times (mean and tail), goal violations, spin/shift/migration activity.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"hibernator/internal/array"
+	"hibernator/internal/cache"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/simevent"
+	"hibernator/internal/stats"
+	"hibernator/internal/trace"
+)
+
+// CacheHitLatency is the service time of a request absorbed entirely by
+// the controller cache.
+const CacheHitLatency = 0.0001
+
+// Config describes one simulation run.
+type Config struct {
+	Spec       diskmodel.Spec
+	Groups     int
+	GroupDisks int
+	Level      raid.Level
+	StripeUnit int64
+
+	ExtentBytes int64
+	Occupancy   float64
+	SpareDisks  int
+
+	// CacheBytes = 0 disables the controller cache entirely.
+	CacheBytes    int64
+	CacheBlock    int64   // default 64 KiB
+	DestagePeriod float64 // default 1 s
+	DestageMax    int     // dirty blocks per destage tick, default 64
+
+	// RespGoal is the response-time limit policies must honor (seconds).
+	RespGoal float64
+	// RespWindow is the observation window for goal checking (default 60 s).
+	RespWindow float64
+
+	// SampleEvery > 0 records a time-series point each interval (F9).
+	SampleEvery float64
+
+	// Warmup excludes the first seconds from the reported response-time
+	// statistics and goal-violation accounting (policies still see all
+	// observations). Energy is always accounted for the whole run.
+	Warmup float64
+
+	Seed               int64
+	InitialLevel       int // defaults to full speed
+	ExpectedRotLatency bool
+	// Scheduler is the per-disk queue discipline (default FCFS).
+	Scheduler diskmodel.Scheduler
+}
+
+func (c *Config) applyDefaults() error {
+	if c.CacheBlock == 0 {
+		c.CacheBlock = 64 << 10
+	}
+	if c.DestagePeriod == 0 {
+		c.DestagePeriod = 1.0
+	}
+	if c.DestageMax == 0 {
+		c.DestageMax = 64
+	}
+	if c.RespWindow == 0 {
+		c.RespWindow = 60
+	}
+	if c.InitialLevel == 0 {
+		c.InitialLevel = c.Spec.FullLevel()
+	}
+	if c.RespGoal < 0 {
+		return fmt.Errorf("sim: negative response goal")
+	}
+	if c.Warmup < 0 {
+		return fmt.Errorf("sim: negative warmup")
+	}
+	return nil
+}
+
+// Env is the control surface a policy sees.
+type Env struct {
+	Engine *simevent.Engine
+	Array  *array.Array
+	Cfg    *Config
+
+	// RespWindow holds foreground response times over the trailing
+	// Cfg.RespWindow seconds; RespCum over the whole run. The harness
+	// feeds both; policies read them.
+	RespWindow *stats.WindowTracker
+	RespCum    *stats.CumulativeTracker
+}
+
+// Goal returns the response-time limit (0 = none).
+func (e *Env) Goal() float64 { return e.Cfg.RespGoal }
+
+// Controller is an energy-management policy. Init runs before the first
+// request; policies schedule their own timers on env.Engine.
+type Controller interface {
+	Name() string
+	Init(env *Env)
+}
+
+// ArrivalObserver is implemented by policies that watch logical arrivals.
+type ArrivalObserver interface {
+	OnArrival(r trace.Request)
+}
+
+// CompletionObserver is implemented by policies that watch logical
+// completions.
+type CompletionObserver interface {
+	OnComplete(latency float64, write bool)
+}
+
+// Router is implemented by policies that intercept requests before the
+// controller cache and array (MAID's cache disks). If Route returns true
+// the policy has taken ownership and must call finish exactly once when
+// the request completes; the harness then records the response time.
+type Router interface {
+	Route(r trace.Request, finish func()) bool
+}
+
+// TimePoint is one sample of the run's time series.
+type TimePoint struct {
+	T              float64
+	WindowMeanResp float64
+	FullSpeedDisks int
+	StandbyDisks   int
+}
+
+// Result aggregates one run.
+type Result struct {
+	Scheme   string
+	Duration float64
+
+	Requests  uint64
+	MeanResp  float64
+	P95Resp   float64
+	P99Resp   float64
+	MaxResp   float64
+	CacheHits uint64 // requests absorbed entirely by the cache
+
+	Energy        float64 // joules, all disks
+	EnergyByState map[string]float64
+
+	SpinUps, SpinDowns, LevelShifts uint64
+	Migrations, MigratedBytes       uint64
+	Destages                        uint64
+
+	// GoalViolationFrac is the fraction of observation windows whose mean
+	// response time exceeded the goal (0 when no goal set).
+	GoalViolationFrac float64
+
+	Series []TimePoint
+}
+
+// EnergyVs returns this run's energy as a fraction of a baseline's.
+func (r *Result) EnergyVs(base *Result) float64 {
+	if base.Energy == 0 {
+		return math.Inf(1)
+	}
+	return r.Energy / base.Energy
+}
+
+// SavingsVs returns 1 - EnergyVs, the paper's "energy savings".
+func (r *Result) SavingsVs(base *Result) float64 {
+	return 1 - r.EnergyVs(base)
+}
+
+// Run executes the workload against the configured array under the given
+// policy for `duration` simulated seconds.
+func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (*Result, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	if duration <= 0 {
+		return nil, fmt.Errorf("sim: duration must be positive")
+	}
+	engine := simevent.New()
+	arr, err := array.New(array.Config{
+		Engine:             engine,
+		Spec:               &cfg.Spec,
+		Groups:             cfg.Groups,
+		GroupDisks:         cfg.GroupDisks,
+		Level:              cfg.Level,
+		StripeUnit:         cfg.StripeUnit,
+		ExtentBytes:        cfg.ExtentBytes,
+		Occupancy:          cfg.Occupancy,
+		SpareDisks:         cfg.SpareDisks,
+		Seed:               cfg.Seed,
+		InitialLevel:       cfg.InitialLevel,
+		ExpectedRotLatency: cfg.ExpectedRotLatency,
+		Scheduler:          cfg.Scheduler,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env := &Env{
+		Engine:     engine,
+		Array:      arr,
+		Cfg:        &cfg,
+		RespWindow: stats.NewWindowTracker(cfg.RespWindow, 60),
+		RespCum:    &stats.CumulativeTracker{},
+	}
+
+	res := &Result{Scheme: ctrl.Name(), Duration: duration}
+	respW := stats.Welford{}
+	respPct := stats.NewReservoir(16384, cfg.Seed+104729)
+
+	arrivalObs, _ := ctrl.(ArrivalObserver)
+	completeObs, _ := ctrl.(CompletionObserver)
+	router, _ := ctrl.(Router)
+
+	recordResponse := func(lat float64, write bool) {
+		now := engine.Now()
+		if now >= cfg.Warmup {
+			res.Requests++
+			respW.Add(lat)
+			respPct.Add(lat)
+		}
+		env.RespWindow.Observe(now, lat)
+		env.RespCum.Observe(lat)
+		if completeObs != nil {
+			completeObs.OnComplete(lat, write)
+		}
+	}
+
+	var ctrlCache *cache.Cache
+	if cfg.CacheBytes > 0 {
+		ctrlCache = cache.New(cfg.CacheBytes, cfg.CacheBlock)
+	}
+
+	destage := func(ranges []cache.Range) {
+		for _, rg := range ranges {
+			off, size := clampRange(rg.Off, rg.Size, arr.LogicalBytes())
+			if size <= 0 {
+				continue
+			}
+			arr.SubmitBackground(off, size, true, nil)
+		}
+	}
+
+	process := func(r trace.Request) {
+		if arrivalObs != nil {
+			arrivalObs.OnArrival(r)
+		}
+		if router != nil {
+			start := engine.Now()
+			if router.Route(r, func() {
+				recordResponse(engine.Now()-start, r.Write)
+			}) {
+				return
+			}
+		}
+		if ctrlCache == nil {
+			arr.Submit(r.Off, r.Size, r.Write, func(lat float64) {
+				recordResponse(lat, r.Write)
+			})
+			return
+		}
+		if r.Write {
+			// Write-back: absorbed at cache speed; evictions destage in
+			// the background.
+			destage(ctrlCache.Write(r.Off, r.Size))
+			res.CacheHits++
+			engine.Schedule(CacheHitLatency, func() {
+				recordResponse(CacheHitLatency, true)
+			})
+			return
+		}
+		misses, evictions := ctrlCache.Read(r.Off, r.Size)
+		destage(evictions)
+		if len(misses) == 0 {
+			res.CacheHits++
+			engine.Schedule(CacheHitLatency, func() {
+				recordResponse(CacheHitLatency, false)
+			})
+			return
+		}
+		start := engine.Now()
+		remaining := len(misses)
+		for _, m := range misses {
+			off, size := clampRange(m.Off, m.Size, arr.LogicalBytes())
+			if size <= 0 {
+				remaining--
+				continue
+			}
+			arr.Submit(off, size, false, func(float64) {
+				remaining--
+				if remaining == 0 {
+					recordResponse(engine.Now()-start+CacheHitLatency, false)
+				}
+			})
+		}
+		if remaining == 0 { // whole request clamped away (volume edge)
+			recordResponse(CacheHitLatency, false)
+		}
+	}
+
+	// Arrival pump: schedule each request lazily at its timestamp.
+	var pump func()
+	pump = func() {
+		r, ok := workload.Next()
+		if !ok || r.Time > duration {
+			return
+		}
+		at := r.Time
+		if at < engine.Now() {
+			at = engine.Now()
+		}
+		engine.At(at, func() {
+			process(r)
+			pump()
+		})
+	}
+
+	ctrl.Init(env)
+
+	// Goal-violation bookkeeping.
+	var windows, violations int
+	if cfg.RespGoal > 0 {
+		simevent.NewTicker(engine, cfg.RespWindow, func(now float64) {
+			if now < cfg.Warmup {
+				return
+			}
+			mean, n := env.RespWindow.Mean(now)
+			if n == 0 {
+				return
+			}
+			windows++
+			if mean > cfg.RespGoal {
+				violations++
+			}
+		})
+	}
+	// Periodic destage of aged dirty blocks.
+	if ctrlCache != nil {
+		simevent.NewTicker(engine, cfg.DestagePeriod, func(float64) {
+			destage(ctrlCache.FlushOldest(cfg.DestageMax))
+		})
+	}
+	// Time-series sampling.
+	if cfg.SampleEvery > 0 {
+		simevent.NewTicker(engine, cfg.SampleEvery, func(now float64) {
+			mean, _ := env.RespWindow.Mean(now)
+			full, standby := 0, 0
+			for _, d := range arr.Disks() {
+				switch {
+				case d.State() == diskmodel.Standby:
+					standby++
+				case d.Level() == cfg.Spec.FullLevel() && d.State() != diskmodel.Standby:
+					full++
+				}
+			}
+			res.Series = append(res.Series, TimePoint{
+				T: now, WindowMeanResp: mean, FullSpeedDisks: full, StandbyDisks: standby,
+			})
+		})
+	}
+
+	pump()
+	engine.Run(duration)
+
+	res.MeanResp = respW.Mean()
+	res.MaxResp = respW.Max()
+	res.P95Resp = respPct.Quantile(0.95)
+	res.P99Resp = respPct.Quantile(0.99)
+	res.Energy = arr.TotalEnergy()
+	res.EnergyByState = arr.EnergyByState()
+	for _, d := range arr.Disks() {
+		res.SpinUps += d.SpinUps()
+		res.SpinDowns += d.SpinDowns()
+		res.LevelShifts += d.LevelShifts()
+	}
+	res.Migrations, res.MigratedBytes = arr.Migrations()
+	if ctrlCache != nil {
+		_, _, res.Destages = ctrlCache.Stats()
+	}
+	if windows > 0 {
+		res.GoalViolationFrac = float64(violations) / float64(windows)
+	}
+	return res, nil
+}
+
+// LogicalBytes reports the logical volume size the configuration yields —
+// workload generators size themselves against it before the real run.
+func LogicalBytes(cfg Config) (int64, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return 0, err
+	}
+	arr, err := array.New(array.Config{
+		Engine:      simevent.New(),
+		Spec:        &cfg.Spec,
+		Groups:      cfg.Groups,
+		GroupDisks:  cfg.GroupDisks,
+		Level:       cfg.Level,
+		StripeUnit:  cfg.StripeUnit,
+		ExtentBytes: cfg.ExtentBytes,
+		Occupancy:   cfg.Occupancy,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return arr.LogicalBytes(), nil
+}
+
+// clampRange trims a cache-block-aligned range to the logical volume (the
+// last block may overhang the volume end).
+func clampRange(off, size, limit int64) (int64, int64) {
+	if off >= limit {
+		return 0, 0
+	}
+	if off+size > limit {
+		size = limit - off
+	}
+	return off, size
+}

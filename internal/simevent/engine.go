@@ -1,0 +1,168 @@
+// Package simevent provides the discrete-event simulation engine that
+// underlies the disk-array simulator.
+//
+// Time is a float64 number of seconds since the start of the run. Events
+// scheduled for the same instant fire in scheduling order (a monotonically
+// increasing sequence number breaks ties), which makes every simulation
+// deterministic for a fixed seed.
+package simevent
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a handle to a scheduled callback. It can be cancelled until it
+// fires.
+type Event struct {
+	at    float64
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once fired or cancelled
+}
+
+// At reports the simulated time the event is scheduled for.
+func (ev *Event) At() float64 { return ev.at }
+
+// Pending reports whether the event is still scheduled.
+func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+
+// Engine is a discrete-event scheduler. The zero value is not usable; call
+// New.
+type Engine struct {
+	now     float64
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+	// processed counts events that have fired, for instrumentation.
+	processed uint64
+}
+
+// New returns an engine positioned at time zero with an empty calendar.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Processed returns the number of events that have fired so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule arranges for fn to run delay seconds from now. A negative delay
+// panics: scheduling in the past is always a simulator bug.
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		panic(fmt.Sprintf("simevent: schedule with invalid delay %v at t=%v", delay, e.now))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At arranges for fn to run at absolute simulated time t, which must not be
+// in the past.
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now || math.IsNaN(t) {
+		panic(fmt.Sprintf("simevent: schedule at t=%v before now=%v", t, e.now))
+	}
+	if fn == nil {
+		panic("simevent: nil event callback")
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Cancel removes a pending event from the calendar. Cancelling an event
+// that already fired (or was already cancelled) is a no-op and returns
+// false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Step fires the earliest pending event and advances the clock to it.
+// It returns false when the calendar is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.processed++
+	fn()
+	return true
+}
+
+// Run fires events until the calendar is empty, the next event lies beyond
+// `until`, or Stop is called. The clock is left at min(until, last event
+// time); events scheduled exactly at `until` do fire.
+func (e *Engine) Run(until float64) {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		if e.queue[0].at > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until && !e.stopped {
+		e.now = until
+	}
+}
+
+// RunAll fires events until the calendar is empty or Stop is called.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		e.Step()
+	}
+}
+
+// Stop makes the innermost Run/RunAll return after the current event
+// completes. Pending events remain scheduled.
+func (e *Engine) Stop() { e.stopped = true }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

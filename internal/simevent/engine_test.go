@@ -1,0 +1,328 @@
+package simevent
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var got []int
+	e.Schedule(3, func() { got = append(got, 3) })
+	e.Schedule(1, func() { got = append(got, 1) })
+	e.Schedule(2, func() { got = append(got, 2) })
+	e.RunAll()
+	want := []int{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now() = %v, want 3", e.Now())
+	}
+}
+
+func TestTieBreakBySequence(t *testing.T) {
+	e := New()
+	var got []string
+	e.Schedule(5, func() { got = append(got, "a") })
+	e.Schedule(5, func() { got = append(got, "b") })
+	e.Schedule(5, func() { got = append(got, "c") })
+	e.RunAll()
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("same-time events fired out of scheduling order: %v", got)
+	}
+}
+
+func TestRunUntilBoundary(t *testing.T) {
+	e := New()
+	fired := map[float64]bool{}
+	for _, at := range []float64{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { fired[at] = true })
+	}
+	e.Run(2)
+	if !fired[1] || !fired[2] {
+		t.Errorf("events at or before boundary should fire: %v", fired)
+	}
+	if fired[3] || fired[4] {
+		t.Errorf("events after boundary must not fire: %v", fired)
+	}
+	if e.Now() != 2 {
+		t.Errorf("Now() = %v, want 2", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending() = %d, want 2", e.Pending())
+	}
+}
+
+func TestRunAdvancesClockToUntilWhenIdle(t *testing.T) {
+	e := New()
+	e.Run(10)
+	if e.Now() != 10 {
+		t.Errorf("Now() = %v, want 10", e.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	if !ev.Pending() {
+		t.Fatal("event should be pending before firing")
+	}
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel should succeed on a pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel should report false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	evs := make([]*Event, 0, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs = append(evs, e.Schedule(float64(i+1), func() { got = append(got, i) }))
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.RunAll()
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8", len(got))
+	}
+}
+
+func TestScheduleFromWithinEvent(t *testing.T) {
+	e := New()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.RunAll()
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Fatalf("nested scheduling produced %v, want [1 2]", times)
+	}
+}
+
+func TestStopInsideRun(t *testing.T) {
+	e := New()
+	count := 0
+	for i := 0; i < 5; i++ {
+		e.Schedule(float64(i+1), func() {
+			count++
+			if count == 2 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 2 {
+		t.Fatalf("Stop did not halt the loop: fired %d", count)
+	}
+	// A subsequent Run resumes with remaining events.
+	e.RunAll()
+	if count != 5 {
+		t.Fatalf("resume after Stop fired %d total, want 5", count)
+	}
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay must panic")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestAtInPastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(5, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past must panic")
+		}
+	}()
+	e.At(1, func() {})
+}
+
+func TestTicker(t *testing.T) {
+	e := New()
+	var ticks []float64
+	tk := NewTicker(e, 2, func(now float64) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			// Stop from inside the callback.
+			// The ticker must not fire again.
+		}
+	})
+	e.Run(5)
+	tk.Stop()
+	e.Run(20)
+	if len(ticks) != 2 {
+		t.Fatalf("got %d ticks %v, want 2 before stop at t=5", len(ticks), ticks)
+	}
+	if ticks[0] != 2 || ticks[1] != 4 {
+		t.Fatalf("tick times %v, want [2 4]", ticks)
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := New()
+	count := 0
+	var tk *Ticker
+	tk = NewTicker(e, 1, func(now float64) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run(100)
+	if count != 3 {
+		t.Fatalf("ticker fired %d times after Stop inside callback, want 3", count)
+	}
+}
+
+// Property: for any set of delays, events fire in nondecreasing time order
+// and the engine processes exactly len(delays) events.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) > 200 {
+			raw = raw[:200]
+		}
+		e := New()
+		var fired []float64
+		for _, r := range raw {
+			d := float64(r) / 16.0
+			e.Schedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset never perturbs the relative order of
+// the surviving events.
+func TestCancelSubsetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 50; iter++ {
+		e := New()
+		n := 1 + rng.Intn(100)
+		type rec struct {
+			ev   *Event
+			time float64
+			id   int
+		}
+		recs := make([]rec, 0, n)
+		var fired []int
+		for i := 0; i < n; i++ {
+			at := float64(rng.Intn(50))
+			i := i
+			ev := e.At(at, func() { fired = append(fired, i) })
+			recs = append(recs, rec{ev, at, i})
+		}
+		cancelled := map[int]bool{}
+		for _, r := range recs {
+			if rng.Intn(3) == 0 {
+				e.Cancel(r.ev)
+				cancelled[r.id] = true
+			}
+		}
+		e.RunAll()
+		// Survivors sorted by (time, id) must equal fired exactly.
+		var want []rec
+		for _, r := range recs {
+			if !cancelled[r.id] {
+				want = append(want, r)
+			}
+		}
+		sort.SliceStable(want, func(i, j int) bool {
+			if want[i].time != want[j].time {
+				return want[i].time < want[j].time
+			}
+			return want[i].id < want[j].id
+		})
+		if len(fired) != len(want) {
+			t.Fatalf("iter %d: fired %d, want %d", iter, len(fired), len(want))
+		}
+		for i := range want {
+			if fired[i] != want[i].id {
+				t.Fatalf("iter %d: fired order %v differs from expected at %d", iter, fired, i)
+			}
+		}
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(float64(i%1000)/1000.0, func() {})
+		if e.Pending() > 10000 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+func TestProcessedCounterAndPeriod(t *testing.T) {
+	e := New()
+	e.Schedule(1, func() {})
+	e.Schedule(2, func() {})
+	e.RunAll()
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", e.Processed())
+	}
+	tk := NewTicker(e, 3, func(float64) {})
+	if tk.Period() != 3 {
+		t.Errorf("Period = %v", tk.Period())
+	}
+	tk.Stop()
+	tk.Stop() // double stop is a no-op
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback must panic")
+		}
+	}()
+	New().At(1, nil)
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period must panic")
+		}
+	}()
+	NewTicker(New(), 0, func(float64) {})
+}

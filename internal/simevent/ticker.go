@@ -1,0 +1,46 @@
+package simevent
+
+// Ticker invokes a callback at a fixed simulated period until stopped.
+// Policies use tickers for periodic re-evaluation (DRPM windows, epochs,
+// destage scans).
+type Ticker struct {
+	engine  *Engine
+	period  float64
+	fn      func(now float64)
+	ev      *Event
+	stopped bool
+}
+
+// NewTicker schedules fn every period seconds, first firing one period from
+// now. period must be positive.
+func NewTicker(e *Engine, period float64, fn func(now float64)) *Ticker {
+	if period <= 0 {
+		panic("simevent: ticker period must be positive")
+	}
+	t := &Ticker{engine: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.period, func() {
+		if t.stopped {
+			return
+		}
+		// Re-arm before the callback so the callback may Stop the ticker.
+		t.arm()
+		t.fn(t.engine.Now())
+	})
+}
+
+// Stop cancels future ticks. Safe to call from within the tick callback.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.engine.Cancel(t.ev)
+}
+
+// Period returns the tick period in seconds.
+func (t *Ticker) Period() float64 { return t.period }

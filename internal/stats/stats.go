@@ -1,0 +1,171 @@
+// Package stats provides the online statistics used throughout the
+// simulator: streaming moments, reservoir percentiles, sliding-window
+// response-time tracking, and time-weighted state accounting for energy
+// integration.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Welford accumulates count, mean and variance in a single pass.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	if w.n == 0 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	w.n++
+	w.sum += x
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Sum returns the running sum of observations.
+func (w *Welford) Sum() float64 { return w.sum }
+
+// Mean returns the running mean, or 0 with no observations.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Var returns the population variance, or 0 with fewer than 2 observations.
+func (w *Welford) Var() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// Std returns the population standard deviation.
+func (w *Welford) Std() float64 { return math.Sqrt(w.Var()) }
+
+// SecondMoment returns E[X^2] = Var + Mean^2, which the M/G/1 model needs.
+func (w *Welford) SecondMoment() float64 {
+	return w.Var() + w.mean*w.mean
+}
+
+// Min returns the smallest observation (0 if none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if none).
+func (w *Welford) Max() float64 { return w.max }
+
+// Reset clears the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// Merge folds another accumulator's observations into this one (parallel
+// variance combination).
+func (w *Welford) Merge(o *Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *o
+		return
+	}
+	n := w.n + o.n
+	delta := o.mean - w.mean
+	mean := w.mean + delta*float64(o.n)/float64(n)
+	m2 := w.m2 + o.m2 + delta*delta*float64(w.n)*float64(o.n)/float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n, w.mean, w.m2 = n, mean, m2
+	w.sum += o.sum
+}
+
+// Reservoir keeps a fixed-size uniform sample of a stream (Vitter's
+// algorithm R) so percentiles can be estimated over arbitrarily long runs
+// in bounded memory.
+type Reservoir struct {
+	rng   *rand.Rand
+	cap   int
+	seen  uint64
+	items []float64
+	dirty bool // sorted cache invalid
+}
+
+// NewReservoir panics unless capacity > 0. The seed fixes sampling so runs
+// are reproducible.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("stats: reservoir capacity must be positive, got %d", capacity))
+	}
+	return &Reservoir{
+		rng:   rand.New(rand.NewSource(seed)),
+		cap:   capacity,
+		items: make([]float64, 0, capacity),
+	}
+}
+
+// Add offers one observation to the reservoir.
+func (r *Reservoir) Add(x float64) {
+	r.seen++
+	if len(r.items) < r.cap {
+		r.items = append(r.items, x)
+		r.dirty = true
+		return
+	}
+	if j := r.rng.Int63n(int64(r.seen)); j < int64(r.cap) {
+		r.items[j] = x
+		r.dirty = true
+	}
+}
+
+// Seen returns how many observations were offered.
+func (r *Reservoir) Seen() uint64 { return r.seen }
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the sample; it
+// returns 0 when empty.
+func (r *Reservoir) Quantile(q float64) float64 {
+	if len(r.items) == 0 {
+		return 0
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	if r.dirty {
+		sort.Float64s(r.items)
+		r.dirty = false
+	}
+	// Nearest-rank with linear interpolation.
+	pos := q * float64(len(r.items)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return r.items[lo]
+	}
+	frac := pos - float64(lo)
+	return r.items[lo]*(1-frac) + r.items[hi]*frac
+}
+
+// Reset clears the reservoir but keeps the RNG stream position.
+func (r *Reservoir) Reset() {
+	r.items = r.items[:0]
+	r.seen = 0
+	r.dirty = false
+}

@@ -1,0 +1,103 @@
+package stats
+
+import "fmt"
+
+// StateAccount integrates time (and, with a power assignment, energy)
+// across a set of named states. The disk model uses one per disk: each
+// state change closes the previous interval at the current power draw.
+type StateAccount struct {
+	last      float64 // time of the last transition
+	state     string
+	power     float64            // watts drawn in the current state
+	duration  map[string]float64 // seconds per state name
+	energy    map[string]float64 // joules per state name
+	switches  map[string]uint64  // entry count per state name
+	totEnergy float64
+}
+
+// NewStateAccount starts accounting at time t0 in the given state drawing
+// `power` watts.
+func NewStateAccount(t0 float64, state string, power float64) *StateAccount {
+	return &StateAccount{
+		last:     t0,
+		state:    state,
+		power:    power,
+		duration: map[string]float64{},
+		energy:   map[string]float64{},
+		switches: map[string]uint64{state: 1},
+	}
+}
+
+// Transition closes the current interval at time t and enters a new state
+// with a new power draw. t must be >= the previous transition time.
+func (a *StateAccount) Transition(t float64, state string, power float64) {
+	a.accrue(t)
+	a.state = state
+	a.power = power
+	a.switches[state]++
+}
+
+// SetPower changes the power draw without changing the named state (e.g. a
+// disk moving between idle and active power at the same RPM).
+func (a *StateAccount) SetPower(t float64, power float64) {
+	a.accrue(t)
+	a.power = power
+}
+
+func (a *StateAccount) accrue(t float64) {
+	if t < a.last {
+		panic(fmt.Sprintf("stats: state account time went backwards: %v < %v", t, a.last))
+	}
+	dt := t - a.last
+	a.duration[a.state] += dt
+	e := a.power * dt
+	a.energy[a.state] += e
+	a.totEnergy += e
+	a.last = t
+}
+
+// AddEnergy charges a lump of energy (joules) to a named state without
+// advancing time — used for spin-up/spin-down transition energies which the
+// disk specs give as totals rather than power curves.
+func (a *StateAccount) AddEnergy(state string, joules float64) {
+	if joules < 0 {
+		panic(fmt.Sprintf("stats: negative lump energy %v", joules))
+	}
+	a.energy[state] += joules
+	a.totEnergy += joules
+}
+
+// Close accrues up to time t without changing state; call once at the end
+// of a run before reading totals.
+func (a *StateAccount) Close(t float64) { a.accrue(t) }
+
+// State returns the current state name.
+func (a *StateAccount) State() string { return a.state }
+
+// Power returns the current power draw in watts.
+func (a *StateAccount) Power() float64 { return a.power }
+
+// TotalEnergy returns all joules accrued so far (excluding the open
+// interval; call Close first for end-of-run totals).
+func (a *StateAccount) TotalEnergy() float64 { return a.totEnergy }
+
+// EnergyByState returns a copy of the joules-per-state map.
+func (a *StateAccount) EnergyByState() map[string]float64 {
+	out := make(map[string]float64, len(a.energy))
+	for k, v := range a.energy {
+		out[k] = v
+	}
+	return out
+}
+
+// DurationByState returns a copy of the seconds-per-state map.
+func (a *StateAccount) DurationByState() map[string]float64 {
+	out := make(map[string]float64, len(a.duration))
+	for k, v := range a.duration {
+		out[k] = v
+	}
+	return out
+}
+
+// Entries returns how many times the named state was entered.
+func (a *StateAccount) Entries(state string) uint64 { return a.switches[state] }

@@ -1,0 +1,109 @@
+package stats
+
+import "fmt"
+
+// WindowTracker maintains response-time statistics over a sliding window of
+// fixed duration, bucketed for O(1) expiry. The Hibernator boost controller
+// and the DRPM baseline both consult it ("has the recent average response
+// time exceeded the goal?").
+type WindowTracker struct {
+	bucketLen float64
+	buckets   []bucket
+	head      int     // index of the bucket containing `cursor`
+	cursor    float64 // start time of the head bucket
+	totSum    float64
+	totCount  uint64
+}
+
+type bucket struct {
+	sum   float64
+	count uint64
+}
+
+// NewWindowTracker tracks the trailing `window` seconds using `buckets`
+// sub-intervals (more buckets = finer expiry granularity).
+func NewWindowTracker(window float64, buckets int) *WindowTracker {
+	if window <= 0 || buckets <= 0 {
+		panic(fmt.Sprintf("stats: window tracker needs window>0, buckets>0; got %v, %d", window, buckets))
+	}
+	return &WindowTracker{
+		bucketLen: window / float64(buckets),
+		buckets:   make([]bucket, buckets),
+	}
+}
+
+// advance rotates buckets until the one containing time t is current.
+func (w *WindowTracker) advance(t float64) {
+	for t >= w.cursor+w.bucketLen {
+		w.head = (w.head + 1) % len(w.buckets)
+		w.cursor += w.bucketLen
+		old := &w.buckets[w.head]
+		w.totSum -= old.sum
+		w.totCount -= old.count
+		old.sum, old.count = 0, 0
+		// If t is far beyond the window, fast-forward without spinning
+		// through every empty bucket.
+		if w.totCount == 0 && t >= w.cursor+float64(len(w.buckets))*w.bucketLen {
+			skipped := int((t - w.cursor) / w.bucketLen)
+			w.cursor += float64(skipped) * w.bucketLen
+		}
+	}
+}
+
+// Observe records one response time value at simulated time t. Times must
+// be non-decreasing across calls.
+func (w *WindowTracker) Observe(t, value float64) {
+	w.advance(t)
+	b := &w.buckets[w.head]
+	b.sum += value
+	b.count++
+	w.totSum += value
+	w.totCount++
+}
+
+// Mean returns the average of observations in the trailing window as of
+// time t, and the number of observations it covers.
+func (w *WindowTracker) Mean(t float64) (mean float64, count uint64) {
+	w.advance(t)
+	if w.totCount == 0 {
+		return 0, 0
+	}
+	return w.totSum / float64(w.totCount), w.totCount
+}
+
+// Window returns the configured window length in seconds.
+func (w *WindowTracker) Window() float64 {
+	return w.bucketLen * float64(len(w.buckets))
+}
+
+// CumulativeTracker accumulates a lifetime sum/count so policies can hold a
+// *long-run* average under a goal, as Hibernator's performance guarantee
+// requires (transient spikes are fine if the cumulative average recovers).
+type CumulativeTracker struct {
+	sum   float64
+	count uint64
+}
+
+// Observe records one value.
+func (c *CumulativeTracker) Observe(value float64) {
+	c.sum += value
+	c.count++
+}
+
+// Mean returns the lifetime average (0 when empty).
+func (c *CumulativeTracker) Mean() float64 {
+	if c.count == 0 {
+		return 0
+	}
+	return c.sum / float64(c.count)
+}
+
+// Count returns the number of observations.
+func (c *CumulativeTracker) Count() uint64 { return c.count }
+
+// Slack returns how much total response time could still be added while
+// keeping the cumulative mean at or below goal. Positive slack means the
+// system is ahead of its goal; negative means it is in deficit.
+func (c *CumulativeTracker) Slack(goal float64) float64 {
+	return goal*float64(c.count) - c.sum
+}

@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits requests as "time,offset,size,rw" lines with a header.
+func WriteCSV(w io.Writer, src Source) (int, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "time,offset,size,rw"); err != nil {
+		return 0, err
+	}
+	n := 0
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		rw := "R"
+		if r.Write {
+			rw = "W"
+		}
+		if _, err := fmt.Fprintf(bw, "%.6f,%d,%d,%s\n", r.Time, r.Off, r.Size, rw); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, bw.Flush()
+}
+
+// CSVSource parses the WriteCSV format lazily.
+type CSVSource struct {
+	sc       *bufio.Scanner
+	line     int
+	err      error
+	lastTime float64
+}
+
+// NewCSVSource wraps a reader; the header line is required.
+func NewCSVSource(r io.Reader) (*CSVSource, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != "time,offset,size,rw" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %q", got)
+	}
+	return &CSVSource{sc: sc, line: 1}, nil
+}
+
+// Next implements Source. Malformed lines terminate the stream; Err
+// reports the cause.
+func (c *CSVSource) Next() (Request, bool) {
+	if c.err != nil || !c.sc.Scan() {
+		if c.err == nil {
+			c.err = c.sc.Err()
+		}
+		return Request{}, false
+	}
+	c.line++
+	fields := strings.Split(strings.TrimSpace(c.sc.Text()), ",")
+	if len(fields) != 4 {
+		c.err = fmt.Errorf("trace: line %d: want 4 fields, got %d", c.line, len(fields))
+		return Request{}, false
+	}
+	t, err1 := strconv.ParseFloat(fields[0], 64)
+	off, err2 := strconv.ParseInt(fields[1], 10, 64)
+	size, err3 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		c.err = fmt.Errorf("trace: line %d: bad numeric field", c.line)
+		return Request{}, false
+	}
+	var write bool
+	switch fields[3] {
+	case "R":
+	case "W":
+		write = true
+	default:
+		c.err = fmt.Errorf("trace: line %d: rw field %q", c.line, fields[3])
+		return Request{}, false
+	}
+	if t < c.lastTime {
+		c.err = fmt.Errorf("trace: line %d: time went backwards (%v < %v)", c.line, t, c.lastTime)
+		return Request{}, false
+	}
+	c.lastTime = t
+	return Request{Time: t, Off: off, Size: size, Write: write}, true
+}
+
+// Err returns the first parse or I/O error encountered, if any.
+func (c *CSVSource) Err() error { return c.err }

@@ -1,0 +1,164 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hibernator/internal/dist"
+)
+
+// OLTPConfig parameterizes the OLTP-like generator: small random I/O with
+// Zipf-skewed spatial popularity and Poisson (optionally time-varying)
+// arrivals, the request mix a TPC-C-style database pushes to its array.
+type OLTPConfig struct {
+	Seed        int64
+	VolumeBytes int64
+	Duration    float64 // seconds of trace to emit
+
+	// Rate is the arrival-rate profile; MaxRate must bound it. If Rate is
+	// nil, a constant MaxRate is used.
+	Rate    dist.RateFunc
+	MaxRate float64
+
+	// ZipfS is the popularity skew across regions (default 1.2); Regions
+	// is the popularity granularity (default 4096).
+	ZipfS   float64
+	Regions int
+
+	// ReadFraction defaults to 0.66 (2 reads : 1 write, TPC-C-like).
+	ReadFraction float64
+
+	// SizesBytes/SizeWeights describe the request-size mix; default
+	// 4 KiB/8 KiB/16 KiB at weights 0.25/0.60/0.15.
+	SizesBytes  []int64
+	SizeWeights []float64
+
+	// Align rounds offsets down (default 4096).
+	Align int64
+}
+
+func (c *OLTPConfig) applyDefaults() error {
+	if c.VolumeBytes <= 0 {
+		return fmt.Errorf("trace: oltp needs positive volume size, got %d", c.VolumeBytes)
+	}
+	if c.Duration <= 0 {
+		return fmt.Errorf("trace: oltp needs positive duration, got %v", c.Duration)
+	}
+	if c.MaxRate <= 0 {
+		return fmt.Errorf("trace: oltp needs positive max rate, got %v", c.MaxRate)
+	}
+	if c.Rate == nil {
+		c.Rate = dist.ConstantRate(c.MaxRate)
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.2
+	}
+	if c.Regions == 0 {
+		c.Regions = 4096
+	}
+	if c.Regions < 1 {
+		return fmt.Errorf("trace: oltp needs at least one region, got %d", c.Regions)
+	}
+	if c.ReadFraction == 0 {
+		c.ReadFraction = 0.66
+	}
+	if c.ReadFraction < 0 || c.ReadFraction > 1 {
+		return fmt.Errorf("trace: read fraction %v outside [0,1]", c.ReadFraction)
+	}
+	if len(c.SizesBytes) == 0 {
+		c.SizesBytes = []int64{4096, 8192, 16384}
+		c.SizeWeights = []float64{0.25, 0.60, 0.15}
+	}
+	if len(c.SizesBytes) != len(c.SizeWeights) {
+		return fmt.Errorf("trace: %d sizes but %d weights", len(c.SizesBytes), len(c.SizeWeights))
+	}
+	if c.Align == 0 {
+		c.Align = 4096
+	}
+	return nil
+}
+
+// OLTP generates the OLTP-like stream lazily.
+type OLTP struct {
+	cfg     OLTPConfig
+	rng     *rand.Rand
+	arr     *dist.NonHomogeneousPoisson
+	zipf    *dist.Zipf
+	sizes   *dist.Choice
+	isRead  *dist.Bernoulli
+	perm    []int32 // popularity rank -> region index
+	regionB int64   // bytes per region
+	now     float64
+}
+
+// NewOLTP validates the config and builds the generator. Popularity ranks
+// are scattered across the address space by a seeded permutation so that
+// hot data is not physically contiguous — the layout migration policies
+// must find it.
+func NewOLTP(cfg OLTPConfig) (*OLTP, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	rng := dist.Source(cfg.Seed)
+	perm := make([]int32, cfg.Regions)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	g := &OLTP{
+		cfg:     cfg,
+		rng:     rng,
+		arr:     dist.NewNonHomogeneousPoisson(rng, cfg.Rate, cfg.MaxRate),
+		zipf:    dist.NewZipf(rng, cfg.ZipfS, uint64(cfg.Regions)),
+		sizes:   dist.NewChoice(rng, cfg.SizeWeights),
+		isRead:  dist.NewBernoulli(rng, cfg.ReadFraction),
+		perm:    perm,
+		regionB: cfg.VolumeBytes / int64(cfg.Regions),
+	}
+	if g.regionB < cfg.Align {
+		return nil, fmt.Errorf("trace: volume %d too small for %d regions at alignment %d",
+			cfg.VolumeBytes, cfg.Regions, cfg.Align)
+	}
+	return g, nil
+}
+
+// Next implements Source.
+func (g *OLTP) Next() (Request, bool) {
+	t := g.arr.Next(g.now)
+	if t > g.cfg.Duration {
+		return Request{}, false
+	}
+	g.now = t
+	rank := g.zipf.Sample()
+	region := int64(g.perm[rank])
+	size := g.cfg.SizesBytes[g.sizes.Sample()]
+	if size > g.regionB {
+		size = g.regionB
+	}
+	span := g.regionB - size
+	var within int64
+	if span > 0 {
+		within = (g.rng.Int63n(span + 1)) / g.cfg.Align * g.cfg.Align
+	}
+	off := region*g.regionB + within
+	if off+size > g.cfg.VolumeBytes {
+		off = g.cfg.VolumeBytes - size
+	}
+	return Request{Time: t, Off: off, Size: size, Write: !g.isRead.Sample()}, true
+}
+
+// HotRegions returns the region indices holding the top `n` popularity
+// ranks — tests use it to check that migration policies find the hot set.
+func (g *OLTP) HotRegions(n int) []int64 {
+	if n > len(g.perm) {
+		n = len(g.perm)
+	}
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		out[i] = int64(g.perm[i])
+	}
+	return out
+}
+
+// RegionBytes returns the popularity-region size in bytes.
+func (g *OLTP) RegionBytes() int64 { return g.regionB }

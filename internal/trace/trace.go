@@ -1,0 +1,221 @@
+// Package trace defines the logical request stream the simulator consumes
+// and provides the synthetic workload generators that stand in for the
+// paper's proprietary traces: an OLTP-like generator (for the TPC-C-style
+// database workload) and a Cello-like generator (for the HP Cello99
+// file-server workload). See DESIGN.md for the substitution rationale.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Request is one logical array request.
+type Request struct {
+	Time  float64 // arrival time, seconds from run start
+	Off   int64   // logical volume byte offset
+	Size  int64   // bytes
+	Write bool
+}
+
+// Source yields requests in nondecreasing Time order. Next reports false
+// when the stream ends.
+type Source interface {
+	Next() (Request, bool)
+}
+
+// SliceSource replays a fixed request list.
+type SliceSource struct {
+	reqs []Request
+	pos  int
+}
+
+// NewSliceSource panics if the slice is not time-ordered.
+func NewSliceSource(reqs []Request) *SliceSource {
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Time < reqs[i-1].Time {
+			panic(fmt.Sprintf("trace: slice source out of order at %d", i))
+		}
+	}
+	return &SliceSource{reqs: reqs}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (Request, bool) {
+	if s.pos >= len(s.reqs) {
+		return Request{}, false
+	}
+	r := s.reqs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Limit truncates a source at a maximum time and/or request count
+// (zero means unlimited).
+type Limit struct {
+	src      Source
+	maxTime  float64
+	maxCount uint64
+	count    uint64
+}
+
+// NewLimit wraps src.
+func NewLimit(src Source, maxTime float64, maxCount uint64) *Limit {
+	return &Limit{src: src, maxTime: maxTime, maxCount: maxCount}
+}
+
+// Next implements Source.
+func (l *Limit) Next() (Request, bool) {
+	if l.maxCount > 0 && l.count >= l.maxCount {
+		return Request{}, false
+	}
+	r, ok := l.src.Next()
+	if !ok {
+		return Request{}, false
+	}
+	if l.maxTime > 0 && r.Time > l.maxTime {
+		return Request{}, false
+	}
+	l.count++
+	return r, true
+}
+
+// Merge interleaves multiple sources into one time-ordered stream.
+type Merge struct {
+	srcs    []Source
+	heads   []Request
+	present []bool
+}
+
+// NewMerge pulls the first request of each source eagerly.
+func NewMerge(srcs ...Source) *Merge {
+	m := &Merge{srcs: srcs, heads: make([]Request, len(srcs)), present: make([]bool, len(srcs))}
+	for i, s := range srcs {
+		m.heads[i], m.present[i] = s.Next()
+	}
+	return m
+}
+
+// Next implements Source.
+func (m *Merge) Next() (Request, bool) {
+	best := -1
+	for i, ok := range m.present {
+		if !ok {
+			continue
+		}
+		if best < 0 || m.heads[i].Time < m.heads[best].Time {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Request{}, false
+	}
+	r := m.heads[best]
+	m.heads[best], m.present[best] = m.srcs[best].Next()
+	return r, true
+}
+
+// Drain collects up to max requests from a source (0 = all).
+func Drain(src Source, max int) []Request {
+	var out []Request
+	for {
+		if max > 0 && len(out) >= max {
+			return out
+		}
+		r, ok := src.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// Characteristics summarizes a request list for the workload table (T2).
+type Characteristics struct {
+	Count            int
+	ReadFraction     float64
+	MeanSizeBytes    float64
+	MeanInterarrival float64
+	Duration         float64
+	// Top10Coverage is the fraction of accesses landing in the hottest 10%
+	// of 1 MiB regions — the spatial skew migration policies exploit.
+	Top10Coverage float64
+}
+
+// Characterize computes summary statistics of a trace.
+func Characterize(reqs []Request) Characteristics {
+	var c Characteristics
+	c.Count = len(reqs)
+	if c.Count == 0 {
+		return c
+	}
+	const region = 1 << 20
+	regions := map[int64]int{}
+	reads := 0
+	var bytes int64
+	for _, r := range reqs {
+		if !r.Write {
+			reads++
+		}
+		bytes += r.Size
+		regions[r.Off/region]++
+	}
+	c.ReadFraction = float64(reads) / float64(c.Count)
+	c.MeanSizeBytes = float64(bytes) / float64(c.Count)
+	c.Duration = reqs[len(reqs)-1].Time - reqs[0].Time
+	if c.Count > 1 {
+		c.MeanInterarrival = c.Duration / float64(c.Count-1)
+	}
+	counts := make([]int, 0, len(regions))
+	for _, n := range regions {
+		counts = append(counts, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := (len(counts) + 9) / 10
+	sum := 0
+	for i := 0; i < top; i++ {
+		sum += counts[i]
+	}
+	c.Top10Coverage = float64(sum) / float64(c.Count)
+	return c
+}
+
+// Scale transforms a source: arrival times multiply by timeFactor (>1
+// stretches the trace, <1 compresses and intensifies it) and offsets by
+// addrFactor (folding into [0, volumeBytes) when provided). This is the
+// standard trace-scaling tool for fitting a recorded workload onto a
+// different array.
+type Scale struct {
+	src         Source
+	timeFactor  float64
+	addrFactor  float64
+	volumeBytes int64
+}
+
+// NewScale wraps src. Factors must be positive; volumeBytes 0 disables
+// address folding.
+func NewScale(src Source, timeFactor, addrFactor float64, volumeBytes int64) *Scale {
+	if timeFactor <= 0 || addrFactor <= 0 {
+		panic(fmt.Sprintf("trace: scale factors must be positive, got %v/%v", timeFactor, addrFactor))
+	}
+	return &Scale{src: src, timeFactor: timeFactor, addrFactor: addrFactor, volumeBytes: volumeBytes}
+}
+
+// Next implements Source.
+func (s *Scale) Next() (Request, bool) {
+	r, ok := s.src.Next()
+	if !ok {
+		return Request{}, false
+	}
+	r.Time *= s.timeFactor
+	r.Off = int64(float64(r.Off) * s.addrFactor)
+	if s.volumeBytes > 0 {
+		if r.Off+r.Size > s.volumeBytes {
+			r.Off = r.Off % (s.volumeBytes - r.Size)
+		}
+		if r.Off < 0 {
+			r.Off = 0
+		}
+	}
+	return r, true
+}

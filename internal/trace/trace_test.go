@@ -1,0 +1,427 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"hibernator/internal/dist"
+)
+
+func TestSliceSourceAndDrain(t *testing.T) {
+	reqs := []Request{{Time: 1}, {Time: 2}, {Time: 3}}
+	got := Drain(NewSliceSource(reqs), 0)
+	if len(got) != 3 {
+		t.Fatalf("drained %d, want 3", len(got))
+	}
+	got = Drain(NewSliceSource(reqs), 2)
+	if len(got) != 2 {
+		t.Fatalf("limited drain = %d, want 2", len(got))
+	}
+}
+
+func TestSliceSourceRejectsDisorder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order slice must panic")
+		}
+	}()
+	NewSliceSource([]Request{{Time: 2}, {Time: 1}})
+}
+
+func TestLimit(t *testing.T) {
+	reqs := []Request{{Time: 1}, {Time: 2}, {Time: 3}, {Time: 4}}
+	got := Drain(NewLimit(NewSliceSource(reqs), 2.5, 0), 0)
+	if len(got) != 2 {
+		t.Fatalf("time-limited drain = %d, want 2", len(got))
+	}
+	got = Drain(NewLimit(NewSliceSource(reqs), 0, 3), 0)
+	if len(got) != 3 {
+		t.Fatalf("count-limited drain = %d, want 3", len(got))
+	}
+}
+
+func TestMergePreservesOrder(t *testing.T) {
+	a := NewSliceSource([]Request{{Time: 1}, {Time: 4}, {Time: 5}})
+	b := NewSliceSource([]Request{{Time: 2}, {Time: 3}, {Time: 6}})
+	got := Drain(NewMerge(a, b), 0)
+	if len(got) != 6 {
+		t.Fatalf("merged %d, want 6", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatalf("merge out of order at %d: %v", i, got)
+		}
+	}
+}
+
+func oltpFor(t *testing.T, cfg OLTPConfig) *OLTP {
+	t.Helper()
+	g, err := NewOLTP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestOLTPBasicProperties(t *testing.T) {
+	vol := int64(1) << 32 // 4 GiB
+	g := oltpFor(t, OLTPConfig{Seed: 1, VolumeBytes: vol, Duration: 600, MaxRate: 100})
+	reqs := Drain(g, 0)
+	if len(reqs) == 0 {
+		t.Fatal("no requests generated")
+	}
+	// Rate check: ~100 req/s over 600 s.
+	if got := float64(len(reqs)); math.Abs(got-60000) > 3000 {
+		t.Errorf("generated %v requests, want ~60000", got)
+	}
+	for i, r := range reqs {
+		if r.Off < 0 || r.Off+r.Size > vol {
+			t.Fatalf("request %d outside volume: off=%d size=%d", i, r.Off, r.Size)
+		}
+		if r.Off%4096 != 0 {
+			t.Fatalf("request %d not aligned: %d", i, r.Off)
+		}
+		if i > 0 && r.Time < reqs[i-1].Time {
+			t.Fatalf("time disorder at %d", i)
+		}
+		if r.Time > 600 {
+			t.Fatalf("request %d beyond duration: %v", i, r.Time)
+		}
+	}
+	c := Characterize(reqs)
+	if math.Abs(c.ReadFraction-0.66) > 0.02 {
+		t.Errorf("read fraction %v, want ~0.66", c.ReadFraction)
+	}
+	if c.Top10Coverage < 0.5 {
+		t.Errorf("top-10%% coverage %v; want skewed (>0.5)", c.Top10Coverage)
+	}
+}
+
+func TestOLTPHotRegionsReceiveMostTraffic(t *testing.T) {
+	vol := int64(1) << 30
+	g := oltpFor(t, OLTPConfig{Seed: 2, VolumeBytes: vol, Duration: 300, MaxRate: 200, Regions: 256})
+	hot := map[int64]bool{}
+	for _, r := range g.HotRegions(26) { // top ~10%
+		hot[r] = true
+	}
+	reqs := Drain(g, 0)
+	inHot := 0
+	for _, r := range reqs {
+		if hot[r.Off/g.RegionBytes()] {
+			inHot++
+		}
+	}
+	frac := float64(inHot) / float64(len(reqs))
+	if frac < 0.5 {
+		t.Errorf("hot regions got %v of traffic, want > 0.5", frac)
+	}
+}
+
+func TestOLTPDiurnalModulation(t *testing.T) {
+	vol := int64(1) << 30
+	day := 1000.0
+	g := oltpFor(t, OLTPConfig{
+		Seed: 3, VolumeBytes: vol, Duration: day,
+		Rate:    dist.DiurnalRate(5, 100, day, 0.5),
+		MaxRate: 100,
+	})
+	reqs := Drain(g, 0)
+	var edge, mid int
+	for _, r := range reqs {
+		switch {
+		case r.Time < day/8 || r.Time > day*7/8:
+			edge++
+		case r.Time > day*3/8 && r.Time < day*5/8:
+			mid++
+		}
+	}
+	if mid < 3*edge {
+		t.Errorf("diurnal peak not visible: mid=%d edge=%d", mid, edge)
+	}
+}
+
+func TestOLTPDeterministicBySeed(t *testing.T) {
+	mk := func() []Request {
+		g := oltpFor(t, OLTPConfig{Seed: 7, VolumeBytes: 1 << 30, Duration: 10, MaxRate: 50})
+		return Drain(g, 0)
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestOLTPConfigValidation(t *testing.T) {
+	bad := []OLTPConfig{
+		{VolumeBytes: 0, Duration: 1, MaxRate: 1},
+		{VolumeBytes: 1 << 30, Duration: 0, MaxRate: 1},
+		{VolumeBytes: 1 << 30, Duration: 1, MaxRate: 0},
+		{VolumeBytes: 1 << 30, Duration: 1, MaxRate: 1, ReadFraction: 1.5},
+		{VolumeBytes: 1 << 20, Duration: 1, MaxRate: 1, Regions: 1 << 20}, // regions too fine
+	}
+	for i, cfg := range bad {
+		if _, err := NewOLTP(cfg); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+}
+
+func TestCelloBasicProperties(t *testing.T) {
+	vol := int64(8) << 30
+	g, err := NewCello(CelloConfig{Seed: 1, VolumeBytes: vol, Duration: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := Drain(g, 0)
+	if len(reqs) < 100 {
+		t.Fatalf("only %d requests", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Off < 0 || r.Off+r.Size > vol {
+			t.Fatalf("request %d outside volume", i)
+		}
+		if i > 0 && r.Time < reqs[i-1].Time {
+			t.Fatalf("time disorder at %d: %v < %v", i, r.Time, reqs[i-1].Time)
+		}
+		if r.Time > 2000 {
+			t.Fatalf("request beyond duration at %d", i)
+		}
+	}
+}
+
+func TestCelloBurstiness(t *testing.T) {
+	g, err := NewCello(CelloConfig{Seed: 2, VolumeBytes: 8 << 30, Duration: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := Drain(g, 0)
+	// Burstiness: the squared coefficient of variation of inter-arrivals
+	// should far exceed 1 (Poisson).
+	var gaps []float64
+	for i := 1; i < len(reqs); i++ {
+		gaps = append(gaps, reqs[i].Time-reqs[i-1].Time)
+	}
+	mean, m2 := 0.0, 0.0
+	for _, x := range gaps {
+		mean += x
+	}
+	mean /= float64(len(gaps))
+	for _, x := range gaps {
+		m2 += (x - mean) * (x - mean)
+	}
+	cv2 := m2 / float64(len(gaps)) / (mean * mean)
+	if cv2 < 2 {
+		t.Errorf("inter-arrival CV^2 = %v; want bursty (>2)", cv2)
+	}
+}
+
+func TestCelloSequentiality(t *testing.T) {
+	g, err := NewCello(CelloConfig{Seed: 3, VolumeBytes: 8 << 30, Duration: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := Drain(g, 0)
+	seq := 0
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Off == reqs[i-1].Off+reqs[i-1].Size {
+			seq++
+		}
+	}
+	frac := float64(seq) / float64(len(reqs)-1)
+	if frac < 0.3 {
+		t.Errorf("sequential fraction %v, want >= 0.3", frac)
+	}
+}
+
+func TestCelloVolumeSkew(t *testing.T) {
+	g, err := NewCello(CelloConfig{Seed: 4, VolumeBytes: 8 << 30, Duration: 5000, Volumes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := Drain(g, 0)
+	volBytes := int64(8<<30) / 8
+	counts := make([]int, 8)
+	for _, r := range reqs {
+		counts[r.Off/volBytes]++
+	}
+	if counts[0] <= counts[7] {
+		t.Errorf("volume 0 (%d) should outweigh volume 7 (%d)", counts[0], counts[7])
+	}
+}
+
+func TestCelloDiurnalTrough(t *testing.T) {
+	day := 2000.0
+	g, err := NewCello(CelloConfig{
+		Seed: 5, VolumeBytes: 8 << 30, Duration: day,
+		DayPeriod: day, NightRate: 0.001, DayRate: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := Drain(g, 0)
+	var night, dayCount int
+	for _, r := range reqs {
+		if r.Time < day/8 || r.Time > day*7/8 {
+			night++
+		} else if r.Time > day*3/8 && r.Time < day*5/8 {
+			dayCount++
+		}
+	}
+	if dayCount < 5*night {
+		t.Errorf("diurnal trough not visible: day=%d night=%d", dayCount, night)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	g := oltpFor(t, OLTPConfig{Seed: 9, VolumeBytes: 1 << 30, Duration: 5, MaxRate: 100})
+	orig := Drain(g, 0)
+	var buf bytes.Buffer
+	n, err := WriteCSV(&buf, NewSliceSource(orig))
+	if err != nil || n != len(orig) {
+		t.Fatalf("WriteCSV n=%d err=%v", n, err)
+	}
+	src, err := NewCSVSource(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(src, 0)
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip %d, want %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Off != orig[i].Off || got[i].Size != orig[i].Size || got[i].Write != orig[i].Write {
+			t.Fatalf("request %d mismatch: %+v vs %+v", i, got[i], orig[i])
+		}
+		if math.Abs(got[i].Time-orig[i].Time) > 1e-6 {
+			t.Fatalf("request %d time drift", i)
+		}
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus header\n1,2,3,R\n",
+		"time,offset,size,rw\n1,2,3\n",
+		"time,offset,size,rw\nx,2,3,R\n",
+		"time,offset,size,rw\n1,2,3,Q\n",
+		"time,offset,size,rw\n5,2,3,R\n1,2,3,R\n", // time backwards
+	}
+	for i, s := range cases {
+		src, err := NewCSVSource(strings.NewReader(s))
+		if err != nil {
+			continue // header-level rejection is fine
+		}
+		Drain(src, 0)
+		if src.Err() == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestCharacterize(t *testing.T) {
+	reqs := []Request{
+		{Time: 0, Off: 0, Size: 4096, Write: false},
+		{Time: 1, Off: 1 << 20, Size: 8192, Write: true},
+		{Time: 2, Off: 0, Size: 4096, Write: false},
+		{Time: 3, Off: 0, Size: 4096, Write: false},
+	}
+	c := Characterize(reqs)
+	if c.Count != 4 {
+		t.Errorf("Count = %d", c.Count)
+	}
+	if math.Abs(c.ReadFraction-0.75) > 1e-12 {
+		t.Errorf("ReadFraction = %v", c.ReadFraction)
+	}
+	if math.Abs(c.MeanSizeBytes-5120) > 1e-9 {
+		t.Errorf("MeanSize = %v", c.MeanSizeBytes)
+	}
+	if math.Abs(c.MeanInterarrival-1) > 1e-12 {
+		t.Errorf("MeanInterarrival = %v", c.MeanInterarrival)
+	}
+	if Characterize(nil).Count != 0 {
+		t.Error("empty trace should characterize as zero")
+	}
+}
+
+func TestZipfRanksAreScattered(t *testing.T) {
+	// The permutation must scatter hot ranks; the top-8 hot regions should
+	// not be one contiguous run.
+	g := oltpFor(t, OLTPConfig{Seed: 11, VolumeBytes: 1 << 30, Duration: 1, MaxRate: 1, Regions: 256})
+	hot := g.HotRegions(8)
+	sorted := append([]int64(nil), hot...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	contiguous := true
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] != sorted[i-1]+1 {
+			contiguous = false
+		}
+	}
+	if contiguous {
+		t.Error("hot regions are contiguous; permutation is not scattering")
+	}
+}
+
+func TestScaleTransformsTimeAndAddresses(t *testing.T) {
+	reqs := []Request{
+		{Time: 1, Off: 1000, Size: 100},
+		{Time: 2, Off: 5000, Size: 100},
+	}
+	got := Drain(NewScale(NewSliceSource(reqs), 2.0, 0.5, 0), 0)
+	if got[0].Time != 2 || got[1].Time != 4 {
+		t.Errorf("times = %v, %v", got[0].Time, got[1].Time)
+	}
+	if got[0].Off != 500 || got[1].Off != 2500 {
+		t.Errorf("offsets = %d, %d", got[0].Off, got[1].Off)
+	}
+}
+
+func TestScaleFoldsIntoVolume(t *testing.T) {
+	reqs := []Request{{Time: 1, Off: 10000, Size: 100}}
+	got := Drain(NewScale(NewSliceSource(reqs), 1, 1, 4096), 0)
+	if got[0].Off+got[0].Size > 4096 || got[0].Off < 0 {
+		t.Errorf("folded offset %d escapes the volume", got[0].Off)
+	}
+}
+
+func TestScaleRejectsBadFactors(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive factors must panic")
+		}
+	}()
+	NewScale(NewSliceSource(nil), 0, 1, 0)
+}
+
+func BenchmarkOLTPGeneration(b *testing.B) {
+	g, err := NewOLTP(OLTPConfig{Seed: 1, VolumeBytes: 100 << 30, Duration: 1e12, MaxRate: 100})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+func BenchmarkCelloGeneration(b *testing.B) {
+	g, err := NewCello(CelloConfig{Seed: 1, VolumeBytes: 100 << 30, Duration: 1e12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
