@@ -5,11 +5,18 @@
 //
 //	hibexp                      # run everything at default scale
 //	hibexp -run F1,F2 -scale 0.2
+//	hibexp -par 8               # fan out across 8 workers
 //	hibexp -list
 //	hibexp -csv out/            # also write one CSV per table
+//
+// Every experiment is deterministic for a fixed seed, so -par only
+// changes wall-clock time: experiments run concurrently (and fan their
+// own simulation runs out over the same width), but tables are printed
+// in experiment-ID order and are byte-identical to a -par 1 run.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +25,8 @@ import (
 	"time"
 
 	"hibernator/internal/experiments"
+	"hibernator/internal/report"
+	"hibernator/internal/runner"
 )
 
 func main() {
@@ -25,6 +34,7 @@ func main() {
 		runIDs  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
 		scale   = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full multi-hour runs)")
 		seed    = flag.Int64("seed", 1, "master random seed")
+		par     = flag.Int("par", 0, "worker pool width for experiments and their inner fan-outs (0 = GOMAXPROCS, 1 = sequential)")
 		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files into")
 		list    = flag.Bool("list", false, "list experiments and exit")
 		verbose = flag.Bool("v", false, "print progress while running")
@@ -53,7 +63,7 @@ func main() {
 		}
 	}
 
-	opts := experiments.Opts{Scale: *scale, Seed: *seed}
+	opts := experiments.Opts{Scale: *scale, Seed: *seed, Workers: *par}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
@@ -64,16 +74,31 @@ func main() {
 		}
 	}
 
-	for _, e := range selected {
-		start := time.Now()
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
-		}
-		tables, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hibexp: %s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
+	start := time.Now()
+	// Run the selected experiments on the pool; results come back in
+	// selection (ID) order regardless of which finishes first.
+	results, err := runner.Map(context.Background(), *par, len(selected),
+		func(_ context.Context, i int) ([]*report.Table, error) {
+			e := selected[i]
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "running %s: %s\n", e.ID, e.Title)
+			}
+			t0 := time.Now()
+			tables, err := e.Run(opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			if *verbose {
+				fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, time.Since(t0).Round(time.Millisecond))
+			}
+			return tables, nil
+		})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
+		os.Exit(1)
+	}
+
+	for _, tables := range results {
 		for _, t := range tables {
 			if err := t.Fprint(os.Stdout); err != nil {
 				fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
@@ -81,22 +106,26 @@ func main() {
 			}
 			fmt.Println()
 			if *csvDir != "" {
-				path := filepath.Join(*csvDir, t.ID+".csv")
-				f, err := os.Create(path)
-				if err != nil {
+				if err := writeCSV(*csvDir, t); err != nil {
 					fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
 					os.Exit(1)
 				}
-				if err := t.CSV(f); err != nil {
-					f.Close()
-					fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
-					os.Exit(1)
-				}
-				f.Close()
 			}
 		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "%s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
-		}
 	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func writeCSV(dir string, t *report.Table) error {
+	f, err := os.Create(filepath.Join(dir, t.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := t.CSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

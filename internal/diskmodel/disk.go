@@ -111,7 +111,7 @@ type Disk struct {
 
 	fg, bg   queue
 	current  *Request
-	inflight *simevent.Event
+	inflight simevent.Event
 	headLBA  int64
 
 	idleSince float64
@@ -455,7 +455,7 @@ func (d *Disk) startNext() {
 func (d *Disk) complete(r *Request, svc float64) {
 	now := d.engine.Now()
 	d.current = nil
-	d.inflight = nil
+	d.inflight = simevent.Event{}
 	d.completed++
 	if r.Background {
 		d.bgCompleted++
@@ -539,7 +539,7 @@ func (d *Disk) Fail() {
 		d.engine.Cancel(d.inflight)
 		doomed = append(doomed, d.current)
 		d.current = nil
-		d.inflight = nil
+		d.inflight = simevent.Event{}
 	}
 	for r := d.fg.pop(); r != nil; r = d.fg.pop() {
 		doomed = append(doomed, r)

@@ -1,14 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/dist"
 	"hibernator/internal/hibernator"
 	"hibernator/internal/policy"
 	"hibernator/internal/raid"
+	"hibernator/internal/runner"
 	"hibernator/internal/sim"
 	"hibernator/internal/trace"
 )
@@ -131,8 +132,10 @@ type bakeoff struct {
 func (b *bakeoff) base() *sim.Result { return b.results["Base"] }
 
 // runBakeoff executes Base first (to fix the response-time goal at
-// goalFactor x its mean), then every other scheme on an identical
-// workload.
+// goalFactor x its mean), then fans the remaining schemes out over the
+// worker pool. Each scheme run builds its own workload source, array and
+// engine from the same seeds, so results are identical to the sequential
+// order — only the wall clock changes.
 func runBakeoff(o Opts, factory func(seed int64, vol int64, dur float64) workloadFactory, dur, goalFactor float64) (*bakeoff, error) {
 	vol, err := volumeBytes(o.Seed)
 	if err != nil {
@@ -161,51 +164,45 @@ func runBakeoff(o Opts, factory func(seed int64, vol int64, dur float64) workloa
 	b.goal = goalFactor * baseRes.MeanResp
 	b.order = append(b.order, "Base")
 	b.results["Base"] = baseRes
-	for _, s := range schemes[1:] {
-		o.logf("  running %s (goal %.2f ms)...", s.name, b.goal*1000)
-		res, err := run(s, b.goal)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s run: %w", s.name, err)
-		}
+	rest := schemes[1:]
+	results, err := runner.Map(context.Background(), o.Workers, len(rest),
+		func(_ context.Context, i int) (*sim.Result, error) {
+			s := rest[i]
+			o.logf("  running %s (goal %.2f ms)...", s.name, b.goal*1000)
+			res, err := run(s, b.goal)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s run: %w", s.name, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range rest {
 		b.order = append(b.order, s.name)
-		b.results[s.name] = res
+		b.results[s.name] = results[i]
 	}
 	return b, nil
 }
 
 // Memoized bake-offs: F1/F2/F10/T3 share the OLTP runs; F3/F4/T3 the
-// Cello runs.
-var (
-	bakeMu    sync.Mutex
-	bakeCache = map[string]*bakeoff{}
-)
+// Cello runs. The singleflight memo matters once experiments themselves
+// run concurrently (hibexp -par): the first of F1/F2/F10/T3 to arrive
+// computes the OLTP bake-off, the others block on it instead of
+// duplicating six simulation runs.
+var bakeMemo memo[*bakeoff]
 
 func memoBakeoff(o Opts, kind string) (*bakeoff, error) {
 	o.norm()
 	key := fmt.Sprintf("%s/%g/%d", kind, o.Scale, o.Seed)
-	bakeMu.Lock()
-	if b, ok := bakeCache[key]; ok {
-		bakeMu.Unlock()
-		return b, nil
-	}
-	bakeMu.Unlock()
-	var (
-		b   *bakeoff
-		err error
-	)
-	switch kind {
-	case "oltp":
-		b, err = runBakeoff(o, oltpFactory, oltpBaseDuration*o.Scale, oltpGoalFactor)
-	case "cello":
-		b, err = runBakeoff(o, celloFactory, celloBaseDuration*o.Scale, celloGoalFactor)
-	default:
-		return nil, fmt.Errorf("experiments: unknown bakeoff %q", kind)
-	}
-	if err != nil {
-		return nil, err
-	}
-	bakeMu.Lock()
-	bakeCache[key] = b
-	bakeMu.Unlock()
-	return b, nil
+	return bakeMemo.do(key, func() (*bakeoff, error) {
+		switch kind {
+		case "oltp":
+			return runBakeoff(o, oltpFactory, oltpBaseDuration*o.Scale, oltpGoalFactor)
+		case "cello":
+			return runBakeoff(o, celloFactory, celloBaseDuration*o.Scale, celloGoalFactor)
+		default:
+			return nil, fmt.Errorf("experiments: unknown bakeoff %q", kind)
+		}
+	})
 }

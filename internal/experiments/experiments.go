@@ -3,9 +3,14 @@
 // returns report tables; cmd/hibexp prints them and bench_test.go wraps
 // them as benchmarks.
 //
-// Experiments are deterministic for a given Opts. Expensive multi-scheme
-// bake-offs are memoized per (workload, scale, seed) so that e.g. F1
-// (energy) and F2 (response time) share one set of simulation runs.
+// Experiments are deterministic for a given Opts: every sim.Run is an
+// independent, seed-deterministic single-threaded simulation, so the
+// fan-outs below (scheme bake-offs, sweep points) run concurrently on a
+// bounded pool without changing a single output byte — Opts.Workers only
+// changes wall-clock time. Expensive multi-scheme bake-offs are memoized
+// per (workload, scale, seed) with singleflight semantics so that e.g. F1
+// (energy) and F2 (response time) share one set of simulation runs even
+// when they themselves run concurrently.
 package experiments
 
 import (
@@ -24,6 +29,10 @@ type Opts struct {
 	Scale float64
 	// Seed drives every generator in the experiment.
 	Seed int64
+	// Workers bounds the concurrent simulation runs inside one experiment
+	// (bake-off schemes, sweep points). 0 = GOMAXPROCS, 1 = sequential.
+	// Results are identical for any value; only wall clock changes.
+	Workers int
 	// Log, if non-nil, receives progress lines.
 	Log io.Writer
 }
@@ -40,9 +49,15 @@ func (o *Opts) norm() {
 	}
 }
 
+// logMu serializes progress lines: concurrent sweep points may log from
+// worker goroutines, and arbitrary io.Writers are not thread-safe.
+var logMu sync.Mutex
+
 func (o Opts) logf(format string, args ...any) {
 	if o.Log != nil {
+		logMu.Lock()
 		fmt.Fprintf(o.Log, format+"\n", args...)
+		logMu.Unlock()
 	}
 }
 
@@ -57,21 +72,42 @@ type Experiment struct {
 var (
 	regMu    sync.Mutex
 	registry []Experiment
+
+	// The sorted view and ID index are built once on first use; every
+	// registration happens in package init, well before that.
+	regOnce  sync.Once
+	sorted   []Experiment
+	byID     map[string]int
+	regFixed bool
 )
 
 func register(e Experiment) {
 	regMu.Lock()
 	defer regMu.Unlock()
+	if regFixed {
+		panic("experiments: register after first All/ByID call")
+	}
 	registry = append(registry, e)
+}
+
+func buildIndex() {
+	regOnce.Do(func() {
+		regMu.Lock()
+		defer regMu.Unlock()
+		regFixed = true
+		sorted = append([]Experiment(nil), registry...)
+		sort.Slice(sorted, func(i, j int) bool { return idLess(sorted[i].ID, sorted[j].ID) })
+		byID = make(map[string]int, len(sorted))
+		for i, e := range sorted {
+			byID[e.ID] = i
+		}
+	})
 }
 
 // All returns every experiment in ID order.
 func All() []Experiment {
-	regMu.Lock()
-	defer regMu.Unlock()
-	out := append([]Experiment(nil), registry...)
-	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
-	return out
+	buildIndex()
+	return append([]Experiment(nil), sorted...)
 }
 
 // idLess orders T1 < T2 < ... < F1 < F2 < ... < F11 < T3-style summary IDs
@@ -110,10 +146,10 @@ func splitID(id string) (prefix string, n int) {
 
 // ByID finds an experiment.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
-		if e.ID == id {
-			return e, true
-		}
+	buildIndex()
+	i, ok := byID[id]
+	if !ok {
+		return Experiment{}, false
 	}
-	return Experiment{}, false
+	return sorted[i], true
 }

@@ -1,0 +1,48 @@
+package experiments
+
+import "sync"
+
+// memo is a typed singleflight cache: the first caller for a key runs the
+// computation; concurrent callers for the same key block on that one
+// computation instead of racing to duplicate it (the old check-then-store
+// pattern let two goroutines each simulate the same bake-off). Errors are
+// cached too — computations here are deterministic, so retrying an
+// identical key would fail identically.
+type memo[T any] struct {
+	mu sync.Mutex
+	m  map[string]*memoEntry[T]
+}
+
+type memoEntry[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (c *memo[T]) do(key string, fn func() (T, error)) (T, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = map[string]*memoEntry[T]{}
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &memoEntry[T]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = fn() })
+	return e.val, e.err
+}
+
+// reset drops every cached entry; tests use it to force recomputation.
+func (c *memo[T]) reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}
+
+// resetMemos clears all experiment-level caches (tests only).
+func resetMemos() {
+	bakeMemo.reset()
+	baseRunMemo.reset()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"hibernator/internal/hibernator"
+	"hibernator/internal/report"
+)
+
+// renderAll renders tables to the exact text hibexp would print.
+func renderAll(t *testing.T, tables []*report.Table) string {
+	t.Helper()
+	var b strings.Builder
+	for _, tb := range tables {
+		if err := tb.Fprint(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.CSV(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+// The determinism contract: running an experiment sequentially
+// (Workers=1) and with a wide pool (Workers=8) must produce deep-equal
+// tables — the pool may only change wall-clock time. T2 fans out the two
+// workload characterizations; F5 fans out five sweep points sharing one
+// memoized Base run.
+func TestParallelMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs several small simulations")
+	}
+	for _, id := range []string{"T2", "F5"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s missing", id)
+			}
+			resetMemos()
+			seq, err := e.Run(Opts{Scale: 0.02, Seed: 11, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resetMemos() // force the parallel run to recompute everything
+			par, err := e.Run(Opts{Scale: 0.02, Seed: 11, Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Errorf("%s: parallel tables differ structurally from sequential", id)
+			}
+			if a, b := renderAll(t, seq), renderAll(t, par); a != b {
+				t.Errorf("%s: rendered output differs:\n--- sequential ---\n%s\n--- parallel ---\n%s", id, a, b)
+			}
+		})
+	}
+}
+
+// Concurrent callers of the same bake-off must share one computation
+// (singleflight), not race to produce two.
+func TestMemoBakeoffSingleflight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a small bake-off")
+	}
+	resetMemos()
+	o := Opts{Scale: 0.02, Seed: 13, Workers: 2}
+	const callers = 8
+	got := make([]*bakeoff, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			b, err := memoBakeoff(o, "oltp")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got[i] = b
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d got a different bake-off instance: singleflight broken", i)
+		}
+	}
+}
+
+// The sweeps' Base run must be computed once per config shape, not once
+// per sweep point: F5's five goal multipliers share one Base result.
+func TestSweepBaseRunMemoized(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs small simulations")
+	}
+	resetMemos()
+	o := Opts{Scale: 0.02, Seed: 17, Workers: 1}
+	o.norm()
+	b1, _, _, err := hibRun(o, nil, hibernator.Options{}, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _, _, err := hibRun(o, nil, hibernator.Options{}, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Fatal("two sweep points recomputed the identical Base run")
+	}
+}

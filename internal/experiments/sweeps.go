@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hibernator/internal/diskmodel"
@@ -8,6 +9,7 @@ import (
 	"hibernator/internal/hibernator"
 	"hibernator/internal/policy"
 	"hibernator/internal/report"
+	"hibernator/internal/runner"
 	"hibernator/internal/sim"
 	"hibernator/internal/trace"
 )
@@ -45,8 +47,32 @@ func init() {
 	})
 }
 
+// baseRunMemo caches the sweeps' shared Base run per (seed, duration,
+// config shape): F5 used to re-simulate an identical Base run for every
+// goal multiplier (5x), F6 for every epoch (5x) and F7 for every level
+// count (3x) even though the Base configuration never changes across the
+// sweep. The singleflight memo also lets concurrent sweep points share
+// the one computation instead of duplicating it.
+var baseRunMemo memo[*sim.Result]
+
+// hibBase returns the memoized Base run for the sweep geometry. The key
+// is the full rendered config (sim.Config is plain data) plus seed and
+// duration, so any cfgMut that actually changes the Base config gets its
+// own cache entry.
+func hibBase(o Opts, cfg sim.Config, dur float64, wf workloadFactory) (*sim.Result, error) {
+	key := fmt.Sprintf("%d|%g|%+v", o.Seed, dur, cfg)
+	return baseRunMemo.do(key, func() (*sim.Result, error) {
+		src, err := wf()
+		if err != nil {
+			return nil, err
+		}
+		return sim.Run(cfg, src, policy.NewBase(), dur)
+	})
+}
+
 // hibRun executes Base and Hibernator on identical OLTP workloads and an
-// absolute goal; helpers for the sweeps.
+// absolute goal; helpers for the sweeps. The Base leg is memoized (see
+// baseRunMemo); the Hibernator leg always runs.
 func hibRun(o Opts, cfgMut func(*sim.Config), opts hibernator.Options, goalMul float64) (base, hib *sim.Result, goal float64, err error) {
 	dur := oltpBaseDuration * o.Scale
 	vol, err := volumeBytes(o.Seed)
@@ -55,18 +81,14 @@ func hibRun(o Opts, cfgMut func(*sim.Config), opts hibernator.Options, goalMul f
 	}
 	wf := oltpFactory(o.Seed+101, vol, dur)
 
-	run := func(ctrl sim.Controller, goal float64, multi bool) (*sim.Result, error) {
-		src, err := wf()
-		if err != nil {
-			return nil, err
-		}
+	mkCfg := func(goal float64, multi bool) sim.Config {
 		cfg := arrayConfig(o.Seed, multi, 0, goal, dur)
 		if cfgMut != nil {
 			cfgMut(&cfg)
 		}
-		return sim.Run(cfg, src, ctrl, dur)
+		return cfg
 	}
-	base, err = run(policy.NewBase(), 0, false)
+	base, err = hibBase(o, mkCfg(0, false), dur, wf)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -74,7 +96,11 @@ func hibRun(o Opts, cfgMut func(*sim.Config), opts hibernator.Options, goalMul f
 	if opts.Epoch == 0 {
 		opts.Epoch = dur / 4
 	}
-	hib, err = run(hibernator.New(opts), goal, true)
+	src, err := wf()
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	hib, err = sim.Run(mkCfg(goal, true), src, hibernator.New(opts), dur)
 	if err != nil {
 		return nil, nil, 0, err
 	}
@@ -85,20 +111,30 @@ func runF5(o Opts) ([]*report.Table, error) {
 	o.norm()
 	t := report.New("F5", "Hibernator energy savings vs response-time goal (OLTP-like)",
 		"goal (x Base mean)", "goal (ms)", "savings", "mean resp (ms)", "violations", "boost-capable")
+	muls := []float64{1.1, 1.3, 1.6, 2.0, 3.0}
+	type point struct {
+		base, hib *sim.Result
+		goal      float64
+	}
+	points, err := runner.Map(context.Background(), o.Workers, len(muls),
+		func(_ context.Context, i int) (point, error) {
+			o.logf("  F5: goal multiplier %.1f", muls[i])
+			b, hib, goal, err := hibRun(o, nil, hibernator.Options{}, muls[i])
+			return point{b, hib, goal}, err
+		})
+	if err != nil {
+		return nil, err
+	}
 	var base *sim.Result
-	for _, mul := range []float64{1.1, 1.3, 1.6, 2.0, 3.0} {
-		o.logf("  F5: goal multiplier %.1f", mul)
-		b, hib, goal, err := hibRun(o, nil, hibernator.Options{}, mul)
-		if err != nil {
-			return nil, err
-		}
-		base = b
+	for i, mul := range muls {
+		p := points[i]
+		base = p.base
 		t.AddRow(
 			report.F(mul, 1),
-			report.Ms(goal),
-			report.Pct(hib.SavingsVs(b)),
-			report.Ms(hib.MeanResp),
-			report.Pct(hib.GoalViolationFrac),
+			report.Ms(p.goal),
+			report.Pct(p.hib.SavingsVs(p.base)),
+			report.Ms(p.hib.MeanResp),
+			report.Pct(p.hib.GoalViolationFrac),
 			"yes",
 		)
 	}
@@ -114,20 +150,27 @@ func runF6(o Opts) ([]*report.Table, error) {
 	dur := oltpBaseDuration * o.Scale
 	t := report.New("F6", "Sensitivity to CR epoch length (OLTP-like, goal 1.6x)",
 		"epoch (s)", "epochs", "savings", "mean resp (ms)", "speed shifts", "violations")
-	for _, div := range []float64{32, 16, 8, 4, 2} {
-		epoch := dur / div
-		o.logf("  F6: epoch %.0f s", epoch)
-		base, hib, _, err := hibRun(o, nil, hibernator.Options{Epoch: epoch}, 1.6)
-		if err != nil {
-			return nil, err
-		}
+	divs := []float64{32, 16, 8, 4, 2}
+	type point struct{ base, hib *sim.Result }
+	points, err := runner.Map(context.Background(), o.Workers, len(divs),
+		func(_ context.Context, i int) (point, error) {
+			epoch := dur / divs[i]
+			o.logf("  F6: epoch %.0f s", epoch)
+			base, hib, _, err := hibRun(o, nil, hibernator.Options{Epoch: epoch}, 1.6)
+			return point{base, hib}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, div := range divs {
+		p := points[i]
 		t.AddRow(
-			report.F(epoch, 0),
+			report.F(dur/div, 0),
 			report.F(div, 0),
-			report.Pct(hib.SavingsVs(base)),
-			report.Ms(hib.MeanResp),
-			report.N(hib.LevelShifts),
-			report.Pct(hib.GoalViolationFrac),
+			report.Pct(p.hib.SavingsVs(p.base)),
+			report.Ms(p.hib.MeanResp),
+			report.N(p.hib.LevelShifts),
+			report.Pct(p.hib.GoalViolationFrac),
 		)
 	}
 	t.AddNote("short epochs adapt faster (and can save more) but violate the goal more often as transitions and replans pile up; very long epochs react too slowly to the diurnal swing to save much; violations, not savings, are the monotone column")
@@ -138,23 +181,34 @@ func runF7(o Opts) ([]*report.Table, error) {
 	o.norm()
 	t := report.New("F7", "Impact of number of speed levels (OLTP-like, goal 1.6x)",
 		"levels", "RPM range", "savings", "mean resp (ms)", "violations")
-	for _, levels := range []int{2, 3, 5} {
-		o.logf("  F7: %d levels", levels)
-		spec := diskmodel.MultiSpeedUltrastar(levels, 3000)
-		base, hib, _, err := hibRun(o, func(cfg *sim.Config) {
-			if cfg.Spec.Levels() > 1 { // only mutate the multi-speed run
-				cfg.Spec = spec
-			}
-		}, hibernator.Options{}, 1.6)
-		if err != nil {
-			return nil, err
-		}
+	levelCounts := []int{2, 3, 5}
+	type point struct {
+		base, hib *sim.Result
+		spec      diskmodel.Spec
+	}
+	points, err := runner.Map(context.Background(), o.Workers, len(levelCounts),
+		func(_ context.Context, i int) (point, error) {
+			levels := levelCounts[i]
+			o.logf("  F7: %d levels", levels)
+			spec := diskmodel.MultiSpeedUltrastar(levels, 3000)
+			base, hib, _, err := hibRun(o, func(cfg *sim.Config) {
+				if cfg.Spec.Levels() > 1 { // only mutate the multi-speed run
+					cfg.Spec = spec
+				}
+			}, hibernator.Options{}, 1.6)
+			return point{base, hib, spec}, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, levels := range levelCounts {
+		p := points[i]
 		t.AddRow(
 			report.N(levels),
-			fmt.Sprintf("%d-%d", spec.RPM[0], spec.RPM[spec.FullLevel()]),
-			report.Pct(hib.SavingsVs(base)),
-			report.Ms(hib.MeanResp),
-			report.Pct(hib.GoalViolationFrac),
+			fmt.Sprintf("%d-%d", p.spec.RPM[0], p.spec.RPM[p.spec.FullLevel()]),
+			report.Pct(p.hib.SavingsVs(p.base)),
+			report.Ms(p.hib.MeanResp),
+			report.Pct(p.hib.GoalViolationFrac),
 		)
 	}
 	t.AddNote("more levels give CR finer energy/performance points to choose from")
@@ -210,14 +264,19 @@ func runF8(o Opts) ([]*report.Table, error) {
 	goal := 1.6 * base.MeanResp
 	t := report.New("F8", "Migration strategy ablation (OLTP with mid-run popularity shift, goal 1.6x)",
 		"strategy", "savings", "mean resp (ms)", "P95 (ms)", "migrated (GiB)", "violations")
-	for _, mode := range []hibernator.MigrationMode{
+	modes := []hibernator.MigrationMode{
 		hibernator.MigrateNone, hibernator.MigrateEager, hibernator.MigrateBackground,
-	} {
-		o.logf("  F8: mode %s", mode)
-		res, err := runMode(mode, goal)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := runner.Map(context.Background(), o.Workers, len(modes),
+		func(_ context.Context, i int) (*sim.Result, error) {
+			o.logf("  F8: mode %s", modes[i])
+			return runMode(modes[i], goal)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, mode := range modes {
+		res := results[i]
 		t.AddRow(
 			mode.String(),
 			report.Pct(res.SavingsVs(base)),
@@ -236,49 +295,63 @@ func runF11(o Opts) ([]*report.Table, error) {
 	dur := oltpBaseDuration * o.Scale
 	t := report.New("F11", "Scaling with array size (per-disk load constant, goal 1.6x)",
 		"data disks", "groups", "Base energy (kJ)", "Hibernator energy (kJ)", "savings", "mean resp (ms)")
-	for _, groups := range []int{2, 4, 6, 8} {
-		o.logf("  F11: %d groups", groups)
-		mkCfg := func(multi bool, goal float64) sim.Config {
-			cfg := arrayConfig(o.Seed, multi, 0, goal, dur)
-			cfg.Groups = groups
-			return cfg
-		}
-		vol, err := sim.LogicalBytes(mkCfg(true, 0))
-		if err != nil {
-			return nil, err
-		}
-		rate := 25.0 * float64(groups) // hold per-disk load constant
-		wf := func() (trace.Source, error) {
-			return trace.NewOLTP(trace.OLTPConfig{
-				Seed: o.Seed + 401, VolumeBytes: vol, Duration: dur,
-				Rate:    dist.DiurnalRate(rate/5, rate, dur, 0.5),
-				MaxRate: rate,
-			})
-		}
-		src, err := wf()
-		if err != nil {
-			return nil, err
-		}
-		base, err := sim.Run(mkCfg(false, 0), src, policy.NewBase(), dur)
-		if err != nil {
-			return nil, err
-		}
-		src, err = wf()
-		if err != nil {
-			return nil, err
-		}
-		hib, err := sim.Run(mkCfg(true, 1.6*base.MeanResp), src,
-			hibernator.New(hibernator.Options{Epoch: dur / 4}), dur)
-		if err != nil {
-			return nil, err
-		}
+	groupCounts := []int{2, 4, 6, 8}
+	type point struct{ base, hib *sim.Result }
+	// Each array size is an independent chain (its Base run fixes its own
+	// goal), so the fan-out is over sizes, with Base and Hibernator run
+	// back-to-back inside each job.
+	points, err := runner.Map(context.Background(), o.Workers, len(groupCounts),
+		func(_ context.Context, i int) (point, error) {
+			groups := groupCounts[i]
+			o.logf("  F11: %d groups", groups)
+			mkCfg := func(multi bool, goal float64) sim.Config {
+				cfg := arrayConfig(o.Seed, multi, 0, goal, dur)
+				cfg.Groups = groups
+				return cfg
+			}
+			vol, err := sim.LogicalBytes(mkCfg(true, 0))
+			if err != nil {
+				return point{}, err
+			}
+			rate := 25.0 * float64(groups) // hold per-disk load constant
+			wf := func() (trace.Source, error) {
+				return trace.NewOLTP(trace.OLTPConfig{
+					Seed: o.Seed + 401, VolumeBytes: vol, Duration: dur,
+					Rate:    dist.DiurnalRate(rate/5, rate, dur, 0.5),
+					MaxRate: rate,
+				})
+			}
+			src, err := wf()
+			if err != nil {
+				return point{}, err
+			}
+			base, err := sim.Run(mkCfg(false, 0), src, policy.NewBase(), dur)
+			if err != nil {
+				return point{}, err
+			}
+			src, err = wf()
+			if err != nil {
+				return point{}, err
+			}
+			hib, err := sim.Run(mkCfg(true, 1.6*base.MeanResp), src,
+				hibernator.New(hibernator.Options{Epoch: dur / 4}), dur)
+			if err != nil {
+				return point{}, err
+			}
+			return point{base, hib}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, groups := range groupCounts {
+		p := points[i]
 		t.AddRow(
 			report.N(groups*bakeGroupDisks),
 			report.N(groups),
-			report.KJ(base.Energy),
-			report.KJ(hib.Energy),
-			report.Pct(hib.SavingsVs(base)),
-			report.Ms(hib.MeanResp),
+			report.KJ(p.base.Energy),
+			report.KJ(p.hib.Energy),
+			report.Pct(p.hib.SavingsVs(p.base)),
+			report.Ms(p.hib.MeanResp),
 		)
 	}
 	t.AddNote("savings persist across array sizes (single-seed runs; expect +/-10 points of variance): CR's composition search stays tractable and the sorted layout concentrates the same load fraction")

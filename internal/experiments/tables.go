@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/report"
+	"hibernator/internal/runner"
 	"hibernator/internal/trace"
 )
 
@@ -64,16 +66,25 @@ func runT2(o Opts) ([]*report.Table, error) {
 		name string
 		mk   workloadFactory
 	}
-	for _, w := range []wl{
+	wls := []wl{
 		{"OLTP-like", oltpFactory(o.Seed+101, vol, oltpBaseDuration*o.Scale)},
 		{"Cello-like", celloFactory(o.Seed+101, vol, celloBaseDuration*o.Scale)},
-	} {
-		src, err := w.mk()
-		if err != nil {
-			return nil, err
-		}
-		reqs := trace.Drain(src, 0)
-		c := trace.Characterize(reqs)
+	}
+	// Generating and characterizing the two traces is independent work;
+	// rows are added in workload order afterwards.
+	chars, err := runner.Map(context.Background(), o.Workers, len(wls),
+		func(_ context.Context, i int) (trace.Characteristics, error) {
+			src, err := wls[i].mk()
+			if err != nil {
+				return trace.Characteristics{}, err
+			}
+			return trace.Characterize(trace.Drain(src, 0)), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, w := range wls {
+		c := chars[i]
 		t.AddRow(
 			w.name,
 			report.N(c.Count),
@@ -89,14 +100,18 @@ func runT2(o Opts) ([]*report.Table, error) {
 }
 
 func runT3(o Opts) ([]*report.Table, error) {
-	oltp, err := memoBakeoff(o, "oltp")
+	// The two bake-offs are independent; run them concurrently (each is
+	// itself a parallel fan-out, and the singleflight memo shares them
+	// with F1-F4/F10 when those run in the same process).
+	kinds := []string{"oltp", "cello"}
+	bakes, err := runner.Map(context.Background(), o.Workers, len(kinds),
+		func(_ context.Context, i int) (*bakeoff, error) {
+			return memoBakeoff(o, kinds[i])
+		})
 	if err != nil {
 		return nil, err
 	}
-	cello, err := memoBakeoff(o, "cello")
-	if err != nil {
-		return nil, err
-	}
+	oltp, cello := bakes[0], bakes[1]
 	expected := map[string]string{
 		"Base":       "highest energy, best latency",
 		"TPM":        "little/no saving, latency spikes",

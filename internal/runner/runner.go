@@ -1,0 +1,140 @@
+// Package runner executes independent simulation jobs on a bounded worker
+// pool while keeping results deterministic: results always come back in
+// submission order, regardless of which worker finished first.
+//
+// The determinism contract the experiment layer relies on: each job must
+// be self-contained (its own seeded RNGs, its own simevent.Engine, no
+// shared mutable state), so running N jobs on one worker or on N workers
+// produces byte-identical results. The pool only changes wall-clock time.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Job is one unit of independent work. The context is cancelled once any
+// other job in the same set has failed; long jobs may poll it to stop
+// early, but ignoring it is safe.
+type Job func(ctx context.Context) (any, error)
+
+// Result pairs one job's value with its error. Jobs skipped because the
+// set was already cancelled carry the context's error.
+type Result struct {
+	Value any
+	Err   error
+}
+
+// Pool runs job sets on at most Workers concurrent goroutines. Pools are
+// stateless and may be shared; the zero value is not usable, call New.
+type Pool struct {
+	workers int
+}
+
+// New returns a pool of the given width. workers <= 0 selects
+// runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the pool width.
+func (p *Pool) Workers() int { return p.workers }
+
+// RunSet executes jobs concurrently and returns their results in
+// submission order. On failure the returned error is the one from the
+// lowest-indexed failing job (so the error, like the results, does not
+// depend on scheduling), and the remaining unstarted jobs are skipped.
+func (p *Pool) RunSet(ctx context.Context, jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	err := p.forEach(ctx, len(jobs), func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			results[i] = Result{Err: err}
+			return err
+		}
+		v, err := jobs[i](ctx)
+		results[i] = Result{Value: v, Err: err}
+		return err
+	})
+	return results, err
+}
+
+// RunSet executes jobs on a default-width pool with a background context.
+func RunSet(jobs []Job) ([]Result, error) {
+	return New(0).RunSet(context.Background(), jobs)
+}
+
+// Map runs fn for every index in [0, n) on a pool of the given width and
+// returns the values in index order. On failure it returns the error of
+// the lowest failing index. Map is the typed workhorse behind the
+// experiment fan-outs.
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := New(workers).forEach(ctx, n, func(ctx context.Context, i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		v, err := fn(ctx, i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// forEach is the scheduling core: a feeder channel of indices, `workers`
+// drainers, first-error-by-index propagation, and cancellation of the
+// in-flight context as soon as any job fails.
+func (p *Pool) forEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := fn(ctx, i); err != nil {
+					record(i, err)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,73 @@
+package simevent
+
+import "testing"
+
+// The benchmarks below pin the per-event cost of the engine hot path:
+// schedule+fire (every simulated I/O takes this path at least once),
+// schedule+cancel (in-flight aborts, ticker stops), and a mixed ticker
+// workload resembling a policy-driven run. Run with -benchmem; CHANGES.md
+// records the before/after numbers for the free-list + indexed-heap work.
+
+// BenchmarkEngineScheduleFire measures the steady-state cost of scheduling
+// one event and firing it against a calendar that stays ~1000 deep.
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := New()
+	for i := 0; i < 1000; i++ {
+		e.Schedule(float64(i)+1, func() {})
+	}
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(float64(i)+1001, fn)
+		e.Step()
+	}
+}
+
+// BenchmarkEngineScheduleCancel measures schedule followed by immediate
+// cancellation, the abort path for in-flight disk requests.
+func BenchmarkEngineScheduleCancel(b *testing.B) {
+	e := New()
+	for i := 0; i < 1000; i++ {
+		e.Schedule(float64(i)+1, func() {})
+	}
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.Schedule(2000, fn)
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkEngineChurn schedules bursts of 256 events and drains them,
+// exercising heap growth/shrink the way request completions do.
+func BenchmarkEngineChurn(b *testing.B) {
+	e := New()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < 256; j++ {
+			e.Schedule(float64((j*37)%256)+1, fn)
+		}
+		e.Run(base + 257)
+	}
+}
+
+// BenchmarkEngineMixedTicker runs 16 tickers with coprime-ish periods for a
+// stretch of simulated time per iteration — the shape of a policy run where
+// epochs, destage scans and goal checks all tick concurrently.
+func BenchmarkEngineMixedTicker(b *testing.B) {
+	e := New()
+	periods := []float64{1, 2, 3, 5, 7, 11, 13, 17, 1.5, 2.5, 4.5, 6.5, 9.5, 0.5, 0.75, 1.25}
+	for _, p := range periods {
+		NewTicker(e, p, func(float64) {})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Run(e.Now() + 100)
+	}
+}

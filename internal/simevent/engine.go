@@ -5,35 +5,60 @@
 // scheduled for the same instant fire in scheduling order (a monotonically
 // increasing sequence number breaks ties), which makes every simulation
 // deterministic for a fixed seed.
+//
+// The engine is allocation-free on its steady-state hot path: calendar
+// nodes are recycled through a free list when events fire or are
+// cancelled, and the binary heap is maintained with direct sift
+// routines rather than container/heap's interface indirection. Event
+// handles are small values carrying a generation stamp, so a handle to
+// an event that already fired can never cancel an unrelated event that
+// happens to reuse the same node.
 package simevent
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
 
-// Event is a handle to a scheduled callback. It can be cancelled until it
-// fires.
-type Event struct {
+// node is one calendar entry. Nodes are owned by the engine and recycled
+// via a free list; user code only ever sees Event handles.
+type node struct {
 	at    float64
 	seq   uint64
 	fn    func()
-	index int // heap index; -1 once fired or cancelled
+	index int    // heap index; -1 while on the free list
+	gen   uint64 // bumped every time the node leaves the calendar
 }
 
-// At reports the simulated time the event is scheduled for.
-func (ev *Event) At() float64 { return ev.at }
+// Event is a handle to a scheduled callback. It is a small value (safe to
+// copy) and can be cancelled until it fires. The zero Event is a valid
+// "no event" handle: not pending, cancelling it is a no-op.
+type Event struct {
+	n   *node
+	gen uint64
+}
 
-// Pending reports whether the event is still scheduled.
-func (ev *Event) Pending() bool { return ev != nil && ev.index >= 0 }
+// At reports the simulated time the event is scheduled for, or NaN if the
+// event already fired or was cancelled.
+func (ev Event) At() float64 {
+	if !ev.Pending() {
+		return math.NaN()
+	}
+	return ev.n.at
+}
+
+// Pending reports whether the event is still scheduled. A handle whose
+// event fired or was cancelled reports false even if the underlying node
+// has been recycled for a newer event.
+func (ev Event) Pending() bool { return ev.n != nil && ev.n.gen == ev.gen }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; call
 // New.
 type Engine struct {
 	now     float64
 	seq     uint64
-	queue   eventHeap
+	queue   []*node
+	free    []*node
 	stopped bool
 	// processed counts events that have fired, for instrumentation.
 	processed uint64
@@ -53,9 +78,23 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending returns the number of events still scheduled.
 func (e *Engine) Pending() int { return len(e.queue) }
 
+// Reset returns the engine to time zero with an empty calendar, retaining
+// the recycled node storage so a reused engine schedules without
+// allocating. Handles from before the reset are invalidated.
+func (e *Engine) Reset() {
+	for _, n := range e.queue {
+		e.release(n)
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	e.processed = 0
+	e.stopped = false
+}
+
 // Schedule arranges for fn to run delay seconds from now. A negative delay
 // panics: scheduling in the past is always a simulator bug.
-func (e *Engine) Schedule(delay float64, fn func()) *Event {
+func (e *Engine) Schedule(delay float64, fn func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		panic(fmt.Sprintf("simevent: schedule with invalid delay %v at t=%v", delay, e.now))
 	}
@@ -64,29 +103,33 @@ func (e *Engine) Schedule(delay float64, fn func()) *Event {
 
 // At arranges for fn to run at absolute simulated time t, which must not be
 // in the past.
-func (e *Engine) At(t float64, fn func()) *Event {
+func (e *Engine) At(t float64, fn func()) Event {
 	if t < e.now || math.IsNaN(t) {
 		panic(fmt.Sprintf("simevent: schedule at t=%v before now=%v", t, e.now))
 	}
 	if fn == nil {
 		panic("simevent: nil event callback")
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	n := e.alloc()
+	n.at = t
+	n.seq = e.seq
+	n.fn = fn
 	e.seq++
-	heap.Push(&e.queue, ev)
-	return ev
+	n.index = len(e.queue)
+	e.queue = append(e.queue, n)
+	e.siftUp(n.index)
+	return Event{n: n, gen: n.gen}
 }
 
 // Cancel removes a pending event from the calendar. Cancelling an event
 // that already fired (or was already cancelled) is a no-op and returns
 // false.
-func (e *Engine) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
+func (e *Engine) Cancel(ev Event) bool {
+	if !ev.Pending() {
 		return false
 	}
-	heap.Remove(&e.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
+	e.removeAt(ev.n.index)
+	e.release(ev.n)
 	return true
 }
 
@@ -96,11 +139,20 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	ev.index = -1
-	e.now = ev.at
-	fn := ev.fn
-	ev.fn = nil
+	n := e.queue[0]
+	last := len(e.queue) - 1
+	if last > 0 {
+		e.queue[0] = e.queue[last]
+		e.queue[0].index = 0
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if last > 1 {
+		e.siftDown(0)
+	}
+	e.now = n.at
+	fn := n.fn
+	e.release(n)
 	e.processed++
 	fn()
 	return true
@@ -134,35 +186,93 @@ func (e *Engine) RunAll() {
 // completes. Pending events remain scheduled.
 func (e *Engine) Stop() { e.stopped = true }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*Event
+// allocChunk is how many nodes a cold allocation carves at once; recycling
+// makes fresh chunks rare after the calendar reaches its high-water mark.
+const allocChunk = 64
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (e *Engine) alloc() *node {
+	if len(e.free) == 0 {
+		chunk := make([]node, allocChunk)
+		for i := range chunk {
+			chunk[i].index = -1
+			e.free = append(e.free, &chunk[i])
+		}
 	}
-	return h[i].seq < h[j].seq
+	n := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	return n
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+// release invalidates every outstanding handle to n (by bumping its
+// generation) and returns it to the free list.
+func (e *Engine) release(n *node) {
+	n.fn = nil
+	n.index = -1
+	n.gen++
+	e.free = append(e.free, n)
 }
 
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
+func nodeLess(a, b *node) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
 
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// siftUp restores the heap property moving queue[i] toward the root.
+func (e *Engine) siftUp(i int) {
+	q := e.queue
+	n := q[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !nodeLess(n, q[p]) {
+			break
+		}
+		q[i] = q[p]
+		q[i].index = i
+		i = p
+	}
+	q[i] = n
+	n.index = i
+}
+
+// siftDown restores the heap property moving queue[i] toward the leaves.
+// It reports whether the node moved.
+func (e *Engine) siftDown(i int) bool {
+	q := e.queue
+	n := q[i]
+	start := i
+	half := len(q) / 2
+	for i < half {
+		c := 2*i + 1
+		if r := c + 1; r < len(q) && nodeLess(q[r], q[c]) {
+			c = r
+		}
+		if !nodeLess(q[c], n) {
+			break
+		}
+		q[i] = q[c]
+		q[i].index = i
+		i = c
+	}
+	q[i] = n
+	n.index = i
+	return i != start
+}
+
+// removeAt deletes the node at heap index i, refilling the hole from the
+// tail and re-sifting the moved node.
+func (e *Engine) removeAt(i int) {
+	last := len(e.queue) - 1
+	if i != last {
+		e.queue[i] = e.queue[last]
+		e.queue[i].index = i
+	}
+	e.queue[last] = nil
+	e.queue = e.queue[:last]
+	if i < last {
+		if !e.siftDown(i) {
+			e.siftUp(i)
+		}
+	}
 }

@@ -92,7 +92,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	e := New()
 	var got []int
-	evs := make([]*Event, 0, 10)
+	evs := make([]Event, 0, 10)
 	for i := 0; i < 10; i++ {
 		i := i
 		evs = append(evs, e.Schedule(float64(i+1), func() { got = append(got, i) }))
@@ -237,7 +237,7 @@ func TestCancelSubsetProperty(t *testing.T) {
 		e := New()
 		n := 1 + rng.Intn(100)
 		type rec struct {
-			ev   *Event
+			ev   Event
 			time float64
 			id   int
 		}
@@ -307,6 +307,72 @@ func TestProcessedCounterAndPeriod(t *testing.T) {
 	}
 	tk.Stop()
 	tk.Stop() // double stop is a no-op
+}
+
+func TestReset(t *testing.T) {
+	e := New()
+	fired := 0
+	e.Schedule(1, func() { fired++ })
+	e.Schedule(2, func() { fired++ })
+	e.RunAll()
+	e.Schedule(5, func() { fired++ }) // left pending across the reset
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Processed() != 0 {
+		t.Fatalf("Reset left now=%v pending=%d processed=%d", e.Now(), e.Pending(), e.Processed())
+	}
+	e.Schedule(1, func() { fired++ })
+	e.RunAll()
+	if fired != 3 {
+		t.Fatalf("fired %d events, want 3 (pending event must not survive Reset)", fired)
+	}
+	if e.Now() != 1 {
+		t.Fatalf("Now() = %v after post-reset run, want 1", e.Now())
+	}
+}
+
+// A handle to an event that already fired (or was cancelled) must never
+// cancel a newer event that recycled the same calendar node.
+func TestStaleHandleCannotCancelRecycledNode(t *testing.T) {
+	e := New()
+	stale := e.Schedule(1, func() {})
+	e.RunAll() // fires; node goes to the free list
+	if stale.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	fired := false
+	fresh := e.Schedule(1, func() { fired = true })
+	if e.Cancel(stale) {
+		t.Fatal("stale handle cancelled something")
+	}
+	if !fresh.Pending() {
+		t.Fatal("fresh event lost its slot to a stale cancel")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("fresh event never fired")
+	}
+	// Same property for a cancelled (never fired) handle.
+	c := e.Schedule(1, func() {})
+	e.Cancel(c)
+	fired = false
+	e.Schedule(1, func() { fired = true })
+	if e.Cancel(c) {
+		t.Fatal("double cancel hit a recycled node")
+	}
+	e.RunAll()
+	if !fired {
+		t.Fatal("event after double-cancel never fired")
+	}
+}
+
+func TestZeroEventHandle(t *testing.T) {
+	var ev Event
+	if ev.Pending() {
+		t.Fatal("zero Event reports pending")
+	}
+	if New().Cancel(ev) {
+		t.Fatal("cancelling the zero Event succeeded")
+	}
 }
 
 func TestNilCallbackPanics(t *testing.T) {

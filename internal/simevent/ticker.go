@@ -7,7 +7,8 @@ type Ticker struct {
 	engine  *Engine
 	period  float64
 	fn      func(now float64)
-	ev      *Event
+	tick    func() // allocated once; re-armed every period
+	ev      Event
 	stopped bool
 }
 
@@ -18,19 +19,20 @@ func NewTicker(e *Engine, period float64, fn func(now float64)) *Ticker {
 		panic("simevent: ticker period must be positive")
 	}
 	t := &Ticker{engine: e, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.engine.Schedule(t.period, func() {
+	t.tick = func() {
 		if t.stopped {
 			return
 		}
 		// Re-arm before the callback so the callback may Stop the ticker.
 		t.arm()
 		t.fn(t.engine.Now())
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.engine.Schedule(t.period, t.tick)
 }
 
 // Stop cancels future ticks. Safe to call from within the tick callback.
