@@ -41,6 +41,17 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate up front: a bad flag should be one clear line and a
+	// non-zero exit, not a silent clamp deep inside an experiment.
+	if *scale <= 0 {
+		fmt.Fprintf(os.Stderr, "hibexp: -scale must be positive, got %g\n", *scale)
+		os.Exit(2)
+	}
+	if *par < 0 {
+		fmt.Fprintf(os.Stderr, "hibexp: -par must be >= 0 (0 = GOMAXPROCS), got %d\n", *par)
+		os.Exit(2)
+	}
+
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-4s %-46s reconstructs %s\n", e.ID, e.Title, e.Reconstructs)

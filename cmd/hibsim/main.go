@@ -16,7 +16,9 @@ import (
 	"strings"
 	"time"
 
+	"hibernator/internal/array"
 	"hibernator/internal/diskmodel"
+	"hibernator/internal/fault"
 	"hibernator/internal/hibernator"
 	"hibernator/internal/policy"
 	"hibernator/internal/raid"
@@ -42,8 +44,46 @@ func main() {
 		goal       = flag.Duration("goal", 0, "response-time goal (e.g. 8ms; 0 = none)")
 		epoch      = flag.Float64("epoch", 0, "epoch seconds for hibernator/pdc (default duration/4)")
 		seed       = flag.Int64("seed", 1, "random seed")
+		faultsFile = flag.String("faults", "", "CSV fault schedule (lines: t,disk,failstop | t,disk,failslow,factor[,ramp] | t,disk,transient,prob[,dur] | t,disk,latent,lo,hi | t,disk,spinfail,prob[,retries])")
+		faultRate  = flag.Float64("fault-rate", 0, "ambient per-op transient error probability on every disk [0,1)")
+		spinFail   = flag.Float64("spin-fail-rate", 0, "per-attempt spin-up failure probability on every disk [0,1)")
+		retries    = flag.Int("retries", 2, "same-disk retries per transient error (used once faults are armed)")
+		opDeadline = flag.Duration("op-deadline", 250*time.Millisecond, "per-attempt deadline once faults are armed (0 disables)")
 	)
 	flag.Parse()
+
+	// Validate numeric flags up front: one clear line and a non-zero exit
+	// beats a panic (or a silently absurd run) from deep inside the model.
+	if *duration <= 0 {
+		fatalf("-duration must be positive, got %g", *duration)
+	}
+	if *rate <= 0 {
+		fatalf("-rate must be positive, got %g", *rate)
+	}
+	if *groups <= 0 || *groupDisks <= 0 {
+		fatalf("-groups and -group-disks must be positive, got %d and %d", *groups, *groupDisks)
+	}
+	if *levels < 1 {
+		fatalf("-levels must be >= 1, got %d", *levels)
+	}
+	if *cacheMB < 0 {
+		fatalf("-cache-mb must be >= 0, got %d", *cacheMB)
+	}
+	if *failAt < 0 || *epoch < 0 || *goal < 0 {
+		fatalf("-fail-at, -epoch and -goal must be >= 0")
+	}
+	if *faultRate < 0 || *faultRate >= 1 {
+		fatalf("-fault-rate must be in [0,1), got %g", *faultRate)
+	}
+	if *spinFail < 0 || *spinFail >= 1 {
+		fatalf("-spin-fail-rate must be in [0,1), got %g", *spinFail)
+	}
+	if *retries < 0 {
+		fatalf("-retries must be >= 0, got %d", *retries)
+	}
+	if *opDeadline < 0 {
+		fatalf("-op-deadline must be >= 0, got %v", *opDeadline)
+	}
 
 	var spec diskmodel.Spec
 	switch strings.ToLower(*family) {
@@ -92,6 +132,39 @@ func main() {
 		Seed:               *seed,
 		ExpectedRotLatency: true,
 		Scheduler:          scheduler,
+	}
+
+	// Fault injection: a CSV schedule and/or ambient rates. Arming any of
+	// them also arms the retry/timeout policy; with none of them the retry
+	// machinery stays a strict no-op and runs are bit-identical to a build
+	// that never heard of faults.
+	var faultSched *fault.Schedule
+	if *faultsFile != "" {
+		var err error
+		faultSched, err = fault.Load(*faultsFile)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if *faultRate > 0 || *spinFail > 0 {
+		if faultSched == nil {
+			faultSched = &fault.Schedule{}
+		}
+		faultSched.Rates.TransientProb = *faultRate
+		faultSched.Rates.SpinUpFailProb = *spinFail
+		faultSched.Rates.SpinUpRetries = 2
+	}
+	if faultSched != nil {
+		cfg.Faults = faultSched
+		cfg.Retry = array.RetryPolicy{
+			MaxRetries:    *retries,
+			Backoff:       0.01,
+			BackoffFactor: 4,
+			OpDeadline:    opDeadline.Seconds(),
+			SuspectAfter:  10,
+			EvictAfter:    1000,
+			AutoRebuild:   true,
+		}
 	}
 
 	var ctrl sim.Controller
@@ -173,6 +246,13 @@ func main() {
 	}
 	fmt.Printf("transitions     %d spin-ups, %d spin-downs, %d speed shifts\n", res.SpinUps, res.SpinDowns, res.LevelShifts)
 	fmt.Printf("migrations      %d extents, %.1f GiB\n", res.Migrations, float64(res.MigratedBytes)/(1<<30))
+	if cfg.Faults != nil {
+		f := res.Faults
+		fmt.Printf("faults          %d injected (%d skipped), %d transient errs, %d latent, %d spin-up failures\n",
+			f.Injected, f.SkippedInjections, f.TransientErrs, f.LatentErrs, f.SpinUpFailures)
+		fmt.Printf("fault handling  %d retries, %d timeouts, %d fallbacks, %d evictions, %d disk failures, %d rebuilds, %d lost IOs\n",
+			f.Retries, f.Timeouts, f.Fallbacks, f.Evictions, f.DiskFailures, f.Rebuilds, f.LostIOs)
+	}
 	if cfg.RespGoal > 0 {
 		fmt.Printf("goal            %.2f ms, violated in %.1f%% of windows\n", cfg.RespGoal*1000, res.GoalViolationFrac*100)
 	}

@@ -44,6 +44,11 @@ type Config struct {
 	ExpectedRotLatency bool
 	// Scheduler is the per-disk queue discipline (default FCFS).
 	Scheduler diskmodel.Scheduler
+
+	// Retry governs transient-error retries, per-op deadlines and the
+	// disk health tracker (see retry.go). The zero value disables all of
+	// it, preserving the fault-free fast path bit for bit.
+	Retry RetryPolicy
 }
 
 func (c *Config) applyDefaults() error {
@@ -112,6 +117,7 @@ type Array struct {
 	lostIOs        uint64
 	diskFailures   uint64
 	rebuilds       uint64
+	faultStats     FaultStats
 	extentAccesses []uint64 // lifetime per-extent access counts
 
 	// onComplete, if set, observes every finished logical request.
@@ -204,6 +210,69 @@ func (a *Array) Disks() []*diskmodel.Disk {
 		out = append(out, g.disks...)
 	}
 	return append(out, a.spares...)
+}
+
+// LocateDisk maps a global disk ID (as reported by Disk.ID) to its group
+// and member index. Spares are not members of any group: ok is false.
+func (a *Array) LocateDisk(id int) (group, member int, ok bool) {
+	for gi, g := range a.groups {
+		for di, d := range g.disks {
+			if d.ID() == id {
+				return gi, di, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// DiskByID finds any disk (member or spare) by its global ID.
+func (a *Array) DiskByID(id int) *diskmodel.Disk {
+	for _, g := range a.groups {
+		for _, d := range g.disks {
+			if d.ID() == id {
+				return d
+			}
+		}
+	}
+	for _, d := range a.spares {
+		if d.ID() == id {
+			return d
+		}
+	}
+	return nil
+}
+
+// GroupHealthy reports whether group gi has no failed or suspect members
+// and no rebuild in flight.
+func (a *Array) GroupHealthy(gi int) bool {
+	return a.groups[gi].Healthy()
+}
+
+// FaultAware reports whether the retry/health policy is armed. Power
+// policies consult it before activating their own fault reactions, so a
+// zero RetryPolicy preserves legacy fail-stop behavior bit-for-bit —
+// the same contract the Failed-op redirect in retry.go keeps.
+func (a *Array) FaultAware() bool { return a.cfg.Retry.enabled() }
+
+// Unhealthy reports whether any group is degraded, suspect or rebuilding —
+// the signal fault-aware policies treat as a standing threat to the goal.
+func (a *Array) Unhealthy() bool {
+	for _, g := range a.groups {
+		if !g.Healthy() {
+			return true
+		}
+	}
+	return false
+}
+
+// RebuildActive reports whether any group is currently rebuilding.
+func (a *Array) RebuildActive() bool {
+	for _, g := range a.groups {
+		if g.rebuilding {
+			return true
+		}
+	}
+	return false
 }
 
 // ExtentBytes returns the migration granularity.

@@ -32,9 +32,14 @@ func (a *Array) FailDisk(group, disk int) error {
 	if g.geo.Level == raid.RAID5 && len(g.failed) >= 1 {
 		return fmt.Errorf("array: RAID5 group %d already degraded; second failure would lose data", group)
 	}
+	if g.geo.Level == raid.RAID1 && g.failed[disk^1] {
+		return fmt.Errorf("array: RAID1 mirror pair (%d,%d) in group %d already degraded; second failure would lose data",
+			disk^1, disk, group)
+	}
 	g.failed[disk] = true
 	g.disks[disk].Fail()
 	a.diskFailures++
+	a.maybeAutoRebuild(g, disk)
 	return nil
 }
 
@@ -66,35 +71,48 @@ func (a *Array) dispatch(g *Group, io raid.PhysIO, background bool, onDone func(
 		a.submitOne(g, io.Disk, io, background, onDone)
 		return
 	}
+	a.redirect(g, io.Disk, io, background, onDone)
+}
+
+// redirect serves one physical op through the group's redundancy while
+// avoiding the given member — either because it failed, or because its
+// retries/deadline exhausted. RAID-5 reconstructs from the survivors (one
+// same-sized op on each remaining disk; a write regenerates parity, so
+// the last survivor gets the write), RAID-1 reads the mirror, RAID-0 has
+// nothing to fall back on and loses the data (the op still completes and
+// LostIOs counts the damage). Redirected ops are the last resort and are
+// submitted raw: a transient error on a survivor is not retried again.
+func (a *Array) redirect(g *Group, avoid int, io raid.PhysIO, background bool, onDone func()) {
+	lose := func() {
+		a.lostIOs++
+		a.engine.Schedule(0, func() { onDone() })
+	}
 	switch g.geo.Level {
 	case raid.RAID1:
 		mirror := io.Disk ^ 1
-		if !g.failed[mirror] {
-			a.submitOne(g, mirror, io, background, onDone)
+		if mirror != avoid && !g.failed[mirror] {
+			a.submitRaw(g, mirror, io, background, onDone)
 			return
 		}
-		a.lostIOs++
-		a.engine.Schedule(0, func() { onDone() })
+		lose()
 	case raid.RAID5:
-		// Reconstruct from the survivors: one same-sized operation on each
-		// remaining disk (reads; a write regenerates parity, so the last
-		// survivor gets the write).
 		var survivors []int
 		for i := range g.disks {
-			if !g.failed[i] {
+			if i != avoid && !g.failed[i] {
 				survivors = append(survivors, i)
 			}
 		}
-		if len(survivors) == 0 {
-			a.lostIOs++
-			a.engine.Schedule(0, func() { onDone() })
+		// Reconstruction needs every other member: with the avoided disk
+		// on top of an existing failure there are not enough survivors.
+		if len(survivors) < len(g.disks)-1 {
+			lose()
 			return
 		}
 		remaining := len(survivors)
 		for idx, s := range survivors {
 			sub := io
 			sub.Write = io.Write && idx == len(survivors)-1
-			a.submitOne(g, s, sub, background, func() {
+			a.submitRaw(g, s, sub, background, func() {
 				remaining--
 				if remaining == 0 {
 					onDone()
@@ -102,13 +120,13 @@ func (a *Array) dispatch(g *Group, io raid.PhysIO, background bool, onDone func(
 			})
 		}
 	default: // RAID0: no redundancy
-		a.lostIOs++
-		a.engine.Schedule(0, func() { onDone() })
+		lose()
 	}
 }
 
-// submitOne issues a single physical op on a specific member disk.
-func (a *Array) submitOne(g *Group, disk int, io raid.PhysIO, background bool, onDone func()) {
+// submitRaw issues a single physical op on a specific member disk with no
+// retry instrumentation (redirected last-resort ops and rebuild traffic).
+func (a *Array) submitRaw(g *Group, disk int, io raid.PhysIO, background bool, onDone func()) {
 	g.disks[disk].Submit(&diskmodel.Request{
 		LBA:        io.Offset,
 		Size:       io.Size,
@@ -158,6 +176,10 @@ func (a *Array) Rebuild(group, disk, spareIdx int, background bool, done func())
 		if off >= capacity {
 			g.disks[disk] = spare
 			delete(g.failed, disk)
+			// The member slot holds a fresh drive now: its health record
+			// starts clean.
+			delete(g.suspect, disk)
+			delete(g.errCount, disk)
 			g.rebuilding = false
 			a.rebuilds++
 			if done != nil {

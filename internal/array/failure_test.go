@@ -222,3 +222,53 @@ func TestFailDiskValidation(t *testing.T) {
 		t.Error("bad disk must fail")
 	}
 }
+
+func TestDegradedWritesDuringActiveRebuild(t *testing.T) {
+	// RAID-5 read-modify-write traffic with a failed member, racing a
+	// background rebuild whose reads contend on the same survivors and
+	// whose reconstructed chunks stream onto the hot spare.
+	e, a := failArray(t, 1, 4, raid.RAID5, 1)
+	if err := a.FailDisk(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g := a.Groups()[0]
+	rebuildDone := -1.0
+	if err := a.Rebuild(0, 1, 0, true, func() { rebuildDone = e.Now() }); err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 50
+	completed, duringRebuild := 0, 0
+	for i := 0; i < writes; i++ {
+		// Sub-stripe writes force the RMW path (read old data + parity,
+		// write both); strips on the dead member exercise degraded RMW.
+		a.Submit(int64(i)*65536, 4096, true, func(float64) {
+			completed++
+			if g.Rebuilding() {
+				duringRebuild++
+			}
+		})
+	}
+	e.RunAll()
+
+	if completed != writes {
+		t.Fatalf("completed %d of %d degraded writes", completed, writes)
+	}
+	if duringRebuild == 0 {
+		t.Fatal("no write completed while the rebuild was active")
+	}
+	if rebuildDone < 0 {
+		t.Fatal("rebuild never completed")
+	}
+	if a.LostIOs() != 0 {
+		t.Fatalf("lost %d IOs despite RAID5 redundancy", a.LostIOs())
+	}
+	if g.Degraded() || !g.Healthy() {
+		t.Fatal("group must be healthy after the rebuild")
+	}
+	// The spare (now member 1) must have absorbed the rebuild stream.
+	_, w := g.Disks()[1].BytesMoved()
+	if w == 0 {
+		t.Fatal("hot spare saw no rebuild writes")
+	}
+}

@@ -19,6 +19,43 @@ type Group struct {
 
 	failed     map[int]bool
 	rebuilding bool
+
+	// suspect members have crossed the error-rate threshold but are still
+	// serving; errCount is the per-member error tally behind it.
+	suspect  map[int]bool
+	errCount map[int]int
+}
+
+// markSuspect flags a member as suspect (idempotent).
+func (g *Group) markSuspect(disk int) {
+	if g.suspect == nil {
+		g.suspect = map[int]bool{}
+	}
+	g.suspect[disk] = true
+}
+
+// Suspect reports whether any member has crossed the error threshold.
+func (g *Group) Suspect() bool { return len(g.suspect) > 0 }
+
+// SuspectDisks lists suspect member indices.
+func (g *Group) SuspectDisks() []int {
+	var out []int
+	for i := range g.disks {
+		if g.suspect[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Rebuilding reports whether a rebuild is streaming into this group.
+func (g *Group) Rebuilding() bool { return g.rebuilding }
+
+// Healthy reports whether the group is fully trustworthy: no failed
+// members, no suspect members, no rebuild in flight. Fault-aware policies
+// refuse to slow down or migrate data onto unhealthy groups.
+func (g *Group) Healthy() bool {
+	return len(g.failed) == 0 && len(g.suspect) == 0 && !g.rebuilding
 }
 
 // ID returns the group index within the array.

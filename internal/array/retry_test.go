@@ -1,0 +1,266 @@
+package array
+
+import (
+	"math"
+	"testing"
+
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/simevent"
+)
+
+func retryArray(t *testing.T, level raid.Level, disks, spares int, pol RetryPolicy) (*simevent.Engine, *Array) {
+	t.Helper()
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	a, err := New(Config{
+		Engine: e, Spec: &spec, Groups: 1, GroupDisks: disks, Level: level,
+		ExtentBytes: 64 << 20, SpareDisks: spares, Seed: 5,
+		ExpectedRotLatency: true, Retry: pol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, a
+}
+
+// TestRetryBackoffSpacingExact walks the whole retry state machine on a
+// deterministic clock: two same-disk retries with exponential backoff,
+// then the redundancy fallback, and asserts the completion time to the
+// sub-microsecond against hand-computed service times.
+func TestRetryBackoffSpacingExact(t *testing.T) {
+	pol := RetryPolicy{MaxRetries: 2, Backoff: 0.5, BackoffFactor: 3}
+	e, a := retryArray(t, raid.RAID1, 2, 0, pol)
+	spec := a.Spec()
+	a.Groups()[0].Disks()[0].SetTransientErrorProb(1) // primary always errors
+
+	doneAt := -1.0
+	a.Submit(0, 4096, false, func(float64) { doneAt = e.Now() })
+	e.RunAll()
+
+	// Attempt 1: head at 0, LBA 0 — strictly sequential.
+	seq := spec.ControllerOverhead + spec.TransferTime(0, 4096)
+	// Attempts 2 and 3: head parked at 4096, so a short seek plus the
+	// expected half rotation.
+	frac := 4096.0 / float64(spec.CapacityBytes)
+	rnd := spec.ControllerOverhead + spec.SeekTime(frac) +
+		spec.RotationPeriod(0)/2 + spec.TransferTime(0, 4096)
+	// Mirror fallback: disk 1 head at 0, LBA 0 — sequential again.
+	want := seq + pol.delay(0) + rnd + pol.delay(1) + rnd + seq
+	if doneAt < 0 {
+		t.Fatal("request never completed")
+	}
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("completion at %v, want %v (backoff spacing broken)", doneAt, want)
+	}
+	fs := a.FaultStats()
+	if fs.Retries != 2 || fs.Fallbacks != 1 || fs.OpErrors != 3 {
+		t.Fatalf("counters retries=%d fallbacks=%d errors=%d, want 2/1/3", fs.Retries, fs.Fallbacks, fs.OpErrors)
+	}
+	if a.LostIOs() != 0 {
+		t.Fatalf("mirror fallback lost %d IOs", a.LostIOs())
+	}
+}
+
+func TestBackoffDelaySchedule(t *testing.T) {
+	p := RetryPolicy{Backoff: 0.01, BackoffFactor: 2}
+	for i, want := range []float64{0.01, 0.02, 0.04, 0.08} {
+		if got := p.delay(i); math.Abs(got-want) > 1e-12 {
+			t.Errorf("delay(%d)=%v, want %v", i, got, want)
+		}
+	}
+	fixed := RetryPolicy{Backoff: 0.05} // factor defaults to 1
+	for i := 0; i < 3; i++ {
+		if got := fixed.delay(i); got != 0.05 {
+			t.Errorf("fixed delay(%d)=%v, want 0.05", i, got)
+		}
+	}
+	if (&RetryPolicy{}).delay(3) != 0 {
+		t.Error("zero policy must have zero delay")
+	}
+}
+
+// TestOpDeadlineTimesOutFailSlowDisk pins a fail-slow primary behind a
+// deadline: the attempt is abandoned at exactly OpDeadline and served by
+// the mirror; the slow op's late completion must not double-complete.
+func TestOpDeadlineTimesOutFailSlowDisk(t *testing.T) {
+	pol := RetryPolicy{OpDeadline: 0.005}
+	e, a := retryArray(t, raid.RAID1, 2, 0, pol)
+	spec := a.Spec()
+	a.Groups()[0].Disks()[0].SetFailSlow(0, 0, 100) // 100x slower from t=0
+
+	completions := 0
+	doneAt := -1.0
+	a.Submit(0, 4096, false, func(float64) { completions++; doneAt = e.Now() })
+	e.RunAll()
+
+	seq := spec.ControllerOverhead + spec.TransferTime(0, 4096)
+	want := pol.OpDeadline + seq // deadline expiry, then the mirror read
+	if completions != 1 {
+		t.Fatalf("request completed %d times", completions)
+	}
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Fatalf("completion at %v, want %v", doneAt, want)
+	}
+	fs := a.FaultStats()
+	if fs.Timeouts != 1 || fs.Fallbacks != 1 {
+		t.Fatalf("timeouts=%d fallbacks=%d, want 1/1", fs.Timeouts, fs.Fallbacks)
+	}
+	// The slow disk still finished its op eventually (disk time is spent
+	// either way); the array just ignored the result.
+	if a.Groups()[0].Disks()[0].Completed() != 1 {
+		t.Fatal("abandoned op should still complete on the slow disk")
+	}
+}
+
+// TestErrorTrackerSuspectEvictRebuild drives one RAID-5 member through
+// the full health ladder: errors -> suspect -> evicted (degraded mode)
+// -> auto-rebuild onto the spare -> healthy again.
+func TestErrorTrackerSuspectEvictRebuild(t *testing.T) {
+	pol := RetryPolicy{SuspectAfter: 2, EvictAfter: 4, AutoRebuild: true}
+	e, a := retryArray(t, raid.RAID5, 4, 1, pol)
+	g := a.Groups()[0]
+	g.Disks()[2].SetTransientErrorProb(1)
+
+	// Row 0 of the left-symmetric layout puts logical strips 0,1,2 on
+	// disks 0,1,2 — strip 2 targets the faulty member.
+	target := int64(2) * (64 << 10)
+	suspectSeen := false
+	var issue func(n int)
+	issue = func(n int) {
+		if n == 0 {
+			return
+		}
+		a.Submit(target, 4096, false, func(float64) {
+			if g.Suspect() {
+				suspectSeen = true
+			}
+			issue(n - 1)
+		})
+	}
+	issue(8)
+	e.RunAll()
+
+	if !suspectSeen {
+		t.Fatal("disk never became suspect before eviction")
+	}
+	fs := a.FaultStats()
+	if fs.Evictions != 1 {
+		t.Fatalf("evictions=%d, want 1", fs.Evictions)
+	}
+	if a.Rebuilds() != 1 {
+		t.Fatalf("rebuilds=%d, want auto-rebuild to have run", a.Rebuilds())
+	}
+	if len(a.Spares()) != 0 {
+		t.Fatal("spare should have been consumed by the rebuild")
+	}
+	if !g.Healthy() || g.Degraded() || g.Suspect() {
+		t.Fatalf("group not healthy after rebuild: degraded=%v suspect=%v rebuilding=%v",
+			g.Degraded(), g.Suspect(), g.Rebuilding())
+	}
+	if a.LostIOs() != 0 {
+		t.Fatalf("lost %d IOs despite redundancy", a.LostIOs())
+	}
+}
+
+// TestEvictionRefusedOnDegradedGroup: with RAID-5 already degraded, the
+// tracker must keep a flaky second disk suspect instead of evicting it.
+func TestEvictionRefusedOnDegradedGroup(t *testing.T) {
+	pol := RetryPolicy{EvictAfter: 2}
+	e, a := retryArray(t, raid.RAID5, 4, 0, pol)
+	g := a.Groups()[0]
+	if err := a.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	g.Disks()[2].SetTransientErrorProb(1)
+	target := int64(2) * (64 << 10)
+	var issue func(n int)
+	issue = func(n int) {
+		if n == 0 {
+			return
+		}
+		a.Submit(target, 4096, false, func(float64) { issue(n - 1) })
+	}
+	issue(5)
+	e.RunAll()
+	if a.FaultStats().Evictions != 0 {
+		t.Fatal("eviction must be refused when it would lose data")
+	}
+	if !g.suspect[2] {
+		t.Fatal("refused eviction must leave the disk suspect")
+	}
+	if g.failed[2] {
+		t.Fatal("disk 2 must not be failed")
+	}
+}
+
+func TestRAID1SecondFailureInPairRefused(t *testing.T) {
+	_, a := retryArray(t, raid.RAID1, 4, 0, RetryPolicy{})
+	if err := a.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.FailDisk(0, 1); err == nil {
+		t.Fatal("second failure inside mirror pair (0,1) must be refused as data loss")
+	}
+	// The other pair is an independent protection domain.
+	if err := a.FailDisk(0, 3); err != nil {
+		t.Fatalf("failure in the other pair must be allowed: %v", err)
+	}
+	if err := a.FailDisk(0, 2); err == nil {
+		t.Fatal("second failure inside mirror pair (2,3) must be refused")
+	}
+}
+
+// TestZeroPolicyKeepsLegacyFailedSemantics: without the retry policy a
+// request doomed by a mid-flight disk death completes (Failed) without
+// redundancy fallback — the pre-existing X3 behavior.
+func TestZeroPolicyKeepsLegacyFailedSemantics(t *testing.T) {
+	e, a := retryArray(t, raid.RAID5, 4, 0, RetryPolicy{})
+	completions := 0
+	a.Submit(0, 4096, false, func(float64) { completions++ })
+	// Kill the serving disk while the op is in flight.
+	e.Schedule(1e-5, func() {
+		if err := a.FailDisk(0, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	e.RunAll()
+	if completions != 1 {
+		t.Fatalf("completions=%d, want 1", completions)
+	}
+	if fs := a.FaultStats(); fs.Fallbacks != 0 {
+		t.Fatalf("zero policy must not fall back, got %d", fs.Fallbacks)
+	}
+}
+
+// TestFailedRedirectWithPolicy: with the policy armed, the same doomed op
+// is re-served through RAID-5 reconstruction instead of being dropped.
+func TestFailedRedirectWithPolicy(t *testing.T) {
+	e, a := retryArray(t, raid.RAID5, 4, 0, RetryPolicy{MaxRetries: 1})
+	completions := 0
+	a.Submit(0, 4096, false, func(float64) { completions++ })
+	e.Schedule(1e-5, func() {
+		if err := a.FailDisk(0, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	e.RunAll()
+	if completions != 1 {
+		t.Fatalf("completions=%d, want 1", completions)
+	}
+	if a.LostIOs() != 0 {
+		t.Fatal("redirected op must not be lost")
+	}
+	// Survivors must have served the reconstruction.
+	var survReads uint64
+	for i, d := range a.Groups()[0].Disks() {
+		if i == 0 {
+			continue
+		}
+		r, _ := d.BytesMoved()
+		survReads += r
+	}
+	if survReads == 0 {
+		t.Fatal("no reconstruction traffic on survivors")
+	}
+}

@@ -66,6 +66,11 @@ type Request struct {
 	Arrive float64
 	Start  float64
 	Failed bool
+	// Errored marks a transient I/O error: the operation consumed its
+	// full service time but did not succeed. Unlike Failed the disk is
+	// still alive, so the caller may retry (see the fault models in
+	// faults.go and the array layer's retry policy).
+	Errored bool
 }
 
 // Scheduler selects how the disk orders queued foreground requests.
@@ -116,6 +121,10 @@ type Disk struct {
 
 	idleSince float64
 	account   *stats.StateAccount
+
+	// faults is nil until a fault model is armed (see faults.go); the
+	// healthy fast path never touches it beyond a nil check.
+	faults *faultState
 
 	completed     uint64
 	bytesRead     uint64
@@ -380,12 +389,25 @@ func (d *Disk) SpinUp() {
 	}
 }
 
-func (d *Disk) beginSpinUp() {
+func (d *Disk) beginSpinUp() { d.spinUpAttempt(0) }
+
+// spinUpAttempt runs one spin-up try. With the spin-up fault armed each
+// attempt pays the full spin-up time and energy and may fail; after the
+// bounded retries are exhausted the disk is declared dead.
+func (d *Disk) spinUpAttempt(attempt int) {
 	d.spinUps++
 	d.level = d.targetLevel
 	d.setState(SpinningUp, d.spec.SpinUpEnergy/d.spec.SpinUpTime)
 	d.engine.Schedule(d.spec.SpinUpTime, func() {
 		if d.state == Failed {
+			return
+		}
+		if d.spinUpFails() {
+			if attempt >= d.faults.spinRetries {
+				d.Fail()
+				return
+			}
+			d.spinUpAttempt(attempt + 1)
 			return
 		}
 		d.becomeIdleThenWork()
@@ -479,6 +501,7 @@ func (d *Disk) complete(r *Request, svc float64) {
 		d.bytesRead += uint64(r.Size)
 	}
 	d.headLBA = r.LBA + r.Size
+	r.Errored = d.faultOutcome(r)
 	done := r.Done
 	// Advance disk state before the callback so callbacks observe a
 	// consistent disk and may immediately Submit or change speeds.
@@ -517,7 +540,15 @@ func (d *Disk) serviceTime(r *Request) (svc, pos float64, sequential bool) {
 		}
 	}
 	pos = d.spec.ControllerOverhead + seek
-	svc = pos + latency + d.spec.TransferTime(d.level, r.Size)
+	xfer := d.spec.TransferTime(d.level, r.Size)
+	// Fail-slow degradation stretches the mechanical parts of the service
+	// (positioning and transfer); rotational latency is unaffected — the
+	// spindle still turns at full rate, the heads and channel do not.
+	if f := d.SlowFactor(); f > 1 {
+		pos *= f
+		xfer *= f
+	}
+	svc = pos + latency + xfer
 	return svc, pos, distance == 0
 }
 

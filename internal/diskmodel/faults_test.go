@@ -1,0 +1,201 @@
+package diskmodel
+
+import (
+	"math"
+	"testing"
+
+	"hibernator/internal/simevent"
+)
+
+func faultDisk(t *testing.T) (*simevent.Engine, *Disk) {
+	t.Helper()
+	e := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	d := New(e, &spec, Config{ID: 0, Seed: 42, ExpectedRotLatency: true})
+	return e, d
+}
+
+func TestTransientErrorsAreMarkedAndCounted(t *testing.T) {
+	e, d := faultDisk(t)
+	d.SetTransientErrorProb(1)
+	var errored, done int
+	for i := 0; i < 10; i++ {
+		d.Submit(&Request{LBA: int64(i) * 4096, Size: 4096, Done: func(r *Request, _ float64) {
+			done++
+			if r.Errored {
+				errored++
+			}
+		}})
+	}
+	e.RunAll()
+	if done != 10 || errored != 10 {
+		t.Fatalf("done=%d errored=%d, want 10/10 with prob 1", done, errored)
+	}
+	if d.TransientErrors() != 10 {
+		t.Fatalf("TransientErrors=%d, want 10", d.TransientErrors())
+	}
+	// Probability 0 must never error (and must stay a no-op draw-wise).
+	d.SetTransientErrorProb(0)
+	ok := 0
+	for i := 0; i < 10; i++ {
+		d.Submit(&Request{LBA: int64(i) * 4096, Size: 4096, Done: func(r *Request, _ float64) {
+			if !r.Errored {
+				ok++
+			}
+		}})
+	}
+	e.RunAll()
+	if ok != 10 {
+		t.Fatalf("errors with probability 0: ok=%d", ok)
+	}
+}
+
+func TestNoFaultConfigConsumesNoRandomness(t *testing.T) {
+	// Two disks with identical seeds, one with a zero-probability "armed"
+	// path never created: service draws must match exactly even with
+	// random rotational latency enabled.
+	e := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	d1 := New(e, &spec, Config{ID: 0, Seed: 7})
+	d2 := New(e, &spec, Config{ID: 1, Seed: 7})
+	d2.SetTransientErrorProb(0) // no-op: must not even allocate
+	var t1, t2 []float64
+	for i := 0; i < 20; i++ {
+		lba := int64(i*37%11) * 1 << 20
+		d1.Submit(&Request{LBA: lba, Size: 8192, Done: func(_ *Request, at float64) { t1 = append(t1, at) }})
+		d2.Submit(&Request{LBA: lba, Size: 8192, Done: func(_ *Request, at float64) { t2 = append(t2, at) }})
+	}
+	e.RunAll()
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("completion %d diverged: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestLatentRangeFailsReadsUntilRewritten(t *testing.T) {
+	e, d := faultDisk(t)
+	d.AddLatentRange(1<<20, 2<<20)
+	results := map[string]bool{}
+	read := func(key string, lba, size int64) {
+		d.Submit(&Request{LBA: lba, Size: size, Done: func(r *Request, _ float64) {
+			results[key] = r.Errored
+		}})
+		e.RunAll()
+	}
+	read("inside", 1<<20, 4096)
+	read("overlap", 1<<20-2048, 4096)
+	read("outside", 4<<20, 4096)
+	if !results["inside"] || !results["overlap"] || results["outside"] {
+		t.Fatalf("latent read outcomes wrong: %v", results)
+	}
+	if d.LatentErrors() != 2 {
+		t.Fatalf("LatentErrors=%d, want 2", d.LatentErrors())
+	}
+	// A write overlapping the range repairs it (sector remap).
+	d.Submit(&Request{LBA: 1 << 20, Size: 4096, Write: true, Done: func(r *Request, _ float64) {
+		if r.Errored {
+			t.Error("repair write must not error")
+		}
+	}})
+	e.RunAll()
+	if n := len(d.LatentRanges()); n != 0 {
+		t.Fatalf("latent range not cleared by write: %d left", n)
+	}
+	read("after-repair", 1<<20, 4096)
+	if results["after-repair"] {
+		t.Fatal("read after repair write still errors")
+	}
+}
+
+func TestFailSlowRampStretchesService(t *testing.T) {
+	e, d := faultDisk(t)
+	// Healthy baseline: sequential read from LBA 0 (no seek, no rotation).
+	var base float64
+	d.Submit(&Request{LBA: 0, Size: 1 << 20, Done: func(r *Request, at float64) { base = at - r.Start }})
+	e.RunAll()
+
+	d.SetFailSlow(e.Now(), 100, 3)
+	if f := d.SlowFactor(); f != 1 {
+		t.Fatalf("factor %v at ramp start, want 1", f)
+	}
+	// Jump past the ramp and measure the same sequential read again.
+	e.Schedule(200, func() {
+		if f := d.SlowFactor(); f != 3 {
+			t.Errorf("factor %v after ramp, want 3", f)
+		}
+		d.Submit(&Request{LBA: d.headLBA, Size: 1 << 20, Done: func(r *Request, at float64) {
+			got := at - r.Start
+			if math.Abs(got-3*base) > 1e-9 {
+				t.Errorf("slow service %v, want 3x healthy %v", got, base)
+			}
+		}})
+	})
+	e.RunAll()
+
+	// Mid-ramp factor is linear.
+	d2engine := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	d2 := New(d2engine, &spec, Config{ID: 0, Seed: 1, ExpectedRotLatency: true})
+	d2.SetFailSlow(10, 100, 5)
+	d2engine.Schedule(60, func() {
+		if f := d2.SlowFactor(); math.Abs(f-3) > 1e-9 { // halfway: 1 + 4*0.5
+			t.Errorf("mid-ramp factor %v, want 3", f)
+		}
+	})
+	d2engine.RunAll()
+}
+
+func TestSpinUpFailureExhaustsRetriesThenFails(t *testing.T) {
+	e, d := faultDisk(t)
+	d.SetSpinUpFailure(1, 2) // every attempt fails; 2 retries allowed
+	if !d.Standby() {
+		t.Fatal("standby refused on idle disk")
+	}
+	completions := 0
+	failed := 0
+	e.Schedule(60, func() {
+		d.Submit(&Request{LBA: 0, Size: 4096, Done: func(r *Request, _ float64) {
+			completions++
+			if r.Failed {
+				failed++
+			}
+		}})
+	})
+	e.RunAll()
+	if d.State() != Failed {
+		t.Fatalf("disk state %v after exhausted spin-up retries, want Failed", d.State())
+	}
+	if d.SpinUpFailures() != 3 { // initial attempt + 2 retries
+		t.Fatalf("SpinUpFailures=%d, want 3", d.SpinUpFailures())
+	}
+	if completions != 1 || failed != 1 {
+		t.Fatalf("queued request must complete as Failed: completions=%d failed=%d", completions, failed)
+	}
+}
+
+func TestSpinUpRetrySucceedsEventually(t *testing.T) {
+	e := simevent.New()
+	spec := MultiSpeedUltrastar(1, 0)
+	// Seed chosen arbitrarily; with p=0.5 and 8 retries the chance of the
+	// fault path killing the disk is 1/512 for any seed — but the draw
+	// sequence is deterministic, so the test outcome is fixed.
+	d := New(e, &spec, Config{ID: 0, Seed: 3, ExpectedRotLatency: true})
+	d.SetSpinUpFailure(0.5, 8)
+	if !d.Standby() {
+		t.Fatal("standby refused")
+	}
+	served := false
+	e.Schedule(60, func() {
+		d.Submit(&Request{LBA: 0, Size: 4096, Done: func(r *Request, _ float64) {
+			served = !r.Failed
+		}})
+	})
+	e.RunAll()
+	if d.State() == Failed {
+		t.Fatal("disk died despite retry budget")
+	}
+	if !served {
+		t.Fatal("request not served after spin-up retries")
+	}
+}

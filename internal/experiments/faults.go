@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"context"
+
+	"hibernator/internal/array"
+	"hibernator/internal/fault"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/policy"
+	"hibernator/internal/report"
+	"hibernator/internal/runner"
+	"hibernator/internal/sim"
+)
+
+// X5/X6 probe robustness: how the paper's energy policies behave when the
+// disks themselves misbehave (the fault models the paper's reliability
+// discussion names but never measures), and which retry strategy the
+// array should pair them with.
+
+func init() {
+	register(Experiment{
+		ID:           "X5",
+		Title:        "Fault storm under OLTP: Base vs Hibernator",
+		Reconstructs: "the reliability question the paper leaves open: does energy management amplify fault-induced latency?",
+		Run:          runX5,
+	})
+	register(Experiment{
+		ID:           "X6",
+		Title:        "Retry-policy ablation under a steady transient-error rate",
+		Reconstructs: "an engineering choice behind the fault handling: immediate redundancy fallback vs same-disk retries",
+		Run:          runX6,
+	})
+}
+
+// x5Goal is the absolute response-time goal (seconds), as in X3.
+const x5Goal = 0.012
+
+// x5Retry is the fault-reaction policy armed for the faulted runs.
+// Suspicion trips fast (10 errors flags the disk and freezes power
+// management off its group); eviction waits for a sustained pattern —
+// evicting on a short burst would trade a 2-minute annoyance for a
+// multi-hour rebuild.
+func x5Retry() array.RetryPolicy {
+	return array.RetryPolicy{
+		MaxRetries:    2,
+		Backoff:       0.01,
+		BackoffFactor: 4,
+		OpDeadline:    0.25,
+		SuspectAfter:  10,
+		EvictAfter:    1000,
+		AutoRebuild:   true,
+	}
+}
+
+// x5Faults scripts the storm: an ambient trickle of transient errors, a
+// burst on one disk, a fail-slow ramp on another, and a fail-stop on a
+// third — three different groups, so every failure domain is exercised.
+func x5Faults(dur float64) *fault.Schedule {
+	return &fault.Schedule{
+		Rates: fault.Rates{TransientProb: 0.002},
+		Events: []fault.Event{
+			{Time: 0.25 * dur, Disk: 2, Kind: fault.TransientBurst, Prob: 0.3, Duration: 0.1 * dur},
+			{Time: 0.35 * dur, Disk: 6, Kind: fault.FailSlow, Factor: 8, Ramp: 0.1 * dur},
+			{Time: 0.50 * dur, Disk: 10, Kind: fault.FailStop},
+		},
+	}
+}
+
+func runX5(o Opts) ([]*report.Table, error) {
+	o.norm()
+	dur := oltpBaseDuration * o.Scale
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wf := oltpFactory(o.Seed+101, vol, dur)
+
+	type x5run struct {
+		scheme  string
+		multi   bool
+		faulted bool
+	}
+	runs := []x5run{
+		{"Base", false, false},
+		{"Base", false, true},
+		{"Hibernator", true, false},
+		{"Hibernator", true, true},
+	}
+	results, err := runner.Map(context.Background(), o.Workers, len(runs),
+		func(_ context.Context, i int) (*sim.Result, error) {
+			r := runs[i]
+			src, err := wf()
+			if err != nil {
+				return nil, err
+			}
+			cfg := arrayConfig(o.Seed, r.multi, 1, x5Goal, dur)
+			if r.faulted {
+				cfg.Retry = x5Retry()
+				cfg.Faults = x5Faults(dur)
+			}
+			var ctrl sim.Controller = policy.NewBase()
+			if r.multi {
+				ctrl = hibernator.New(hibernator.Options{Epoch: dur / 4})
+			}
+			o.logf("  X5: %s %s...", r.scheme, map[bool]string{false: "healthy", true: "faulted"}[r.faulted])
+			return sim.Run(cfg, src, ctrl, dur)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.New("X5", "Fault storm (transient burst + fail-slow + fail-stop) under OLTP-like load, goal 12 ms",
+		"scheme", "run", "energy (kJ)", "mean resp (ms)", "violations",
+		"retries", "timeouts", "evictions", "lost IOs")
+	for i, r := range runs {
+		res := results[i]
+		runName := "healthy"
+		if r.faulted {
+			runName = "fault storm"
+		}
+		t.AddRow(r.scheme, runName, report.KJ(res.Energy), report.Ms(res.MeanResp),
+			report.Pct(res.GoalViolationFrac), report.N(res.Faults.Retries),
+			report.N(res.Faults.Timeouts), report.N(res.Faults.Evictions),
+			report.N(res.Faults.LostIOs))
+	}
+	t.AddNote("fault-aware Hibernator pins unhealthy groups at full speed, suspends migration during the rebuild, and lets the boost override its mute under a standing fault — it still spins the healthy groups down")
+	return []*report.Table{t}, nil
+}
+
+func runX6(o Opts) ([]*report.Table, error) {
+	o.norm()
+	dur := oltpBaseDuration * o.Scale
+	vol, err := volumeBytes(o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	wf := oltpFactory(o.Seed+101, vol, dur)
+
+	policies := []struct {
+		name string
+		pol  array.RetryPolicy
+	}{
+		// MaxRetries 0: every transient error goes straight to the
+		// redundancy fallback (a RAID-5 reconstruct fans one op into three).
+		{"no-retry", array.RetryPolicy{}},
+		{"fixed x3", array.RetryPolicy{MaxRetries: 3, Backoff: 0.002, BackoffFactor: 1}},
+		{"backoff x3", array.RetryPolicy{MaxRetries: 3, Backoff: 0.002, BackoffFactor: 4}},
+	}
+	results, err := runner.Map(context.Background(), o.Workers, len(policies),
+		func(_ context.Context, i int) (*sim.Result, error) {
+			src, err := wf()
+			if err != nil {
+				return nil, err
+			}
+			// Base policy at full speed: the ablation isolates the retry
+			// machinery from any power-management interference.
+			cfg := arrayConfig(o.Seed, false, 0, 0, dur)
+			cfg.Retry = policies[i].pol
+			// A 2% ambient rate plus one disk whose burst makes back-to-back
+			// attempts likely to fail — the regime where the policies differ.
+			cfg.Faults = &fault.Schedule{
+				Rates:  fault.Rates{TransientProb: 0.02},
+				Events: []fault.Event{{Time: 0.4 * dur, Disk: 3, Kind: fault.TransientBurst, Prob: 0.5, Duration: 0.2 * dur}},
+			}
+			o.logf("  X6: %s...", policies[i].name)
+			return sim.Run(cfg, src, policy.NewBase(), dur)
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	t := report.New("X6", "Retry policies: 2% ambient transient errors + a 50% burst on one disk (Base, OLTP-like)",
+		"policy", "mean resp (ms)", "P99 (ms)", "errors", "retries", "fallbacks")
+	for i, p := range policies {
+		res := results[i]
+		t.AddRow(p.name, report.Ms(res.MeanResp), report.Ms(res.P99Resp),
+			report.N(res.Faults.TransientErrs), report.N(res.Faults.Retries),
+			report.N(res.Faults.Fallbacks))
+	}
+	t.AddNote("a same-disk retry costs one extra service time; an immediate reconstruct fallback costs one op on every survivor — retries win until the error rate makes repeated attempts hopeless")
+	return []*report.Table{t}, nil
+}

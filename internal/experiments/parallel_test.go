@@ -29,12 +29,13 @@ func renderAll(t *testing.T, tables []*report.Table) string {
 // (Workers=1) and with a wide pool (Workers=8) must produce deep-equal
 // tables — the pool may only change wall-clock time. T2 fans out the two
 // workload characterizations; F5 fans out five sweep points sharing one
-// memoized Base run.
+// memoized Base run; X5 fans out the four fault-storm runs, whose per-run
+// fault RNG state must stay isolated from scheduling order.
 func TestParallelMatchesSequential(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs several small simulations")
 	}
-	for _, id := range []string{"T2", "F5"} {
+	for _, id := range []string{"T2", "F5", "X5"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			e, ok := ByID(id)

@@ -1,0 +1,138 @@
+package fault
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The schedule file format is line-oriented CSV. Blank lines and lines
+// starting with '#' are ignored. Each record is
+//
+//	time,disk,kind[,args...]
+//
+// with kind-specific arguments:
+//
+//	t,d,failstop                    kill disk d at time t
+//	t,d,failslow,factor[,ramp]      ramp to factor-times-slower over ramp s
+//	t,d,transient,prob[,duration]   per-op error burst (0 duration = forever)
+//	t,d,latent,lo,hi                unreadable byte range [lo,hi)
+//	t,d,spinfail,prob[,retries]     spin-up failures with bounded retries
+//
+// Times are simulated seconds; disks are global disk IDs.
+
+// Load reads a schedule file (see the package file-format comment).
+func Load(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Parse reads schedule records from r.
+func Parse(r io.Reader) (*Schedule, error) {
+	s := &Schedule{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		ev, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func parseLine(line string) (Event, error) {
+	var ev Event
+	fields := strings.Split(line, ",")
+	for i := range fields {
+		fields[i] = strings.TrimSpace(fields[i])
+	}
+	if len(fields) < 3 {
+		return ev, fmt.Errorf("want time,disk,kind[,args], got %q", line)
+	}
+	t, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return ev, fmt.Errorf("bad time %q", fields[0])
+	}
+	disk, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return ev, fmt.Errorf("bad disk %q", fields[1])
+	}
+	ev.Time, ev.Disk = t, disk
+
+	args := fields[3:]
+	num := func(i int, name string) (float64, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("%s: missing %s", fields[2], name)
+		}
+		v, err := strconv.ParseFloat(args[i], 64)
+		if err != nil {
+			return 0, fmt.Errorf("%s: bad %s %q", fields[2], name, args[i])
+		}
+		return v, nil
+	}
+	optional := func(i int) float64 {
+		if i >= len(args) {
+			return 0
+		}
+		v, _ := strconv.ParseFloat(args[i], 64)
+		return v
+	}
+
+	switch fields[2] {
+	case "failstop":
+		ev.Kind = FailStop
+	case "failslow":
+		ev.Kind = FailSlow
+		if ev.Factor, err = num(0, "factor"); err != nil {
+			return ev, err
+		}
+		ev.Ramp = optional(1)
+	case "transient":
+		ev.Kind = TransientBurst
+		if ev.Prob, err = num(0, "prob"); err != nil {
+			return ev, err
+		}
+		ev.Duration = optional(1)
+	case "latent":
+		ev.Kind = Latent
+		lo, err := num(0, "lo")
+		if err != nil {
+			return ev, err
+		}
+		hi, err := num(1, "hi")
+		if err != nil {
+			return ev, err
+		}
+		ev.Lo, ev.Hi = int64(lo), int64(hi)
+	case "spinfail":
+		ev.Kind = SpinUpFail
+		if ev.Prob, err = num(0, "prob"); err != nil {
+			return ev, err
+		}
+		ev.Retries = int(optional(1))
+	default:
+		return ev, fmt.Errorf("unknown fault kind %q", fields[2])
+	}
+	return ev, nil
+}

@@ -1,0 +1,233 @@
+// Package fault injects faults into a simulated array on a deterministic
+// timeline. A Schedule combines scripted events (fail-stop at t, fail-slow
+// ramp from t, a transient-error burst, a latent sector range, spin-up
+// failure) with ambient random rates applied to every disk; both ride the
+// simulation clock and the per-disk fault RNGs, so the same seed and
+// schedule replay the exact same fault sequence at any parallelism.
+//
+// The package deliberately sits above diskmodel and array: disks own the
+// fault mechanisms (see diskmodel/faults.go), the array owns the reaction
+// (retry/timeout/eviction, see array/retry.go), and this package only
+// decides when and where faults strike.
+package fault
+
+import (
+	"fmt"
+
+	"hibernator/internal/array"
+	"hibernator/internal/simevent"
+)
+
+// Kind enumerates the scripted fault types.
+type Kind int
+
+const (
+	// FailStop kills the disk outright at Time (the array serves it in
+	// degraded mode; with AutoRebuild a spare takes over).
+	FailStop Kind = iota
+	// FailSlow ramps the disk's positioning and transfer times up to
+	// Factor-times-normal over Ramp seconds starting at Time.
+	FailSlow
+	// TransientBurst sets the disk's per-op error probability to Prob at
+	// Time; with Duration > 0 it falls back to the ambient rate afterwards.
+	TransientBurst
+	// Latent pins an unreadable LBA range [Lo, Hi) at Time; overlapping
+	// writes repair it.
+	Latent
+	// SpinUpFail arms spin-up failure: each spin-up attempt fails with
+	// Prob, and after Retries failed retries the disk dies.
+	SpinUpFail
+)
+
+var kindNames = map[Kind]string{
+	FailStop:       "failstop",
+	FailSlow:       "failslow",
+	TransientBurst: "transient",
+	Latent:         "latent",
+	SpinUpFail:     "spinfail",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one scripted fault.
+type Event struct {
+	Time float64 // absolute simulated seconds
+	Disk int     // global disk ID (array members and spares)
+	Kind Kind
+
+	Prob     float64 // TransientBurst, SpinUpFail: probability
+	Duration float64 // TransientBurst: burst length; 0 = permanent
+	Factor   float64 // FailSlow: terminal slowdown multiplier (> 1)
+	Ramp     float64 // FailSlow: seconds from onset to full Factor
+	Lo, Hi   int64   // Latent: byte range [Lo, Hi)
+	Retries  int     // SpinUpFail: bounded retries before giving up
+}
+
+// Rates are ambient random fault rates armed on every disk at t = 0.
+// They compose with scripted events: a TransientBurst overrides the
+// ambient probability for its duration and then restores it.
+type Rates struct {
+	// TransientProb is the steady per-op transient error probability.
+	TransientProb float64
+	// SpinUpFailProb and SpinUpRetries arm ambient spin-up failure.
+	SpinUpFailProb float64
+	SpinUpRetries  int
+}
+
+func (r Rates) zero() bool {
+	return r.TransientProb == 0 && r.SpinUpFailProb == 0
+}
+
+// Stats counts what a Schedule actually did during a run.
+type Stats struct {
+	Injected int // events applied
+	Skipped  int // events refused (e.g. fail-stop that would lose data)
+}
+
+// Schedule is a deterministic fault timeline plus ambient rates. The zero
+// value (and nil) is a valid empty schedule: arming it does nothing.
+type Schedule struct {
+	Events []Event
+	Rates  Rates
+
+	stats Stats
+}
+
+// Empty reports whether the schedule injects nothing.
+func (s *Schedule) Empty() bool {
+	return s == nil || (len(s.Events) == 0 && s.Rates.zero())
+}
+
+// Stats returns the injection counters (valid after the run).
+func (s *Schedule) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	return s.stats
+}
+
+// Validate checks the schedule against an array: every event must target
+// an existing disk and carry sane parameters.
+func (s *Schedule) Validate(arr *array.Array) error {
+	if s == nil {
+		return nil
+	}
+	if s.Rates.TransientProb < 0 || s.Rates.TransientProb > 1 {
+		return fmt.Errorf("fault: ambient transient probability %v outside [0,1]", s.Rates.TransientProb)
+	}
+	if s.Rates.SpinUpFailProb < 0 || s.Rates.SpinUpFailProb > 1 {
+		return fmt.Errorf("fault: ambient spin-up failure probability %v outside [0,1]", s.Rates.SpinUpFailProb)
+	}
+	for i, ev := range s.Events {
+		if ev.Time < 0 {
+			return fmt.Errorf("fault: event %d at negative time %v", i, ev.Time)
+		}
+		if arr.DiskByID(ev.Disk) == nil {
+			return fmt.Errorf("fault: event %d targets unknown disk %d", i, ev.Disk)
+		}
+		switch ev.Kind {
+		case FailStop:
+			// no parameters
+		case FailSlow:
+			if ev.Factor <= 1 {
+				return fmt.Errorf("fault: event %d fail-slow factor %v must exceed 1", i, ev.Factor)
+			}
+			if ev.Ramp < 0 {
+				return fmt.Errorf("fault: event %d negative ramp %v", i, ev.Ramp)
+			}
+		case TransientBurst:
+			if ev.Prob < 0 || ev.Prob > 1 {
+				return fmt.Errorf("fault: event %d probability %v outside [0,1]", i, ev.Prob)
+			}
+			if ev.Duration < 0 {
+				return fmt.Errorf("fault: event %d negative duration %v", i, ev.Duration)
+			}
+		case Latent:
+			if ev.Lo < 0 || ev.Hi <= ev.Lo {
+				return fmt.Errorf("fault: event %d invalid latent range [%d,%d)", i, ev.Lo, ev.Hi)
+			}
+		case SpinUpFail:
+			if ev.Prob < 0 || ev.Prob > 1 {
+				return fmt.Errorf("fault: event %d probability %v outside [0,1]", i, ev.Prob)
+			}
+			if ev.Retries < 0 {
+				return fmt.Errorf("fault: event %d negative retries %d", i, ev.Retries)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
+}
+
+// Arm validates the schedule and registers every injection on the engine.
+// Ambient rates take effect immediately; scripted events fire at their
+// timestamps. Call once, before the run starts.
+func (s *Schedule) Arm(e *simevent.Engine, arr *array.Array) error {
+	if s.Empty() {
+		return nil
+	}
+	if err := s.Validate(arr); err != nil {
+		return err
+	}
+	if !s.Rates.zero() {
+		for _, d := range arr.Disks() {
+			if s.Rates.TransientProb > 0 {
+				d.SetTransientErrorProb(s.Rates.TransientProb)
+			}
+			if s.Rates.SpinUpFailProb > 0 {
+				d.SetSpinUpFailure(s.Rates.SpinUpFailProb, s.Rates.SpinUpRetries)
+			}
+		}
+	}
+	for _, ev := range s.Events {
+		ev := ev
+		e.At(ev.Time, func() { s.apply(e, arr, ev) })
+	}
+	return nil
+}
+
+// apply performs one scripted injection at its firing time.
+func (s *Schedule) apply(e *simevent.Engine, arr *array.Array, ev Event) {
+	d := arr.DiskByID(ev.Disk)
+	if d == nil {
+		s.stats.Skipped++ // disk left the array (evicted and replaced)
+		return
+	}
+	switch ev.Kind {
+	case FailStop:
+		if gi, di, ok := arr.LocateDisk(ev.Disk); ok {
+			// Refusals (second failure in a protection domain, already
+			// failed) are skipped, not fatal: a storm may legitimately
+			// aim two failures at one group and only land the first.
+			if err := arr.FailDisk(gi, di); err != nil {
+				s.stats.Skipped++
+				return
+			}
+		} else {
+			d.Fail() // a spare: no group bookkeeping to maintain
+		}
+	case FailSlow:
+		d.SetFailSlow(ev.Time, ev.Ramp, ev.Factor)
+	case TransientBurst:
+		d.SetTransientErrorProb(ev.Prob)
+		if ev.Duration > 0 {
+			ambient := s.Rates.TransientProb
+			e.At(ev.Time+ev.Duration, func() {
+				if cur := arr.DiskByID(ev.Disk); cur != nil {
+					cur.SetTransientErrorProb(ambient)
+				}
+			})
+		}
+	case Latent:
+		d.AddLatentRange(ev.Lo, ev.Hi)
+	case SpinUpFail:
+		d.SetSpinUpFailure(ev.Prob, ev.Retries)
+	}
+	s.stats.Injected++
+}

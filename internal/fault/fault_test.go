@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/raid"
+	"hibernator/internal/simevent"
+)
+
+func testArray(t *testing.T) (*simevent.Engine, *array.Array) {
+	t.Helper()
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	a, err := array.New(array.Config{
+		Engine: e, Spec: &spec, Groups: 2, GroupDisks: 4, Level: raid.RAID5,
+		ExtentBytes: 64 << 20, SpareDisks: 1, Seed: 11, ExpectedRotLatency: true,
+		Retry: array.RetryPolicy{MaxRetries: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, a
+}
+
+func TestParseSchedule(t *testing.T) {
+	in := `
+# fault storm
+100,3,failstop
+0.5, 1, transient, 0.2, 30
+200,5,failslow,4,600
+10,2,latent,4096,8192
+50,0,spinfail,0.5,3
+`
+	s, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 5 {
+		t.Fatalf("parsed %d events, want 5", len(s.Events))
+	}
+	want := []Event{
+		{Time: 100, Disk: 3, Kind: FailStop},
+		{Time: 0.5, Disk: 1, Kind: TransientBurst, Prob: 0.2, Duration: 30},
+		{Time: 200, Disk: 5, Kind: FailSlow, Factor: 4, Ramp: 600},
+		{Time: 10, Disk: 2, Kind: Latent, Lo: 4096, Hi: 8192},
+		{Time: 50, Disk: 0, Kind: SpinUpFail, Prob: 0.5, Retries: 3},
+	}
+	for i, w := range want {
+		if s.Events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, s.Events[i], w)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"1,2",                  // too few fields
+		"x,2,failstop",         // bad time
+		"1,y,failstop",         // bad disk
+		"1,2,exploding",        // unknown kind
+		"1,2,failslow",         // missing factor
+		"1,2,latent,100",       // missing hi
+		"1,2,transient,notnum", // bad prob
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("Parse(%q) accepted bad input", in)
+		}
+	}
+}
+
+func TestValidateRejectsBadTargetsAndParams(t *testing.T) {
+	_, a := testArray(t)
+	for _, s := range []*Schedule{
+		{Events: []Event{{Time: 1, Disk: 99, Kind: FailStop}}},
+		{Events: []Event{{Time: -1, Disk: 0, Kind: FailStop}}},
+		{Events: []Event{{Time: 1, Disk: 0, Kind: FailSlow, Factor: 0.5}}},
+		{Events: []Event{{Time: 1, Disk: 0, Kind: TransientBurst, Prob: 2}}},
+		{Events: []Event{{Time: 1, Disk: 0, Kind: Latent, Lo: 10, Hi: 10}}},
+		{Rates: Rates{TransientProb: 1.5}},
+	} {
+		if err := s.Validate(a); err == nil {
+			t.Errorf("Validate accepted %+v", s)
+		}
+	}
+	if err := (&Schedule{}).Validate(a); err != nil {
+		t.Errorf("empty schedule must validate: %v", err)
+	}
+}
+
+func TestArmFailStopAndSkipsRefused(t *testing.T) {
+	e, a := testArray(t)
+	s := &Schedule{Events: []Event{
+		{Time: 1, Disk: 0, Kind: FailStop},
+		{Time: 2, Disk: 2, Kind: FailStop}, // same RAID5 group: refused
+		{Time: 3, Disk: 4, Kind: FailStop}, // other group: lands
+	}}
+	if err := s.Arm(e, a); err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10)
+	if got := a.DiskFailures(); got != 2 {
+		t.Fatalf("disk failures = %d, want 2", got)
+	}
+	st := s.Stats()
+	if st.Injected != 2 || st.Skipped != 1 {
+		t.Fatalf("stats = %+v, want 2 injected / 1 skipped", st)
+	}
+	if !a.Groups()[0].Degraded() || !a.Groups()[1].Degraded() {
+		t.Fatal("both groups must be degraded")
+	}
+}
+
+func TestBurstRestoresAmbientRate(t *testing.T) {
+	e, a := testArray(t)
+	s := &Schedule{
+		Rates:  Rates{TransientProb: 0.01},
+		Events: []Event{{Time: 5, Disk: 1, Kind: TransientBurst, Prob: 0.5, Duration: 10}},
+	}
+	if err := s.Arm(e, a); err != nil {
+		t.Fatal(err)
+	}
+	d := a.DiskByID(1)
+	if got := d.TransientErrorProb(); got != 0.01 {
+		t.Fatalf("ambient prob before burst = %v, want 0.01", got)
+	}
+	e.Run(6)
+	if got := d.TransientErrorProb(); got != 0.5 {
+		t.Fatalf("prob during burst = %v, want 0.5", got)
+	}
+	e.Run(16)
+	if got := d.TransientErrorProb(); got != 0.01 {
+		t.Fatalf("prob after burst = %v, want ambient 0.01", got)
+	}
+	// Every other disk keeps the ambient rate throughout.
+	if got := a.DiskByID(3).TransientErrorProb(); got != 0.01 {
+		t.Fatalf("bystander prob = %v, want 0.01", got)
+	}
+}
+
+func TestEmptyScheduleIsNoOp(t *testing.T) {
+	e, a := testArray(t)
+	var s *Schedule
+	if !s.Empty() {
+		t.Fatal("nil schedule must be empty")
+	}
+	if err := s.Arm(e, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Schedule{}).Arm(e, a); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range a.Disks() {
+		if d.TransientErrorProb() != 0 {
+			t.Fatal("no disk may be armed by an empty schedule")
+		}
+	}
+}
+
+func TestFailSlowEventEngages(t *testing.T) {
+	e, a := testArray(t)
+	s := &Schedule{Events: []Event{{Time: 2, Disk: 0, Kind: FailSlow, Factor: 3, Ramp: 4}}}
+	if err := s.Arm(e, a); err != nil {
+		t.Fatal(err)
+	}
+	d := a.DiskByID(0)
+	e.Run(2)
+	if f := d.SlowFactor(); f != 1 {
+		t.Fatalf("factor at onset = %v, want 1", f)
+	}
+	e.Run(4) // mid-ramp: 2 s into a 4 s ramp to 3x
+	if f := d.SlowFactor(); f != 2 {
+		t.Fatalf("mid-ramp factor = %v, want 2", f)
+	}
+	e.Run(10)
+	if f := d.SlowFactor(); f != 3 {
+		t.Fatalf("terminal factor = %v, want 3", f)
+	}
+}

@@ -37,6 +37,10 @@ type Boost struct {
 	// descentCost (optional) returns the predicted total response-time
 	// seconds a descent to the current plan would add.
 	descentCost func() float64
+	// threat (optional) reports a standing danger to the goal that is NOT
+	// an echo of a commanded transition — a fail-slow or degraded array.
+	// While it holds, window-triggered engagement ignores the mute.
+	threat func() bool
 	// restore re-applies the CR plan after a boost ends.
 	restore func()
 }
@@ -67,6 +71,10 @@ func NewBoost(env *sim.Env, restore func()) *Boost {
 // leaving a boost (shift stalls on the downward path).
 func (b *Boost) SetDescentCost(fn func() float64) { b.descentCost = fn }
 
+// SetThreat installs the standing-danger oracle (typically "the array has
+// a degraded, suspect or rebuilding group").
+func (b *Boost) SetThreat(fn func() bool) { b.threat = fn }
+
 // Active reports whether a boost is in force.
 func (b *Boost) Active() bool { return b.active }
 
@@ -87,7 +95,12 @@ func (b *Boost) check(now float64) {
 		cumAtRisk := cum.Count() > 100 && cum.Mean() > b.EngageCumFactor*goal
 		severe := n > 0 && windowMean > 2*goal
 		minor := n > 0 && windowMean > goal && cum.Mean() > 0.9*goal
-		windowBlown := now >= b.muteUntil && (severe || minor)
+		// The mute exists to forgive the stall of a commanded transition.
+		// With a standing fault threat the latency is the fault's, not the
+		// transition's, and waiting out the mute lets a fail-slow disk
+		// erode the average unopposed.
+		muted := now < b.muteUntil && !(b.threat != nil && b.threat())
+		windowBlown := !muted && (severe || minor)
 		if cumAtRisk || windowBlown {
 			b.engage()
 		}

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"io"
 
+	"hibernator/internal/array"
 	"hibernator/internal/heat"
 	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
 )
 
 // Options tunes the Hibernator controller. Zero values select the paper's
@@ -79,6 +81,11 @@ type Controller struct {
 	// planGen invalidates staggered plan-application steps when a newer
 	// plan or boost supersedes them.
 	planGen uint64
+	// faultAware mirrors Array.FaultAware at Init: every fault reaction
+	// below (health vetoes, the watchdog, degraded pinning) is gated on
+	// it so that a zero RetryPolicy leaves the controller bit-identical
+	// to its pre-fault-subsystem behavior.
+	faultAware bool
 	// curEpoch is the (possibly adapted) interval to the next boundary.
 	curEpoch float64
 	// curLoads are the per-group logical arrival rates under the current
@@ -127,8 +134,22 @@ func (c *Controller) Init(env *sim.Env) {
 	c.layout = NewLayout(env.Array, c.tracker, c.opts.Migration, c.opts.MigrationBudget)
 	c.layout.SetLevelOf(func(g int) int { return c.lastPlan.Levels[g] })
 	c.layout.SetMinMoveTemp(2 / c.opts.Epoch)
+	c.faultAware = env.Array.FaultAware()
+	if c.faultAware {
+		// Never migrate data onto a group that is degraded, suspect or
+		// rebuilding: new extents there would widen the blast radius of the
+		// next failure and compete with reconstruction I/O.
+		c.layout.SetGroupHealthy(func(g int) bool { return env.Array.GroupHealthy(g) })
+	}
 	if !c.opts.DisableBoost {
 		c.boost = NewBoost(env, func() { c.applyPlan() })
+		if c.faultAware {
+			// Fault-induced latency (a fail-slow member, degraded reads,
+			// retry storms) is a real threat to the goal, not an echo of a
+			// commanded transition — while the array is unhealthy the
+			// watchdog ignores its post-transition mute.
+			c.boost.SetThreat(func() bool { return env.Array.Unhealthy() })
+		}
 		// Descent cost: each group dropping from full to its planned level
 		// stalls for the shift duration; requests arriving meanwhile wait
 		// ~T/2 and then drain, so ~lambda_g*T^2 is a serviceable estimate
@@ -149,6 +170,38 @@ func (c *Controller) Init(env *sim.Env) {
 	full := env.Cfg.Spec.FullLevel()
 	c.lastPlan = CRPlan{Levels: allFull(len(env.Array.Groups()), full)}
 	c.curEpoch = c.opts.Epoch
+	if c.faultAware {
+		// Health watchdog: a disk failure or eviction mid-epoch must not
+		// wait for the next boundary — a degraded group serving
+		// reconstructed reads at low speed bleeds latency by the second.
+		// On the healthy->unhealthy edge, re-apply the plan immediately
+		// (applyPlan pins unhealthy groups at full speed).
+		period := env.Cfg.RespWindow / 6
+		if period <= 0 {
+			period = 10
+		}
+		// Two edges matter: any unhealthiness at all (suspicion included),
+		// and the harder degraded/rebuilding edge. An eviction usually
+		// follows a period of suspicion, so the first edge alone would
+		// sleep through it.
+		degraded := func() bool {
+			for _, g := range env.Array.Groups() {
+				if g.Degraded() || g.Rebuilding() {
+					return true
+				}
+			}
+			return false
+		}
+		wasUnhealthy, wasDegraded := false, false
+		simevent.NewTicker(env.Engine, period, func(float64) {
+			unhealthy, degr := env.Array.Unhealthy(), degraded()
+			if (unhealthy && !wasUnhealthy) || (degr && !wasDegraded) {
+				c.planGen++ // cancel staggered shifts still in flight
+				c.applyPlan()
+			}
+			wasUnhealthy, wasDegraded = unhealthy, degr
+		})
+	}
 	c.scheduleEpoch()
 }
 
@@ -229,7 +282,10 @@ func (c *Controller) onEpoch(elapsed float64) {
 	c.applyPlan()
 	// Sorting data for a plan that is not in force would only add
 	// interference; rebalance when the plan actually governs the array.
-	if c.boost == nil || !c.boost.Active() {
+	// A running rebuild suspends the migration budget outright: rebuild
+	// bandwidth is redundancy being restored, and migration traffic on the
+	// same survivors stretches the window of vulnerability.
+	if (c.boost == nil || !c.boost.Active()) && !(c.faultAware && env.Array.RebuildActive()) {
 		c.layout.Rebalance()
 	}
 }
@@ -251,6 +307,25 @@ func (c *Controller) applyPlan() {
 	for i, g := range groups {
 		g.SpinUp() // Hibernator keeps disks spinning; low speed replaces standby
 		target := c.lastPlan.Levels[i]
+		if c.faultAware && (g.Degraded() || g.Rebuilding()) {
+			// A degraded or rebuilding group pays reconstruction
+			// amplification on every access; slowing it down would multiply
+			// exactly the latency the goal protects. Pin it at full speed
+			// until it heals — CR re-plans it next epoch.
+			target = spec.FullLevel()
+		} else if c.faultAware && g.Suspect() {
+			// A suspect disk often precedes an eviction, and raising a
+			// group that has already lost a member stalls every survivor
+			// at once. Raise it to full speed NOW, while redundancy is
+			// intact — one member at a time, so ops stuck behind the
+			// shifting disk are served through the live survivors instead
+			// of waiting out a whole-group outage.
+			if g.TargetLevel() < spec.FullLevel() {
+				changed = true
+				c.raiseStaggered(g, spec.FullLevel())
+			}
+			continue
+		}
 		if g.TargetLevel() == target {
 			continue
 		}
@@ -297,6 +372,38 @@ func (c *Controller) applyPlan() {
 		// window for a full window length after the last staggered shift
 		// finishes, so mute for two windows past the stagger tail.
 		c.boost.Mute(2*c.env.Cfg.RespWindow + delay)
+	}
+}
+
+// raiseStaggered lifts a group to the target level one member at a time.
+// Unlike the whole-group SetLevel, at most one disk is mid-shift at any
+// moment, so the group keeps serving: requests stuck behind the shifting
+// member time out onto the live survivors (or just wait one shift, not
+// the whole ladder). A newer plan supersedes pending steps; disks that
+// reached the target meanwhile are skipped.
+func (c *Controller) raiseStaggered(g *array.Group, target int) {
+	spec := &c.env.Cfg.Spec
+	gen := c.planGen
+	delay := 0.0
+	for _, d := range g.Disks() {
+		if d.TargetLevel() >= target {
+			continue
+		}
+		shiftT, _ := spec.LevelShift(d.TargetLevel(), target)
+		d := d
+		if delay == 0 {
+			d.SpinUp()
+			d.SetTargetLevel(target)
+		} else {
+			c.env.Engine.Schedule(delay, func() {
+				if c.planGen != gen || d.TargetLevel() >= target {
+					return
+				}
+				d.SpinUp()
+				d.SetTargetLevel(target)
+			})
+		}
+		delay += shiftT + 2
 	}
 }
 

@@ -1,0 +1,129 @@
+package hibernator
+
+import (
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/heat"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+	"hibernator/internal/stats"
+)
+
+func faultEnv(t *testing.T, groups, groupDisks int, level raid.Level) (*simevent.Engine, *sim.Env) {
+	t.Helper()
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(5, 3000)
+	arr, err := array.New(array.Config{
+		Engine: e, Spec: &spec, Groups: groups, GroupDisks: groupDisks,
+		Level: level, ExtentBytes: 64 << 20, Seed: 1, ExpectedRotLatency: true,
+		// An armed health tracker is what switches the controller into
+		// fault-aware mode; with a zero policy it behaves exactly as the
+		// pre-fault build (see Array.FaultAware).
+		Retry: array.RetryPolicy{SuspectAfter: 10, EvictAfter: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &sim.Config{Spec: spec, RespGoal: 0.03, RespWindow: 60}
+	return e, &sim.Env{
+		Engine: e, Array: arr, Cfg: cfg,
+		RespWindow: stats.NewWindowTracker(60, 60),
+		RespCum:    &stats.CumulativeTracker{},
+	}
+}
+
+// TestApplyPlanPinsUnhealthyGroupAtFullSpeed: the CR plan may want a
+// degraded group slow; the controller must refuse and hold it at full
+// speed until it heals.
+func TestApplyPlanPinsUnhealthyGroupAtFullSpeed(t *testing.T) {
+	e, env := faultEnv(t, 2, 4, raid.RAID5)
+	arr := env.Array
+	c := New(Options{DisableBoost: true})
+	c.Init(env)
+
+	full := env.Cfg.Spec.FullLevel()
+	c.lastPlan = CRPlan{Levels: []int{0, 0}} // plan: everything slow
+	c.curLoads = []float64{0, 0}
+	c.sortedLoads = []float64{0, 0}
+	if err := arr.FailDisk(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.planGen++
+	c.applyPlan()
+	e.Run(120) // let staggered shifts land
+
+	if got := arr.Groups()[0].TargetLevel(); got != 0 {
+		t.Errorf("healthy group target level = %d, want planned 0", got)
+	}
+	if got := arr.Groups()[1].TargetLevel(); got != full {
+		t.Errorf("degraded group target level = %d, want pinned full %d", got, full)
+	}
+}
+
+// TestRebalanceAvoidsUnhealthyTarget: the layout must not migrate extents
+// onto a group the health oracle vetoes, and must resume once it heals.
+func TestRebalanceAvoidsUnhealthyTarget(t *testing.T) {
+	e, env := faultEnv(t, 2, 1, raid.RAID0)
+	arr := env.Array
+	tracker := heat.NewTracker(arr, 0.5)
+	l := NewLayout(arr, tracker, MigrateEager, 0)
+
+	// Heat one extent that lives on group 1: its sorted target is the
+	// fast tier, group 0.
+	hot := -1
+	for ei := 0; ei < arr.NumExtents(); ei++ {
+		if arr.ExtentLocation(ei).Group == 1 {
+			hot = ei
+			break
+		}
+	}
+	if hot < 0 {
+		t.Fatal("no extent on group 1")
+	}
+	for i := 0; i < 100; i++ {
+		arr.Submit(int64(hot)*arr.ExtentBytes(), 4096, false, func(float64) {})
+	}
+	e.RunAll()
+	tracker.Update(3600)
+
+	healthy := false
+	l.SetGroupHealthy(func(g int) bool { return g != 0 || healthy })
+	if n := l.Rebalance(); n != 0 {
+		t.Fatalf("scheduled %d moves onto an unhealthy group", n)
+	}
+	healthy = true
+	if n := l.Rebalance(); n == 0 {
+		t.Fatal("no moves scheduled after the group healed")
+	}
+	e.RunAll()
+	if arr.ExtentLocation(hot).Group != 0 {
+		t.Fatal("hot extent did not reach the fast tier")
+	}
+}
+
+// TestBoostThreatOverridesMute: a muted watchdog must still engage on a
+// severe window violation while the array carries a standing fault.
+func TestBoostThreatOverridesMute(t *testing.T) {
+	_, env := faultEnv(t, 2, 4, raid.RAID5)
+	threat := false
+	b := NewBoost(env, nil)
+	b.SetThreat(func() bool { return threat })
+	b.Mute(1000)
+
+	goal := env.Goal()
+	for i := 0; i < 10; i++ {
+		env.RespWindow.Observe(0, 3*goal) // severe: window >> goal
+	}
+	b.check(0)
+	if b.Active() {
+		t.Fatal("muted watchdog engaged without a threat")
+	}
+	threat = true
+	b.check(0)
+	if !b.Active() {
+		t.Fatal("standing fault threat must override the mute")
+	}
+}

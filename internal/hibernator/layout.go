@@ -51,6 +51,10 @@ type Layout struct {
 	// data between same-speed tiers costs I/O and buys nothing.
 	levelOf func(group int) int
 
+	// groupHealthy (optional) vetoes migration targets: extents are never
+	// moved onto a group that is degraded, suspect or rebuilding.
+	groupHealthy func(group int) bool
+
 	// minMoveTemp is the minimum access rate (accesses/second) an extent
 	// must sustain to be worth migrating.
 	minMoveTemp float64
@@ -61,6 +65,10 @@ type Layout struct {
 
 // SetLevelOf installs the group-speed oracle used to prune useless moves.
 func (l *Layout) SetLevelOf(fn func(group int) int) { l.levelOf = fn }
+
+// SetGroupHealthy installs the health oracle that vetoes unhealthy
+// migration targets.
+func (l *Layout) SetGroupHealthy(fn func(group int) bool) { l.groupHealthy = fn }
 
 // SetMinMoveTemp sets the minimum access rate that justifies a migration
 // (typically ~20 accesses per epoch).
@@ -148,6 +156,9 @@ func (l *Layout) Rebalance() int {
 		if cur == want || l.arr.Migrating(e) {
 			continue
 		}
+		if l.groupHealthy != nil && !l.groupHealthy(want) {
+			continue
+		}
 		if l.levelOf != nil && l.levelOf(cur) == l.levelOf(want) {
 			// Moving between equal-speed groups usually buys nothing —
 			// except draining the last-rank group, which is what lets CR
@@ -163,7 +174,12 @@ func (l *Layout) Rebalance() int {
 			budget--
 			continue
 		}
-		// Target full: swap with the coldest extent misplaced there.
+		// Target full: swap with the coldest extent misplaced there. The
+		// victim lands on this extent's current group, so that side must
+		// be healthy too.
+		if l.groupHealthy != nil && !l.groupHealthy(cur) {
+			continue
+		}
 		victim := l.coldestMisplacedIn(want, targets)
 		if victim < 0 || l.arr.Migrating(victim) {
 			continue

@@ -10,6 +10,7 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -50,7 +51,15 @@ func (p *Pool) Workers() int { return p.workers }
 // depend on scheduling), and the remaining unstarted jobs are skipped.
 func (p *Pool) RunSet(ctx context.Context, jobs []Job) ([]Result, error) {
 	results := make([]Result, len(jobs))
-	err := p.forEach(ctx, len(jobs), func(ctx context.Context, i int) error {
+	err := p.forEach(ctx, len(jobs), func(ctx context.Context, i int) (err error) {
+		defer func() {
+			// A panicking job must fail its set like any other error —
+			// and leave its Result carrying the converted error too.
+			if r := recover(); r != nil {
+				err = panicErr(i, r)
+				results[i] = Result{Err: err}
+			}
+		}()
 		if err := ctx.Err(); err != nil {
 			results[i] = Result{Err: err}
 			return err
@@ -60,6 +69,15 @@ func (p *Pool) RunSet(ctx context.Context, jobs []Job) ([]Result, error) {
 		return err
 	})
 	return results, err
+}
+
+// panicErr converts a recovered panic in job i into an error carrying the
+// panic value and the goroutine's stack, so the failure is debuggable
+// after it has crossed the pool's error path.
+func panicErr(i int, r any) error {
+	buf := make([]byte, 64<<10)
+	buf = buf[:runtime.Stack(buf, false)]
+	return fmt.Errorf("runner: job %d panicked: %v\n%s", i, r, buf)
 }
 
 // RunSet executes jobs on a default-width pool with a background context.
@@ -121,11 +139,23 @@ func (p *Pool) forEach(ctx context.Context, n int, fn func(ctx context.Context, 
 	idx := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(workers)
+	call := func(i int) (err error) {
+		defer func() {
+			// A panic anywhere in a job (simulation bug, bad config deep
+			// in a model) is converted to an error on the same
+			// lowest-index-first path as ordinary failures, instead of
+			// killing the whole process from a worker goroutine.
+			if r := recover(); r != nil {
+				err = panicErr(i, r)
+			}
+		}()
+		return fn(ctx, i)
+	}
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if err := fn(ctx, i); err != nil {
+				if err := call(i); err != nil {
 					record(i, err)
 				}
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -168,5 +169,45 @@ func TestWidthOneIsSequential(t *testing.T) {
 		if v != i {
 			t.Fatalf("execution order %v not sequential", order)
 		}
+	}
+}
+
+// A panicking job becomes an error carrying the panic value and a stack
+// trace, not a process crash, and the Result for that index carries it.
+func TestPanicBecomesError(t *testing.T) {
+	jobs := []Job{
+		func(context.Context) (any, error) { return 1, nil },
+		func(context.Context) (any, error) { panic("boom in job") },
+	}
+	results, err := New(1).RunSet(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("panicking job must fail the set")
+	}
+	if !strings.Contains(err.Error(), "job 1 panicked: boom in job") {
+		t.Errorf("error lacks panic context: %v", err)
+	}
+	if !strings.Contains(err.Error(), "runner_test.go") {
+		t.Errorf("error lacks a stack trace: %v", err)
+	}
+	if results[1].Err == nil || !strings.Contains(results[1].Err.Error(), "panicked") {
+		t.Errorf("result 1 should carry the panic error, got %v", results[1].Err)
+	}
+}
+
+// With several panicking jobs the reported error is the lowest-indexed
+// one, matching the pool's deterministic error contract. Map's recovery
+// lives in the worker loop, so it is exercised separately from RunSet's.
+func TestPanicLowestIndexWins(t *testing.T) {
+	_, err := Map(context.Background(), 8, 6, func(_ context.Context, i int) (int, error) {
+		if i%2 == 0 {
+			panic(fmt.Sprintf("panic at %d", i))
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("panicking jobs must fail the map")
+	}
+	if !strings.Contains(err.Error(), "panic at 0") {
+		t.Errorf("want the lowest-indexed panic, got: %v", err)
 	}
 }

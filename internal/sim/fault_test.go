@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/fault"
+	"hibernator/internal/raid"
+)
+
+func faultConfig(seed int64) Config {
+	return Config{
+		Spec:               diskmodel.MultiSpeedUltrastar(5, 3000),
+		Groups:             2,
+		GroupDisks:         4,
+		Level:              raid.RAID5,
+		ExtentBytes:        64 << 20,
+		SpareDisks:         1,
+		Seed:               seed,
+		ExpectedRotLatency: true,
+	}
+}
+
+// TestFaultFreeRunIgnoresRetryMachinery: a zero RetryPolicy and nil
+// schedule must leave every reported number identical to a config that
+// never heard of faults — the machinery is a strict no-op when disabled.
+func TestFaultFreeRunIgnoresRetryMachinery(t *testing.T) {
+	cfg := faultConfig(3)
+	src := oltpSource(t, cfg, 60, 50, 4)
+	base, err := Run(cfg, src, &nopController{}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := faultConfig(3)
+	cfg2.Faults = &fault.Schedule{} // empty schedule, armed
+	src2 := oltpSource(t, cfg2, 60, 50, 4)
+	again, err := Run(cfg2, src2, &nopController{}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.MeanResp != again.MeanResp || base.Energy != again.Energy ||
+		base.Requests != again.Requests || base.P99Resp != again.P99Resp {
+		t.Fatalf("empty fault schedule changed the run: %+v vs %+v", base, again)
+	}
+	if base.Faults != (FaultSummary{}) {
+		t.Fatalf("fault-free run reports fault activity: %+v", base.Faults)
+	}
+}
+
+// TestFaultRunIsDeterministic: same seed + schedule => identical results,
+// including every fault counter.
+func TestFaultRunIsDeterministic(t *testing.T) {
+	run := func() *Result {
+		cfg := faultConfig(7)
+		cfg.Retry = array.RetryPolicy{
+			MaxRetries: 2, Backoff: 0.005, BackoffFactor: 2, OpDeadline: 1,
+			SuspectAfter: 5, EvictAfter: 1000, AutoRebuild: true,
+		}
+		cfg.Faults = &fault.Schedule{
+			Rates: fault.Rates{TransientProb: 0.02},
+			Events: []fault.Event{
+				{Time: 10, Disk: 1, Kind: fault.TransientBurst, Prob: 0.5, Duration: 10},
+				{Time: 20, Disk: 5, Kind: fault.FailSlow, Factor: 4, Ramp: 10},
+				{Time: 30, Disk: 2, Kind: fault.FailStop},
+			},
+		}
+		src := oltpSource(t, cfg, 60, 80, 9)
+		res, err := Run(cfg, src, &nopController{}, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Faults != b.Faults {
+		t.Fatalf("fault counters diverged:\n%+v\n%+v", a.Faults, b.Faults)
+	}
+	if a.MeanResp != b.MeanResp || a.Energy != b.Energy || a.Requests != b.Requests {
+		t.Fatalf("results diverged: %+v vs %+v", a, b)
+	}
+	if a.Faults.TransientErrs == 0 || a.Faults.Retries == 0 {
+		t.Fatalf("fault storm produced no errors/retries: %+v", a.Faults)
+	}
+	if a.Faults.DiskFailures != 1 || a.Faults.Injected != 3 || a.Faults.SkippedInjections != 0 {
+		t.Fatalf("injection accounting wrong: %+v", a.Faults)
+	}
+	if a.Faults.LostIOs != 0 {
+		t.Fatalf("lost %d IOs despite RAID5 + retries", a.Faults.LostIOs)
+	}
+}
+
+// TestBadScheduleRejected: Run must surface schedule validation errors.
+func TestBadScheduleRejected(t *testing.T) {
+	cfg := faultConfig(1)
+	cfg.Faults = &fault.Schedule{Events: []fault.Event{{Time: 1, Disk: 999, Kind: fault.FailStop}}}
+	src := oltpSource(t, cfg, 10, 10, 1)
+	if _, err := Run(cfg, src, &nopController{}, 10); err == nil {
+		t.Fatal("unknown fault target must fail the run")
+	}
+}

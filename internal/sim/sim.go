@@ -11,6 +11,7 @@ import (
 	"hibernator/internal/array"
 	"hibernator/internal/cache"
 	"hibernator/internal/diskmodel"
+	"hibernator/internal/fault"
 	"hibernator/internal/raid"
 	"hibernator/internal/simevent"
 	"hibernator/internal/stats"
@@ -57,6 +58,13 @@ type Config struct {
 	ExpectedRotLatency bool
 	// Scheduler is the per-disk queue discipline (default FCFS).
 	Scheduler diskmodel.Scheduler
+
+	// Retry is the array's reaction to faults (retries, deadlines, the
+	// disk health tracker). The zero value disables it entirely.
+	Retry array.RetryPolicy
+	// Faults is the injection schedule (nil = no faults). It is armed on
+	// the run's engine before the first request.
+	Faults *fault.Schedule
 }
 
 func (c *Config) applyDefaults() error {
@@ -157,7 +165,29 @@ type Result struct {
 	// response time exceeded the goal (0 when no goal set).
 	GoalViolationFrac float64
 
+	// Fault accounting: all zero in fault-free runs.
+	Faults FaultSummary
+
 	Series []TimePoint
+}
+
+// FaultSummary aggregates the run's fault activity: what was injected,
+// how the disks misbehaved, and how the array reacted.
+type FaultSummary struct {
+	Injected, SkippedInjections int // scripted events applied / refused
+
+	TransientErrs  uint64 // ops failed by the transient model
+	LatentErrs     uint64 // reads failed by latent sector ranges
+	SpinUpFailures uint64 // failed spin-up attempts
+
+	Retries   uint64 // same-disk retries issued by the array
+	Timeouts  uint64 // attempts abandoned at the op deadline
+	Fallbacks uint64 // ops served through redundancy
+
+	Evictions    uint64 // disks evicted by the error tracker
+	DiskFailures uint64 // fail-stop failures (injected + evictions)
+	Rebuilds     uint64 // completed rebuilds onto spares
+	LostIOs      uint64 // ops with no redundancy left
 }
 
 // EnergyVs returns this run's energy as a fraction of a baseline's.
@@ -197,8 +227,12 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		InitialLevel:       cfg.InitialLevel,
 		ExpectedRotLatency: cfg.ExpectedRotLatency,
 		Scheduler:          cfg.Scheduler,
+		Retry:              cfg.Retry,
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := cfg.Faults.Arm(engine, arr); err != nil {
 		return nil, err
 	}
 	env := &Env{
@@ -381,6 +415,22 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	res.Migrations, res.MigratedBytes = arr.Migrations()
 	if ctrlCache != nil {
 		_, _, res.Destages = ctrlCache.Stats()
+	}
+	fs := arr.FaultStats()
+	res.Faults.Retries = fs.Retries
+	res.Faults.Timeouts = fs.Timeouts
+	res.Faults.Fallbacks = fs.Fallbacks
+	res.Faults.Evictions = fs.Evictions
+	res.Faults.DiskFailures = arr.DiskFailures()
+	res.Faults.Rebuilds = arr.Rebuilds()
+	res.Faults.LostIOs = arr.LostIOs()
+	for _, d := range arr.Disks() {
+		res.Faults.TransientErrs += d.TransientErrors()
+		res.Faults.LatentErrs += d.LatentErrors()
+		res.Faults.SpinUpFailures += d.SpinUpFailures()
+	}
+	if st := cfg.Faults.Stats(); st != (fault.Stats{}) {
+		res.Faults.Injected, res.Faults.SkippedInjections = st.Injected, st.Skipped
 	}
 	if windows > 0 {
 		res.GoalViolationFrac = float64(violations) / float64(windows)
