@@ -1,0 +1,158 @@
+// Command doccheck enforces the repository's documentation floor: every
+// Go package under the given directories must carry a package comment.
+// With -exported it also lists exported identifiers that lack a doc
+// comment, which keeps the godoc pass honest.
+//
+// Usage:
+//
+//	doccheck [-exported] dir [dir...]
+//
+// Exit status is non-zero when any check fails; each failure is one
+// line on stderr. CI runs it over internal/, cmd/ and examples/.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	exported := flag.Bool("exported", false, "also require doc comments on exported identifiers")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: doccheck [-exported] dir [dir...]")
+		os.Exit(2)
+	}
+
+	var failures []string
+	for _, root := range flag.Args() {
+		dirs, err := goDirs(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, dir := range dirs {
+			failures = append(failures, checkDir(dir, *exported)...)
+		}
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "doccheck: %d failure(s)\n", len(failures))
+		os.Exit(1)
+	}
+}
+
+// goDirs returns every directory under root (inclusive) that contains at
+// least one non-test .go file.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// checkDir parses one package directory and reports missing docs.
+func checkDir(dir string, exported bool) []string {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", dir, err)}
+	}
+	var out []string
+	for name, pkg := range pkgs {
+		if !hasPackageDoc(pkg) {
+			out = append(out, fmt.Sprintf("%s: package %s has no package comment", dir, name))
+		}
+		if exported {
+			out = append(out, undocumentedExports(fset, pkg)...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func hasPackageDoc(pkg *ast.Package) bool {
+	for _, f := range pkg.Files {
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// undocumentedExports lists exported top-level declarations without a doc
+// comment. Grouped declarations (var/const blocks) count as documented
+// when either the group or the individual spec carries a comment.
+func undocumentedExports(fset *token.FileSet, pkg *ast.Package) []string {
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						if d.Doc != nil || s.Doc != nil {
+							continue
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								report(n.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

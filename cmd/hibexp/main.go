@@ -8,6 +8,7 @@
 //	hibexp -par 8               # fan out across 8 workers
 //	hibexp -list
 //	hibexp -csv out/            # also write one CSV per table
+//	hibexp -metrics-dir obs/    # dump per-run metrics + trace streams
 //
 // Every experiment is deterministic for a fixed seed, so -par only
 // changes wall-clock time: experiments run concurrently (and fan their
@@ -19,6 +20,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers for -pprof
 	"os"
 	"path/filepath"
 	"strings"
@@ -31,13 +34,16 @@ import (
 
 func main() {
 	var (
-		runIDs  = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
-		scale   = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full multi-hour runs)")
-		seed    = flag.Int64("seed", 1, "master random seed")
-		par     = flag.Int("par", 0, "worker pool width for experiments and their inner fan-outs (0 = GOMAXPROCS, 1 = sequential)")
-		csvDir  = flag.String("csv", "", "directory to also write per-table CSV files into")
-		list    = flag.Bool("list", false, "list experiments and exit")
-		verbose = flag.Bool("v", false, "print progress while running")
+		runIDs      = flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+		scale       = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full multi-hour runs)")
+		seed        = flag.Int64("seed", 1, "master random seed")
+		par         = flag.Int("par", 0, "worker pool width for experiments and their inner fan-outs (0 = GOMAXPROCS, 1 = sequential)")
+		csvDir      = flag.String("csv", "", "directory to also write per-table CSV files into")
+		list        = flag.Bool("list", false, "list experiments and exit")
+		verbose     = flag.Bool("v", false, "print progress while running")
+		metricsDir  = flag.String("metrics-dir", "", "directory to write per-run metrics and trace streams into (see OBSERVABILITY.md)")
+		sampleEvery = flag.Float64("sample-every", 0, "metrics sampling interval in simulated seconds (0 = each run's default)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -51,6 +57,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hibexp: -par must be >= 0 (0 = GOMAXPROCS), got %d\n", *par)
 		os.Exit(2)
 	}
+	if *sampleEvery < 0 {
+		fmt.Fprintf(os.Stderr, "hibexp: -sample-every must be >= 0, got %g\n", *sampleEvery)
+		os.Exit(2)
+	}
+	servePprof(*pprofAddr)
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -74,12 +85,21 @@ func main() {
 		}
 	}
 
-	opts := experiments.Opts{Scale: *scale, Seed: *seed, Workers: *par}
+	opts := experiments.Opts{
+		Scale: *scale, Seed: *seed, Workers: *par,
+		MetricsDir: *metricsDir, SampleEvery: *sampleEvery,
+	}
 	if *verbose {
 		opts.Log = os.Stderr
 	}
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsDir != "" {
+		if err := os.MkdirAll(*metricsDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
 			os.Exit(1)
 		}
@@ -127,6 +147,20 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// servePprof exposes net/http/pprof on addr in the background; empty addr
+// disables it. Experiments do not wait for the listener: profiling a short
+// run means hitting the endpoint while it executes.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "hibexp: pprof: %v\n", err)
+		}
+	}()
 }
 
 func writeCSV(dir string, t *report.Table) error {

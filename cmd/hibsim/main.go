@@ -11,6 +11,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers for -pprof
 	"os"
 	"sort"
 	"strings"
@@ -20,6 +22,7 @@ import (
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/fault"
 	"hibernator/internal/hibernator"
+	"hibernator/internal/obs"
 	"hibernator/internal/policy"
 	"hibernator/internal/raid"
 	"hibernator/internal/sim"
@@ -49,6 +52,11 @@ func main() {
 		spinFail   = flag.Float64("spin-fail-rate", 0, "per-attempt spin-up failure probability on every disk [0,1)")
 		retries    = flag.Int("retries", 2, "same-disk retries per transient error (used once faults are armed)")
 		opDeadline = flag.Duration("op-deadline", 250*time.Millisecond, "per-attempt deadline once faults are armed (0 disables)")
+
+		metricsOut  = flag.String("metrics-out", "", "write per-interval metrics to this file (JSONL; a .csv suffix selects CSV)")
+		traceOut    = flag.String("trace-out", "", "write the policy decision trace to this file (JSONL; a .csv suffix selects CSV)")
+		sampleEvery = flag.Float64("sample-every", 0, "metrics sampling interval in simulated seconds (default: the response window)")
+		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -84,6 +92,10 @@ func main() {
 	if *opDeadline < 0 {
 		fatalf("-op-deadline must be >= 0, got %v", *opDeadline)
 	}
+	if *sampleEvery < 0 {
+		fatalf("-sample-every must be >= 0, got %g", *sampleEvery)
+	}
+	servePprof(*pprofAddr)
 
 	var spec diskmodel.Spec
 	switch strings.ToLower(*family) {
@@ -224,6 +236,13 @@ func main() {
 	if *failAt > 0 {
 		ctrl = &failingController{inner: ctrl, at: *failAt}
 	}
+	if *metricsOut != "" {
+		cfg.Metrics = obs.NewRegistry(0)
+		cfg.ObsSampleEvery = *sampleEvery
+	}
+	if *traceOut != "" {
+		cfg.Trace = obs.NewTrace()
+	}
 	start := time.Now()
 	res, err := sim.Run(cfg, src, ctrl, *duration)
 	if err != nil {
@@ -256,6 +275,33 @@ func main() {
 	if cfg.RespGoal > 0 {
 		fmt.Printf("goal            %.2f ms, violated in %.1f%% of windows\n", cfg.RespGoal*1000, res.GoalViolationFrac*100)
 	}
+	if *metricsOut != "" {
+		if err := cfg.Metrics.WriteFile(*metricsOut); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("metrics         %d samples x %d series -> %s\n",
+			cfg.Metrics.Samples(), len(cfg.Metrics.Names()), *metricsOut)
+	}
+	if *traceOut != "" {
+		if err := cfg.Trace.WriteFile(*traceOut); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("trace           %d events -> %s\n", cfg.Trace.Len(), *traceOut)
+	}
+}
+
+// servePprof exposes net/http/pprof on addr in the background; empty addr
+// disables it. The simulation does not wait for the listener: profiling a
+// short run means hitting the endpoint while it executes.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "hibsim: pprof: %v\n", err)
+		}
+	}()
 }
 
 func fatalf(format string, args ...any) {

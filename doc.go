@@ -15,10 +15,14 @@
 //   - internal/trace: synthetic OLTP- and Cello-like workload generators
 //   - internal/policy: Base, TPM, DRPM, PDC and MAID baselines
 //   - internal/hibernator: the paper's contribution
+//   - internal/fault: deterministic fault schedules and ambient error rates
 //   - internal/sim: the harness that wires everything together
+//   - internal/obs: opt-in metrics registry, decision trace and exporters
+//   - internal/runner: bounded deterministic worker pool for parallel runs
 //   - internal/experiments: one scenario per reconstructed table/figure
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-versus-measured results. Binaries live under cmd/, runnable
-// examples under examples/.
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-versus-measured results and OBSERVABILITY.md for the metrics and
+// trace-stream schema. Binaries live under cmd/, runnable examples under
+// examples/.
 package hibernator

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"hibernator/internal/diskmodel"
+	"hibernator/internal/obs"
 	"hibernator/internal/raid"
 	"hibernator/internal/simevent"
 	"hibernator/internal/stats"
@@ -49,6 +50,11 @@ type Config struct {
 	// disk health tracker (see retry.go). The zero value disables all of
 	// it, preserving the fault-free fast path bit for bit.
 	Retry RetryPolicy
+
+	// Trace, when non-nil, receives the array's decision events: retries,
+	// timeouts, fallbacks, suspect/evict transitions, failures, rebuilds
+	// and extent migrations. Emitting to a nil trace is a no-op.
+	Trace *obs.Trace
 }
 
 func (c *Config) applyDefaults() error {

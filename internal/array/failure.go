@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hibernator/internal/diskmodel"
+	"hibernator/internal/obs"
 	"hibernator/internal/raid"
 )
 
@@ -36,6 +37,8 @@ func (a *Array) FailDisk(group, disk int) error {
 		return fmt.Errorf("array: RAID1 mirror pair (%d,%d) in group %d already degraded; second failure would lose data",
 			disk^1, disk, group)
 	}
+	a.cfg.Trace.Event(a.engine.Now(), obs.KindDiskFail,
+		group, g.disks[disk].ID(), -1, -1, "fail-stop")
 	g.failed[disk] = true
 	g.disks[disk].Fail()
 	a.diskFailures++
@@ -162,6 +165,8 @@ func (a *Array) Rebuild(group, disk, spareIdx int, background bool, done func())
 		return fmt.Errorf("array: spare %d is failed", spareIdx)
 	}
 	g.rebuilding = true
+	a.cfg.Trace.Event(a.engine.Now(), obs.KindRebuildStart,
+		group, g.disks[disk].ID(), -1, spareIdx, "rebuild onto spare")
 	a.spares = append(a.spares[:spareIdx], a.spares[spareIdx+1:]...)
 
 	capacity := a.cfg.Spec.CapacityBytes
@@ -182,6 +187,8 @@ func (a *Array) Rebuild(group, disk, spareIdx int, background bool, done func())
 			delete(g.errCount, disk)
 			g.rebuilding = false
 			a.rebuilds++
+			a.cfg.Trace.Event(a.engine.Now(), obs.KindRebuildFinish,
+				group, spare.ID(), -1, -1, "group healthy")
 			if done != nil {
 				done()
 			}

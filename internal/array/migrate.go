@@ -2,6 +2,9 @@ package array
 
 import (
 	"fmt"
+	"strconv"
+
+	"hibernator/internal/obs"
 )
 
 // migrationChunk is the I/O unit migrations stream data in. One chunk's
@@ -45,6 +48,10 @@ func (a *Array) MigrateExtent(e, toGroup int, background bool, done func()) erro
 		return ErrNoFreeSlot
 	}
 	a.migrating[e] = true
+	if a.cfg.Trace != nil { // guard: the reason string concatenation allocates
+		a.cfg.Trace.Event(a.engine.Now(), obs.KindMigrateStart,
+			toGroup, -1, src.Group, toGroup, "extent "+strconv.Itoa(e))
+	}
 
 	eb := a.cfg.ExtentBytes
 	srcG := a.groups[src.Group]
@@ -57,6 +64,10 @@ func (a *Array) MigrateExtent(e, toGroup int, background bool, done func()) erro
 			delete(a.migrating, e)
 			a.migrations++
 			a.migratedBytes += uint64(eb)
+			if a.cfg.Trace != nil {
+				a.cfg.Trace.Event(a.engine.Now(), obs.KindMigrateFinish,
+					toGroup, -1, src.Group, toGroup, "extent "+strconv.Itoa(e))
+			}
 			if done != nil {
 				done()
 			}
@@ -100,6 +111,10 @@ func (a *Array) SwapExtents(e1, e2 int, background bool, done func()) error {
 		return fmt.Errorf("array: extents %d and %d share group %d; swap is pointless", e1, e2, l1.Group)
 	}
 	a.migrating[e1], a.migrating[e2] = true, true
+	if a.cfg.Trace != nil {
+		a.cfg.Trace.Event(a.engine.Now(), obs.KindSwapStart,
+			l1.Group, -1, l1.Group, l2.Group, "extents "+strconv.Itoa(e1)+","+strconv.Itoa(e2))
+	}
 	g1, g2 := a.groups[l1.Group], a.groups[l2.Group]
 	eb := a.cfg.ExtentBytes
 
@@ -111,6 +126,10 @@ func (a *Array) SwapExtents(e1, e2 int, background bool, done func()) error {
 			delete(a.migrating, e2)
 			a.migrations += 2
 			a.migratedBytes += 2 * uint64(eb)
+			if a.cfg.Trace != nil {
+				a.cfg.Trace.Event(a.engine.Now(), obs.KindSwapFinish,
+					l1.Group, -1, l1.Group, l2.Group, "extents "+strconv.Itoa(e1)+","+strconv.Itoa(e2))
+			}
 			if done != nil {
 				done()
 			}

@@ -2,6 +2,7 @@ package array
 
 import (
 	"hibernator/internal/diskmodel"
+	"hibernator/internal/obs"
 	"hibernator/internal/raid"
 	"hibernator/internal/simevent"
 )
@@ -130,12 +131,16 @@ func (a *Array) submitAttempt(g *Group, disk int, io raid.PhysIO, background boo
 				a.noteError(g, disk)
 				if attempt < pol.MaxRetries {
 					a.faultStats.Retries++
+					a.cfg.Trace.Event(a.engine.Now(), obs.KindRetry,
+						g.id, g.disks[disk].ID(), attempt, attempt+1, "transient error")
 					a.engine.Schedule(pol.delay(attempt), func() {
 						a.submitAttempt(g, disk, io, background, attempt+1, onDone)
 					})
 					return
 				}
 				a.faultStats.Fallbacks++
+				a.cfg.Trace.Event(a.engine.Now(), obs.KindFallback,
+					g.id, g.disks[disk].ID(), attempt, -1, "retries exhausted")
 				a.redirect(g, disk, io, background, onDone)
 				return
 			}
@@ -163,6 +168,8 @@ func (a *Array) submitAttempt(g *Group, disk int, io raid.PhysIO, background boo
 			// the policy's own stalls. Only transient errors count.
 			a.faultStats.Timeouts++
 			a.faultStats.Fallbacks++
+			a.cfg.Trace.Event(a.engine.Now(), obs.KindTimeout,
+				g.id, g.disks[disk].ID(), attempt, -1, "op deadline; served via redundancy")
 			a.redirect(g, disk, io, background, onDone)
 		})
 	}
@@ -237,6 +244,10 @@ func (a *Array) noteError(g *Group, disk int) {
 		return
 	}
 	if pol.SuspectAfter > 0 && n >= pol.SuspectAfter {
+		if !g.suspect[disk] {
+			a.cfg.Trace.Event(a.engine.Now(), obs.KindSuspect,
+				g.id, g.disks[disk].ID(), n, -1, "error threshold")
+		}
 		g.markSuspect(disk)
 	}
 }
@@ -246,11 +257,18 @@ func (a *Array) noteError(g *Group, disk int) {
 // (second failure in a protection domain) the disk stays suspect instead:
 // limping along with retries beats certain data loss.
 func (a *Array) evict(g *Group, disk int) {
+	id := g.disks[disk].ID()
 	if err := a.FailDisk(g.id, disk); err != nil {
+		if !g.suspect[disk] {
+			a.cfg.Trace.Event(a.engine.Now(), obs.KindSuspect,
+				g.id, id, g.errCount[disk], -1, "evict refused; kept suspect")
+		}
 		g.markSuspect(disk)
 		return
 	}
 	a.faultStats.Evictions++
+	a.cfg.Trace.Event(a.engine.Now(), obs.KindEvict,
+		g.id, id, g.errCount[disk], -1, "error threshold")
 	delete(g.suspect, disk)
 }
 

@@ -136,7 +136,7 @@ func (b *bakeoff) base() *sim.Result { return b.results["Base"] }
 // worker pool. Each scheme run builds its own workload source, array and
 // engine from the same seeds, so results are identical to the sequential
 // order — only the wall clock changes.
-func runBakeoff(o Opts, factory func(seed int64, vol int64, dur float64) workloadFactory, dur, goalFactor float64) (*bakeoff, error) {
+func runBakeoff(o Opts, kind string, factory func(seed int64, vol int64, dur float64) workloadFactory, dur, goalFactor float64) (*bakeoff, error) {
 	vol, err := volumeBytes(o.Seed)
 	if err != nil {
 		return nil, err
@@ -151,7 +151,14 @@ func runBakeoff(o Opts, factory func(seed int64, vol int64, dur float64) workloa
 			return nil, err
 		}
 		cfg := arrayConfig(o.Seed, s.multiSpeed, s.spares, goal, dur)
-		return sim.Run(cfg, src, s.make(dur), dur)
+		// Bake-off runs are shared across experiments (F1/F2 read the same
+		// OLTP runs), so streams are named by workload and scheme.
+		flush := o.observe(&cfg, "bakeoff-"+kind+"-"+s.name)
+		res, err := sim.Run(cfg, src, s.make(dur), dur)
+		if err != nil {
+			return nil, err
+		}
+		return res, flush()
 	}
 
 	schemes := allSchemes(epoch)
@@ -198,9 +205,9 @@ func memoBakeoff(o Opts, kind string) (*bakeoff, error) {
 	return bakeMemo.do(key, func() (*bakeoff, error) {
 		switch kind {
 		case "oltp":
-			return runBakeoff(o, oltpFactory, oltpBaseDuration*o.Scale, oltpGoalFactor)
+			return runBakeoff(o, kind, oltpFactory, oltpBaseDuration*o.Scale, oltpGoalFactor)
 		case "cello":
-			return runBakeoff(o, celloFactory, celloBaseDuration*o.Scale, celloGoalFactor)
+			return runBakeoff(o, kind, celloFactory, celloBaseDuration*o.Scale, celloGoalFactor)
 		default:
 			return nil, fmt.Errorf("experiments: unknown bakeoff %q", kind)
 		}

@@ -35,6 +35,16 @@ type Opts struct {
 	Workers int
 	// Log, if non-nil, receives progress lines.
 	Log io.Writer
+	// MetricsDir, when non-empty, attaches an observability recorder to
+	// every instrumented simulation run and writes one pair of files per
+	// run into the directory: <run>.metrics.jsonl and <run>.trace.jsonl
+	// (see OBSERVABILITY.md for the schema). The directory must exist.
+	// Recording does not change any table output byte.
+	MetricsDir string
+	// SampleEvery overrides the metrics sampling interval in simulated
+	// seconds (0 = each run's default, its response window). Only
+	// meaningful with MetricsDir.
+	SampleEvery float64
 }
 
 func (o *Opts) norm() {

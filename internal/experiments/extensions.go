@@ -150,12 +150,20 @@ func runX3(o Opts) ([]*report.Table, error) {
 			return nil, nil, err
 		}
 		cfg := arrayConfig(o.Seed, true, 1, 0.012, dur)
+		name := "X3-healthy"
+		if inject {
+			name = "X3-fail-rebuild"
+		}
+		flush := o.observe(&cfg, name)
 		inj := &failureInjector{inner: hibernator.New(hibernator.Options{Epoch: dur / 4})}
 		if inject {
 			inj.failAt, inj.rebuildAt = dur/3, dur/2
 		}
 		res, err := sim.Run(cfg, src, inj, dur)
-		return res, inj, err
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, inj, flush()
 	}
 	healthy, _, err := run(false)
 	if err != nil {

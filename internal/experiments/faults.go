@@ -102,8 +102,14 @@ func runX5(o Opts) ([]*report.Table, error) {
 			if r.multi {
 				ctrl = hibernator.New(hibernator.Options{Epoch: dur / 4})
 			}
-			o.logf("  X5: %s %s...", r.scheme, map[bool]string{false: "healthy", true: "faulted"}[r.faulted])
-			return sim.Run(cfg, src, ctrl, dur)
+			kind := map[bool]string{false: "healthy", true: "faulted"}[r.faulted]
+			flush := o.observe(&cfg, "X5-"+r.scheme+"-"+kind)
+			o.logf("  X5: %s %s...", r.scheme, kind)
+			res, err := sim.Run(cfg, src, ctrl, dur)
+			if err != nil {
+				return nil, err
+			}
+			return res, flush()
 		})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"path/filepath"
+
+	"hibernator/internal/obs"
+	"hibernator/internal/sim"
+)
+
+// observe attaches a metrics registry and decision trace to cfg when
+// o.MetricsDir is set, and returns a flush function that writes both
+// streams to <MetricsDir>/<name>.metrics.jsonl and .trace.jsonl. With no
+// MetricsDir the config is left untouched and flush is a no-op — the
+// simulation runs the exact pre-observability event sequence.
+//
+// Streams are named per simulation run, not per experiment: memoized
+// bake-off runs are shared by several experiments (F1 and F2 read the
+// same runs), so the run name identifies the workload and scheme instead.
+// Each run owns its own registry and trace, and each flush writes
+// distinct files, so concurrent runs under Opts.Workers never share
+// observability state.
+func (o *Opts) observe(cfg *sim.Config, name string) (flush func() error) {
+	if o.MetricsDir == "" {
+		return func() error { return nil }
+	}
+	cfg.Metrics = obs.NewRegistry(0)
+	cfg.Trace = obs.NewTrace()
+	cfg.ObsSampleEvery = o.SampleEvery
+	base := filepath.Join(o.MetricsDir, name)
+	return func() error {
+		if err := cfg.Metrics.WriteFile(base + ".metrics.jsonl"); err != nil {
+			return err
+		}
+		return cfg.Trace.WriteFile(base + ".trace.jsonl")
+	}
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runX3Streams runs X3 at the smallest scale with the given worker count
+// and returns the observability stream files it wrote, keyed by name.
+func runX3Streams(t *testing.T, workers int) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	o := Opts{Scale: 0.02, Seed: 1, Workers: workers, MetricsDir: dir}
+	if _, err := runX3(o); err != nil {
+		t.Fatalf("X3 (workers=%d): %v", workers, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := map[string]string{}
+	for _, e := range entries {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[e.Name()] = string(b)
+	}
+	if len(files) == 0 {
+		t.Fatal("X3 wrote no observability streams")
+	}
+	return files
+}
+
+// TestObsStreamsDeterministic is the golden determinism check: the
+// observability streams of an X3 run must be byte-identical across
+// worker counts and across invocations — recording must never observe
+// scheduling noise.
+func TestObsStreamsDeterministic(t *testing.T) {
+	seq := runX3Streams(t, 1)
+	par := runX3Streams(t, 8)
+	again := runX3Streams(t, 1)
+
+	for name, want := range seq {
+		if got, ok := par[name]; !ok {
+			t.Errorf("workers=8 run missing stream %s", name)
+		} else if got != want {
+			t.Errorf("stream %s differs between workers=1 and workers=8", name)
+		}
+		if got, ok := again[name]; !ok {
+			t.Errorf("repeat run missing stream %s", name)
+		} else if got != want {
+			t.Errorf("stream %s differs between two identical invocations", name)
+		}
+	}
+	if len(par) != len(seq) {
+		t.Errorf("stream count differs: workers=1 wrote %d, workers=8 wrote %d", len(seq), len(par))
+	}
+}
+
+// TestObsStreamsCoverage checks the recorded content: every disk in the
+// 16-disk + spare array gets a per-disk series, and the decision trace
+// captures at least one power-management action.
+func TestObsStreamsCoverage(t *testing.T) {
+	files := runX3Streams(t, 1)
+
+	metrics, ok := files["X3-healthy.metrics.jsonl"]
+	if !ok {
+		t.Fatalf("missing X3-healthy.metrics.jsonl; got %v", names(files))
+	}
+	firstLine, _, _ := strings.Cut(metrics, "\n")
+	for _, col := range []string{"resp_mean_ms", "energy_j", "queue_depth", "disk0_level", "disk15_level"} {
+		if !strings.Contains(firstLine, `"`+col+`"`) {
+			t.Errorf("metrics stream missing series %q", col)
+		}
+	}
+
+	trace, ok := files["X3-healthy.trace.jsonl"]
+	if !ok {
+		t.Fatalf("missing X3-healthy.trace.jsonl; got %v", names(files))
+	}
+	if !strings.Contains(trace, `"kind":"speed_shift"`) && !strings.Contains(trace, `"kind":"boost_fire"`) {
+		t.Error("trace has neither a speed_shift nor a boost_fire event")
+	}
+
+	faulted, ok := files["X3-fail-rebuild.trace.jsonl"]
+	if !ok {
+		t.Fatalf("missing X3-fail-rebuild.trace.jsonl; got %v", names(files))
+	}
+	// rebuild_finish is absent at this scale: disk capacity does not
+	// shrink with -scale, so the background rebuild outlives the run.
+	for _, kind := range []string{"disk_fail", "rebuild_start"} {
+		if !strings.Contains(faulted, `"kind":"`+kind+`"`) {
+			t.Errorf("faulted trace missing %s event", kind)
+		}
+	}
+}
+
+func names(m map[string]string) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

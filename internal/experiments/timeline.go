@@ -50,9 +50,17 @@ func runF9(o Opts) ([]*report.Table, error) {
 		}
 		cfg := arrayConfig(o.Seed, true, 0, goal, dur)
 		cfg.SampleEvery = dur / 48
+		name := "F9-boost"
+		if disableBoost {
+			name = "F9-no-boost"
+		}
+		flush := o.observe(&cfg, name)
 		ctrl := hibernator.New(hibernator.Options{Epoch: dur / 12, DisableBoost: disableBoost})
 		res, err := sim.Run(cfg, src, ctrl, dur)
-		return res, ctrl, err
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, ctrl, flush()
 	}
 	o.logf("  F9: Hibernator with boost")
 	withBoost, ctrlBoost, err := runHib(false)

@@ -47,6 +47,7 @@ var kindNames = map[Kind]string{
 	SpinUpFail:     "spinfail",
 }
 
+// String returns the short lower-case name used in logs and traces.
 func (k Kind) String() string {
 	if s, ok := kindNames[k]; ok {
 		return s

@@ -1,6 +1,7 @@
 package hibernator
 
 import (
+	"hibernator/internal/obs"
 	"hibernator/internal/sim"
 	"hibernator/internal/simevent"
 )
@@ -102,7 +103,14 @@ func (b *Boost) check(now float64) {
 		muted := now < b.muteUntil && !(b.threat != nil && b.threat())
 		windowBlown := !muted && (severe || minor)
 		if cumAtRisk || windowBlown {
-			b.engage()
+			reason := "minor violation, cum near goal"
+			switch {
+			case cumAtRisk:
+				reason = "cumulative mean at risk"
+			case severe:
+				reason = "severe window violation"
+			}
+			b.engage(reason)
 		}
 		return
 	}
@@ -117,6 +125,7 @@ func (b *Boost) check(now float64) {
 	}
 	if projected < b.ReleaseMargin*goal {
 		b.active = false
+		b.env.Trace.Event(now, obs.KindBoostRelease, -1, -1, -1, -1, "slack covers descent cost")
 		b.Mute(b.env.Cfg.RespWindow)
 		if b.restore != nil {
 			b.restore()
@@ -129,12 +138,16 @@ func (b *Boost) check(now float64) {
 func (b *Boost) Mute(d float64) {
 	if until := b.env.Engine.Now() + d; until > b.muteUntil {
 		b.muteUntil = until
+		// From carries the mute length in whole seconds.
+		b.env.Trace.Event(b.env.Engine.Now(), obs.KindBoostMute,
+			-1, -1, int(d), -1, "commanded transition")
 	}
 }
 
-func (b *Boost) engage() {
+func (b *Boost) engage(reason string) {
 	b.active = true
 	b.count++
+	b.env.Trace.Event(b.env.Engine.Now(), obs.KindBoostFire, -1, -1, -1, -1, reason)
 	full := b.env.Cfg.Spec.FullLevel()
 	for _, g := range b.env.Array.Groups() {
 		g.SpinUp()

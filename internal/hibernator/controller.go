@@ -6,6 +6,7 @@ import (
 
 	"hibernator/internal/array"
 	"hibernator/internal/heat"
+	"hibernator/internal/obs"
 	"hibernator/internal/sim"
 	"hibernator/internal/simevent"
 )
@@ -278,6 +279,11 @@ func (c *Controller) onEpoch(elapsed float64) {
 			c.lastPlan.Levels, c.lastPlan.PredictedResp, c.lastPlan.Feasible,
 			c.boost != nil && c.boost.Active(), env.RespCum.Mean(), sum(loads))
 	}
+	if env.Trace != nil { // guard: the reason string formatting allocates
+		env.Trace.Event(env.Engine.Now(), obs.KindEpochPlan, -1, -1, 0, 0,
+			fmt.Sprintf("plan=%v pred=%.4fs feasible=%v", c.lastPlan.Levels,
+				c.lastPlan.PredictedResp, c.lastPlan.Feasible))
+	}
 	c.planGen++
 	c.applyPlan()
 	// Sorting data for a plan that is not in force would only add
@@ -307,7 +313,9 @@ func (c *Controller) applyPlan() {
 	for i, g := range groups {
 		g.SpinUp() // Hibernator keeps disks spinning; low speed replaces standby
 		target := c.lastPlan.Levels[i]
+		reason := "cr_plan"
 		if c.faultAware && (g.Degraded() || g.Rebuilding()) {
+			reason = "fault_pin"
 			// A degraded or rebuilding group pays reconstruction
 			// amplification on every access; slowing it down would multiply
 			// exactly the latency the goal protects. Pin it at full speed
@@ -332,7 +340,10 @@ func (c *Controller) applyPlan() {
 		if target > g.TargetLevel() {
 			// Speeding up is urgent and cheap to overlap.
 			changed = true
+			from := g.TargetLevel()
 			g.SetLevel(target)
+			c.env.Trace.Event(c.env.Engine.Now(), obs.KindSpeedShift,
+				g.ID(), -1, from, target, reason)
 			continue
 		}
 		// Migrate first, then slow down: a down-shift stalls the group's
@@ -353,14 +364,20 @@ func (c *Controller) applyPlan() {
 		shiftT, _ := spec.LevelShift(g.TargetLevel(), target)
 		g := g
 		if delay == 0 {
+			from := g.TargetLevel()
 			g.SetLevel(target)
+			c.env.Trace.Event(c.env.Engine.Now(), obs.KindSpeedShift,
+				g.ID(), -1, from, target, "cr_plan")
 		} else {
 			c.env.Engine.Schedule(delay, func() {
 				// A newer plan or an active boost supersedes this step.
 				if c.planGen != gen || (c.boost != nil && c.boost.Active()) {
 					return
 				}
+				from := g.TargetLevel()
 				g.SetLevel(target)
+				c.env.Trace.Event(c.env.Engine.Now(), obs.KindSpeedShift,
+					g.ID(), -1, from, target, "cr_plan staggered")
 			})
 		}
 		delay += shiftT + 2
@@ -392,15 +409,21 @@ func (c *Controller) raiseStaggered(g *array.Group, target int) {
 		shiftT, _ := spec.LevelShift(d.TargetLevel(), target)
 		d := d
 		if delay == 0 {
+			from := d.TargetLevel()
 			d.SpinUp()
 			d.SetTargetLevel(target)
+			c.env.Trace.Event(c.env.Engine.Now(), obs.KindSpeedShift,
+				g.ID(), d.ID(), from, target, "suspect_raise")
 		} else {
 			c.env.Engine.Schedule(delay, func() {
 				if c.planGen != gen || d.TargetLevel() >= target {
 					return
 				}
+				from := d.TargetLevel()
 				d.SpinUp()
 				d.SetTargetLevel(target)
+				c.env.Trace.Event(c.env.Engine.Now(), obs.KindSpeedShift,
+					g.ID(), d.ID(), from, target, "suspect_raise staggered")
 			})
 		}
 		delay += shiftT + 2

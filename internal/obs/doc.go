@@ -1,0 +1,34 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// sampled on interval boundaries, a structured trace of policy decisions,
+// and deterministic JSONL/CSV exporters for both.
+//
+// The package is zero-dependency (stdlib only) and allocation-conscious:
+// samples land in preallocated ring or append buffers keyed by simulated
+// time, instruments are registered once up front, and the exporters format
+// bytes by hand so that the same run always produces the same stream.
+//
+// Everything is nil-safe by contract. A nil *Registry hands out inert
+// instruments, a nil *Trace swallows events, and Sample on a nil registry
+// is a no-op — so the simulator threads observability hooks through its
+// hot paths unconditionally, and a run without the layer armed schedules
+// not one extra event and allocates not one extra byte. That is what keeps
+// unobserved runs byte-identical to builds predating this package.
+//
+// Three instrument kinds cover the simulator's needs:
+//
+//   - Counter: a cumulative sum (requests completed, joules, retries).
+//     Sampling records the running total.
+//   - Gauge: an instantaneous value set at will (queue depth, speed
+//     level). Sampling records the last value set.
+//   - TimeWeighted: a piecewise-constant value integrated over simulated
+//     time (in-flight requests). Sampling records the time-weighted mean
+//     since the previous sample, which is exact regardless of how the
+//     value's changes align with sample boundaries.
+//
+// The decision trace is an append log of Events — speed shifts, migration
+// start/finish, boost fire/release, fault suspect/evict, retry/timeout/
+// fallback — each carrying the simulated timestamp, the subject group and
+// disk, kind-specific From/To values and a short reason string. The full
+// schema, field by field, is documented in OBSERVABILITY.md at the
+// repository root.
+package obs

@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The exporters format every byte by hand — shortest-round-trip floats
+// via strconv, no maps, no reflection — so the same run always produces
+// the same stream regardless of worker count or invocation. Non-finite
+// floats become null in JSONL and an empty cell in CSV.
+
+// WriteJSONL writes one JSON object per sample, keys in registration
+// order with "t" (simulated seconds) first:
+//
+//	{"t":60,"resp_mean_ms":4.1,"disk0_level":2,...}
+func (r *Registry) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for i := 0; i < r.times.Len(); i++ {
+		buf = buf[:0]
+		buf = append(buf, `{"t":`...)
+		buf = appendJSONFloat(buf, r.times.At(i))
+		for _, m := range r.metrics {
+			buf = append(buf, ',', '"')
+			buf = appendJSONString(buf, m.name)
+			buf = append(buf, '"', ':')
+			buf = appendJSONFloat(buf, m.vals.At(i))
+		}
+		buf = append(buf, '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes a header row ("t" plus the instrument names in
+// registration order) followed by one row per sample.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	buf = append(buf, 't')
+	for _, m := range r.metrics {
+		buf = append(buf, ',')
+		buf = appendCSVString(buf, m.name)
+	}
+	buf = append(buf, '\n')
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	for i := 0; i < r.times.Len(); i++ {
+		buf = buf[:0]
+		buf = appendCSVFloat(buf, r.times.At(i))
+		for _, m := range r.metrics {
+			buf = append(buf, ',')
+			buf = appendCSVFloat(buf, m.vals.At(i))
+		}
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONL writes one JSON object per event in emission order:
+//
+//	{"t":3600,"kind":"speed_shift","group":1,"disk":-1,"from":3,"to":1,"reason":"cr_plan"}
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	var buf []byte
+	for _, ev := range t.events {
+		buf = buf[:0]
+		buf = append(buf, `{"t":`...)
+		buf = appendJSONFloat(buf, ev.T)
+		buf = append(buf, `,"kind":"`...)
+		buf = appendJSONString(buf, ev.Kind)
+		buf = append(buf, `","group":`...)
+		buf = strconv.AppendInt(buf, int64(ev.Group), 10)
+		buf = append(buf, `,"disk":`...)
+		buf = strconv.AppendInt(buf, int64(ev.Disk), 10)
+		buf = append(buf, `,"from":`...)
+		buf = strconv.AppendInt(buf, int64(ev.From), 10)
+		buf = append(buf, `,"to":`...)
+		buf = strconv.AppendInt(buf, int64(ev.To), 10)
+		buf = append(buf, `,"reason":"`...)
+		buf = appendJSONString(buf, ev.Reason)
+		buf = append(buf, '"', '}', '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCSV writes "t,kind,group,disk,from,to,reason" followed by one row
+// per event in emission order.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("t,kind,group,disk,from,to,reason\n"); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, ev := range t.events {
+		buf = buf[:0]
+		buf = appendCSVFloat(buf, ev.T)
+		buf = append(buf, ',')
+		buf = appendCSVString(buf, ev.Kind)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.Group), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.Disk), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.From), 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, int64(ev.To), 10)
+		buf = append(buf, ',')
+		buf = appendCSVString(buf, ev.Reason)
+		buf = append(buf, '\n')
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes the metrics stream to path: CSV when the path ends in
+// ".csv", JSONL otherwise. A nil registry writes nothing and returns nil.
+func (r *Registry) WriteFile(path string) error {
+	if r == nil {
+		return nil
+	}
+	return writeFile(path, r.WriteCSV, r.WriteJSONL)
+}
+
+// WriteFile writes the decision trace to path: CSV when the path ends in
+// ".csv", JSONL otherwise. A nil trace writes nothing and returns nil.
+func (t *Trace) WriteFile(path string) error {
+	if t == nil {
+		return nil
+	}
+	return writeFile(path, t.WriteCSV, t.WriteJSONL)
+}
+
+// writeFile creates path and streams it with the format the suffix picks.
+func writeFile(path string, csv, jsonl func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	write := jsonl
+	if strings.HasSuffix(path, ".csv") {
+		write = csv
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// appendJSONFloat appends v in shortest-round-trip form, or null when v
+// is NaN or infinite (JSON has no encoding for those).
+func appendJSONFloat(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(buf, "null"...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendCSVFloat appends v in shortest-round-trip form, or an empty cell
+// when v is NaN or infinite.
+func appendCSVFloat(buf []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return buf
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendJSONString appends s with the JSON escapes the simulator's metric
+// names and reason strings can need (quotes, backslashes, control bytes).
+// Emitters keep these strings ASCII; multi-byte runes pass through as-is,
+// which is valid JSON since streams are UTF-8.
+func appendJSONString(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf = append(buf, '\\', c)
+		case c == '\n':
+			buf = append(buf, '\\', 'n')
+		case c == '\t':
+			buf = append(buf, '\\', 't')
+		case c < 0x20:
+			const hex = "0123456789abcdef"
+			buf = append(buf, '\\', 'u', '0', '0', hex[c>>4], hex[c&0xf])
+		default:
+			buf = append(buf, c)
+		}
+	}
+	return buf
+}
+
+// appendCSVString appends s, quoting it RFC-4180 style only when it
+// contains a comma, quote, or newline.
+func appendCSVString(buf []byte, s string) []byte {
+	needQuote := false
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' || c == '\r' {
+			needQuote = true
+			break
+		}
+	}
+	if !needQuote {
+		return append(buf, s...)
+	}
+	buf = append(buf, '"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			buf = append(buf, '"', '"')
+			continue
+		}
+		buf = append(buf, s[i])
+	}
+	return append(buf, '"')
+}

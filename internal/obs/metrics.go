@@ -1,0 +1,301 @@
+package obs
+
+import "sort"
+
+// Registry holds a run's instruments and their sampled series. Register
+// every instrument before the first Sample call; Sample(t) then snapshots
+// all of them against a shared simulated-time axis, so the i-th value of
+// every series belongs to the i-th sample time.
+//
+// A nil *Registry is valid everywhere: it hands out inert instruments and
+// Sample on it does nothing, which lets the simulator keep its hooks in
+// place unconditionally.
+type Registry struct {
+	maxSamples int
+	times      *Ring
+	metrics    []*metric // registration order == export column order
+	byName     map[string]*metric
+	lastSample float64
+	sampled    bool
+}
+
+// kind discriminates the three instrument behaviours inside a metric.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindTimeWeighted
+)
+
+// metric is the registry-internal state behind the exported instrument
+// handles. Counters and gauges use only cur; time-weighted gauges also
+// integrate cur over simulated time between samples.
+type metric struct {
+	name string
+	kind kind
+	cur  float64
+	// time-weighted state: integral of cur since the last sample, and the
+	// simulated time up to which it has been accumulated.
+	twInt  float64
+	twLast float64
+	vals   *Ring
+}
+
+// NewRegistry returns an empty registry. With maxSamples > 0 each series
+// keeps only the most recent maxSamples points (ring semantics); with 0
+// the series grow without bound for the length of the run.
+func NewRegistry(maxSamples int) *Registry {
+	if maxSamples < 0 {
+		maxSamples = 0
+	}
+	return &Registry{
+		maxSamples: maxSamples,
+		times:      NewRing(maxSamples),
+		byName:     map[string]*metric{},
+	}
+}
+
+func (r *Registry) register(name string, k kind) *metric {
+	if m, ok := r.byName[name]; ok {
+		if m.kind != k {
+			panic("obs: instrument " + name + " re-registered with a different kind")
+		}
+		return m
+	}
+	if r.sampled {
+		panic("obs: instrument " + name + " registered after sampling began")
+	}
+	m := &metric{name: name, kind: k, vals: NewRing(r.maxSamples)}
+	r.metrics = append(r.metrics, m)
+	r.byName[name] = m
+	return m
+}
+
+// Counter registers (or looks up) a cumulative counter. On a nil registry
+// the returned handle is inert.
+func (r *Registry) Counter(name string) Counter {
+	if r == nil {
+		return Counter{}
+	}
+	return Counter{r.register(name, kindCounter)}
+}
+
+// Gauge registers (or looks up) an instantaneous gauge. On a nil registry
+// the returned handle is inert.
+func (r *Registry) Gauge(name string) Gauge {
+	if r == nil {
+		return Gauge{}
+	}
+	return Gauge{r.register(name, kindGauge)}
+}
+
+// TimeWeighted registers (or looks up) a time-weighted gauge. On a nil
+// registry the returned handle is inert.
+func (r *Registry) TimeWeighted(name string) TimeWeighted {
+	if r == nil {
+		return TimeWeighted{}
+	}
+	return TimeWeighted{r.register(name, kindTimeWeighted)}
+}
+
+// Sample snapshots every instrument at simulated time t: counters and
+// gauges record their current value, time-weighted gauges record their
+// time-weighted mean over (previous sample, t] and reset their integral.
+// Sampling at the same t twice (a zero-length interval) records the
+// current value for time-weighted gauges rather than dividing by zero.
+// Sample is a no-op on a nil registry.
+func (r *Registry) Sample(t float64) {
+	if r == nil {
+		return
+	}
+	dt := t - r.lastSample
+	if !r.sampled {
+		// The first interval starts at the registry's epoch, time 0.
+		dt = t
+	}
+	r.times.Push(t)
+	for _, m := range r.metrics {
+		v := m.cur
+		if m.kind == kindTimeWeighted {
+			m.twInt += m.cur * (t - m.twLast)
+			m.twLast = t
+			if dt > 0 {
+				v = m.twInt / dt
+			}
+			m.twInt = 0
+		}
+		m.vals.Push(v)
+	}
+	r.lastSample = t
+	r.sampled = true
+}
+
+// Samples reports how many sample points each series currently retains
+// (0 on a nil registry).
+func (r *Registry) Samples() int {
+	if r == nil {
+		return 0
+	}
+	return r.times.Len()
+}
+
+// Names returns the instrument names in registration order, which is also
+// the column order of both exporters.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	out := make([]string, len(r.metrics))
+	for i, m := range r.metrics {
+		out[i] = m.name
+	}
+	return out
+}
+
+// Point is one sampled value of one series at simulated time T seconds.
+type Point struct {
+	T, V float64
+}
+
+// Series copies the retained samples of the named instrument, oldest
+// first. It returns nil for unknown names and on a nil registry.
+func (r *Registry) Series(name string) []Point {
+	if r == nil {
+		return nil
+	}
+	m, ok := r.byName[name]
+	if !ok {
+		return nil
+	}
+	out := make([]Point, m.vals.Len())
+	for i := range out {
+		out[i] = Point{T: r.times.At(i), V: m.vals.At(i)}
+	}
+	return out
+}
+
+// Counter is a cumulative sum. The zero Counter (from a nil registry) is
+// inert: Add and Inc do nothing and Value returns 0.
+type Counter struct{ m *metric }
+
+// Add increases the counter by d.
+func (c Counter) Add(d float64) {
+	if c.m != nil {
+		c.m.cur += d
+	}
+}
+
+// Inc increases the counter by 1.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current cumulative total.
+func (c Counter) Value() float64 {
+	if c.m == nil {
+		return 0
+	}
+	return c.m.cur
+}
+
+// Gauge is an instantaneous value; sampling records whatever was last
+// Set. The zero Gauge is inert.
+type Gauge struct{ m *metric }
+
+// Set replaces the gauge's current value.
+func (g Gauge) Set(v float64) {
+	if g.m != nil {
+		g.m.cur = v
+	}
+}
+
+// Value returns the value last Set (0 if never set or inert).
+func (g Gauge) Value() float64 {
+	if g.m == nil {
+		return 0
+	}
+	return g.m.cur
+}
+
+// TimeWeighted is a piecewise-constant value integrated over simulated
+// time. Set(t, v) declares that the value becomes v at time t; sampling
+// records the time-weighted mean since the previous sample. Updates must
+// arrive in nondecreasing time order, which the single-threaded event
+// engine guarantees. The zero TimeWeighted is inert.
+type TimeWeighted struct{ m *metric }
+
+// Set declares the value becomes v at simulated time t.
+func (g TimeWeighted) Set(t, v float64) {
+	if g.m == nil {
+		return
+	}
+	g.m.twInt += g.m.cur * (t - g.m.twLast)
+	g.m.twLast = t
+	g.m.cur = v
+}
+
+// Add shifts the value by d at simulated time t (handy for occupancy-style
+// gauges driven by enter/exit events).
+func (g TimeWeighted) Add(t, d float64) {
+	if g.m == nil {
+		return
+	}
+	g.Set(t, g.m.cur+d)
+}
+
+// Value returns the current (not time-averaged) value.
+func (g TimeWeighted) Value() float64 {
+	if g.m == nil {
+		return 0
+	}
+	return g.m.cur
+}
+
+// IntervalDist accumulates scalar observations (response times, in
+// seconds) between samples and flushes them to mean/P95/P99 summaries.
+// The scratch buffer is reused across intervals, so a steady-state run
+// stops allocating after the busiest interval has been seen.
+type IntervalDist struct {
+	vals []float64
+}
+
+// Observe records one observation in the current interval.
+func (d *IntervalDist) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	d.vals = append(d.vals, v)
+}
+
+// Flush sorts the interval's observations and returns their count, mean,
+// and interpolated P95/P99, then resets the interval. An empty interval
+// returns all zeros.
+func (d *IntervalDist) Flush() (n int, mean, p95, p99 float64) {
+	if d == nil || len(d.vals) == 0 {
+		return 0, 0, 0, 0
+	}
+	n = len(d.vals)
+	sum := 0.0
+	for _, v := range d.vals {
+		sum += v
+	}
+	sort.Float64s(d.vals)
+	mean = sum / float64(n)
+	p95 = quantile(d.vals, 0.95)
+	p99 = quantile(d.vals, 0.99)
+	d.vals = d.vals[:0]
+	return n, mean, p95, p99
+}
+
+// quantile linearly interpolates the q-th quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	if i >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i] + frac*(sorted[i+1]-sorted[i])
+}

@@ -1,0 +1,309 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 4; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 4 || r.Dropped() != 0 {
+		t.Fatalf("pre-wrap: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	// Pushing 3 more evicts 0,1,2: retained should be 3,4,5,6.
+	for i := 4; i < 7; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 4 {
+		t.Fatalf("post-wrap len=%d, want 4", r.Len())
+	}
+	if r.Dropped() != 3 {
+		t.Fatalf("dropped=%d, want 3", r.Dropped())
+	}
+	for i := 0; i < 4; i++ {
+		if got := r.At(i); got != float64(i+3) {
+			t.Errorf("At(%d)=%v, want %v", i, got, i+3)
+		}
+	}
+	want := []float64{3, 4, 5, 6}
+	for i, v := range r.Snapshot() {
+		if v != want[i] {
+			t.Errorf("Snapshot[%d]=%v, want %v", i, v, want[i])
+		}
+	}
+	// Wrap exactly back to the start: head must reset to 0, not run off.
+	r.Push(7)
+	if got := r.At(3); got != 7 {
+		t.Errorf("after 8th push At(3)=%v, want 7", got)
+	}
+}
+
+func TestRingUnbounded(t *testing.T) {
+	r := NewRing(0)
+	for i := 0; i < 1000; i++ {
+		r.Push(float64(i))
+	}
+	if r.Len() != 1000 || r.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	if r.At(999) != 999 {
+		t.Fatalf("At(999)=%v", r.At(999))
+	}
+}
+
+func TestRingAtPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	NewRing(2).At(0)
+}
+
+// TestTimeWeightedEpochEdges checks the sampling rules exactly at epoch
+// boundaries: a value change landing on the sample instant contributes
+// nothing to the closing interval, and a zero-length interval reports the
+// current value instead of dividing by zero.
+func TestTimeWeightedEpochEdges(t *testing.T) {
+	r := NewRegistry(0)
+	g := r.TimeWeighted("inflight")
+
+	// Interval (0,10]: value is 0 until t=4, then 2 until t=8, then 6.
+	g.Set(4, 2)
+	g.Set(8, 6)
+	r.Sample(10)
+	// Mean = (0*4 + 2*4 + 6*2) / 10 = 2.
+	if got := r.Series("inflight")[0].V; got != 2 {
+		t.Fatalf("first interval mean=%v, want 2", got)
+	}
+
+	// A change exactly on the next sample instant: it takes effect at
+	// t=20, so interval (10,20] is all 6s and the new value belongs
+	// entirely to the following interval.
+	g.Set(20, 100)
+	r.Sample(20)
+	if got := r.Series("inflight")[1].V; got != 6 {
+		t.Fatalf("edge-change interval mean=%v, want 6", got)
+	}
+	r.Sample(30)
+	if got := r.Series("inflight")[2].V; got != 100 {
+		t.Fatalf("post-edge interval mean=%v, want 100", got)
+	}
+
+	// Zero-length interval: report the current value, no NaN.
+	r.Sample(30)
+	if got := r.Series("inflight")[3].V; got != 100 || math.IsNaN(got) {
+		t.Fatalf("zero-length interval=%v, want 100", got)
+	}
+}
+
+func TestTimeWeightedAdd(t *testing.T) {
+	r := NewRegistry(0)
+	g := r.TimeWeighted("occ")
+	g.Add(0, 1)
+	g.Add(5, 1) // 2 from t=5
+	g.Add(8, -1)
+	r.Sample(10)
+	// (1*5 + 2*3 + 1*2) / 10 = 1.3
+	if got := r.Series("occ")[0].V; math.Abs(got-1.3) > 1e-12 {
+		t.Fatalf("mean=%v, want 1.3", got)
+	}
+	if g.Value() != 1 {
+		t.Fatalf("Value=%v, want 1", g.Value())
+	}
+}
+
+func TestCounterAndGaugeSampling(t *testing.T) {
+	r := NewRegistry(0)
+	c := r.Counter("reqs")
+	g := r.Gauge("level")
+	c.Inc()
+	c.Add(2)
+	g.Set(3)
+	r.Sample(1)
+	g.Set(1)
+	r.Sample(2)
+	if s := r.Series("reqs"); s[0].V != 3 || s[1].V != 3 {
+		t.Fatalf("counter series %v", s)
+	}
+	if s := r.Series("level"); s[0].V != 3 || s[1].V != 1 {
+		t.Fatalf("gauge series %v", s)
+	}
+	if s := r.Series("level"); s[0].T != 1 || s[1].T != 2 {
+		t.Fatalf("time axis %v", s)
+	}
+}
+
+func TestRegistryRingSeries(t *testing.T) {
+	r := NewRegistry(2)
+	g := r.Gauge("x")
+	for i := 1; i <= 5; i++ {
+		g.Set(float64(i * 10))
+		r.Sample(float64(i))
+	}
+	s := r.Series("x")
+	if len(s) != 2 || s[0] != (Point{4, 40}) || s[1] != (Point{5, 50}) {
+		t.Fatalf("ring series %v", s)
+	}
+}
+
+func TestRegisterAfterSamplePanics(t *testing.T) {
+	r := NewRegistry(0)
+	r.Counter("a")
+	r.Sample(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("late registration did not panic")
+		}
+	}()
+	r.Counter("b")
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	r.Gauge("y").Set(1)
+	r.TimeWeighted("z").Set(1, 2)
+	r.Sample(5)
+	if r.Samples() != 0 || r.Names() != nil || r.Series("x") != nil {
+		t.Fatal("nil registry not inert")
+	}
+	if err := r.WriteJSONL(nil); err != nil {
+		t.Fatal(err)
+	}
+	var tr *Trace
+	tr.Emit(Event{})
+	tr.Event(1, KindRetry, 0, 0, 0, 0, "")
+	if tr.Len() != 0 || tr.Events() != nil {
+		t.Fatal("nil trace not inert")
+	}
+	if err := tr.WriteCSV(nil); err != nil {
+		t.Fatal(err)
+	}
+	var d *IntervalDist
+	d.Observe(1)
+	if n, _, _, _ := d.Flush(); n != 0 {
+		t.Fatal("nil IntervalDist not inert")
+	}
+}
+
+func TestIntervalDist(t *testing.T) {
+	var d IntervalDist
+	for i := 100; i >= 1; i-- {
+		d.Observe(float64(i))
+	}
+	n, mean, p95, p99 := d.Flush()
+	if n != 100 {
+		t.Fatalf("n=%d", n)
+	}
+	if math.Abs(mean-50.5) > 1e-12 {
+		t.Fatalf("mean=%v", mean)
+	}
+	// Sorted 1..100: p95 interpolates at index 94.05 -> 95.05.
+	if math.Abs(p95-95.05) > 1e-9 {
+		t.Fatalf("p95=%v", p95)
+	}
+	if math.Abs(p99-99.01) > 1e-9 {
+		t.Fatalf("p99=%v", p99)
+	}
+	// Flushed: next interval starts empty.
+	if n, _, _, _ := d.Flush(); n != 0 {
+		t.Fatal("Flush did not reset")
+	}
+	d.Observe(7)
+	if _, mean, p95, p99 := d.Flush(); mean != 7 || p95 != 7 || p99 != 7 {
+		t.Fatal("single observation quantiles")
+	}
+}
+
+func TestExportJSONL(t *testing.T) {
+	r := NewRegistry(0)
+	g := r.Gauge("resp_ms")
+	c := r.Counter("reqs")
+	g.Set(1.5)
+	c.Inc()
+	r.Sample(60)
+	g.Set(math.NaN())
+	r.Sample(120)
+
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":60,"resp_ms":1.5,"reqs":1}
+{"t":120,"resp_ms":null,"reqs":1}
+`
+	if buf.String() != want {
+		t.Fatalf("JSONL:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	buf.Reset()
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantCSV := "t,resp_ms,reqs\n60,1.5,1\n120,,1\n"
+	if buf.String() != wantCSV {
+		t.Fatalf("CSV:\n%s\nwant:\n%s", buf.String(), wantCSV)
+	}
+}
+
+func TestExportTrace(t *testing.T) {
+	tr := NewTrace()
+	tr.Event(10, KindSpeedShift, 1, -1, 3, 1, "cr_plan")
+	tr.Event(20.5, KindRetry, 0, 2, 1, 2, `backoff, "quoted"`)
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"t":10,"kind":"speed_shift","group":1,"disk":-1,"from":3,"to":1,"reason":"cr_plan"}
+{"t":20.5,"kind":"retry","group":0,"disk":2,"from":1,"to":2,"reason":"backoff, \"quoted\""}
+`
+	if buf.String() != want {
+		t.Fatalf("trace JSONL:\n%s\nwant:\n%s", buf.String(), want)
+	}
+
+	buf.Reset()
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if lines[0] != "t,kind,group,disk,from,to,reason" {
+		t.Fatalf("csv header %q", lines[0])
+	}
+	if lines[2] != `20.5,retry,0,2,1,2,"backoff, ""quoted"""` {
+		t.Fatalf("csv quoting: %q", lines[2])
+	}
+}
+
+// Export must be byte-deterministic: building the same registry twice
+// yields the same stream.
+func TestExportDeterminism(t *testing.T) {
+	build := func() string {
+		r := NewRegistry(0)
+		gs := make([]Gauge, 8)
+		for i := range gs {
+			gs[i] = r.Gauge("g" + string(rune('a'+i)))
+		}
+		for s := 1; s <= 20; s++ {
+			for i, g := range gs {
+				g.Set(float64(s*i) / 3.0)
+			}
+			r.Sample(float64(s) * 7.25)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build() != build() {
+		t.Fatal("export not deterministic")
+	}
+}

@@ -1,0 +1,76 @@
+package obs
+
+// Ring is a preallocated buffer of float64 samples. With a positive
+// capacity it keeps the most recent cap values, overwriting the oldest
+// once full and counting what it dropped; with capacity 0 it degrades to
+// a plain append buffer that grows without bound. The Registry allocates
+// one Ring per instrument plus one for the shared time axis, so every
+// instrument's i-th value lines up with the i-th sample time.
+//
+// A Ring is not safe for concurrent use; like the rest of the package it
+// belongs to exactly one simulation run.
+type Ring struct {
+	buf     []float64
+	capped  bool
+	head    int // index of the oldest retained sample when capped
+	n       int // retained samples
+	dropped uint64
+}
+
+// NewRing returns a ring keeping the most recent capacity samples, or an
+// unbounded append buffer when capacity is 0. Negative capacities are
+// treated as 0.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		return &Ring{buf: make([]float64, 0, 64)}
+	}
+	return &Ring{buf: make([]float64, 0, capacity), capped: true}
+}
+
+// Push appends one sample, evicting the oldest if the ring is full.
+func (r *Ring) Push(v float64) {
+	if !r.capped {
+		r.buf = append(r.buf, v)
+		r.n = len(r.buf)
+		return
+	}
+	if r.n < cap(r.buf) {
+		r.buf = append(r.buf, v)
+		r.n = len(r.buf)
+		return
+	}
+	r.buf[r.head] = v
+	r.head++
+	if r.head == cap(r.buf) {
+		r.head = 0
+	}
+	r.dropped++
+}
+
+// Len reports how many samples are currently retained.
+func (r *Ring) Len() int { return r.n }
+
+// At returns the i-th oldest retained sample; i must be in [0, Len()).
+func (r *Ring) At(i int) float64 {
+	if i < 0 || i >= r.n {
+		panic("obs: Ring.At out of range")
+	}
+	j := r.head + i
+	if j >= len(r.buf) {
+		j -= len(r.buf)
+	}
+	return r.buf[j]
+}
+
+// Dropped reports how many samples were overwritten because the ring was
+// full. It is always 0 for unbounded rings.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Snapshot copies the retained samples, oldest first, into a fresh slice.
+func (r *Ring) Snapshot() []float64 {
+	out := make([]float64, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.At(i)
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package obs
+
+// Event kinds emitted by the simulator's policies, the Hibernator
+// controller, and the array's fault path. OBSERVABILITY.md documents each
+// kind's From/To semantics; unused subject fields are -1.
+const (
+	KindEpochPlan     = "epoch_plan"     // CR epoch plan adopted (hibernator) or PDC reconcentration
+	KindSpeedShift    = "speed_shift"    // a group commanded from speed level From to To
+	KindStandby       = "standby"        // a group spun down to standby
+	KindSpinUp        = "spin_up"        // a group proactively spun up from standby
+	KindMigrateStart  = "migrate_start"  // extent migration began (From/To = source/destination group)
+	KindMigrateFinish = "migrate_finish" // extent migration completed
+	KindSwapStart     = "swap_start"     // extent swap began (From/To = the two groups)
+	KindSwapFinish    = "swap_finish"    // extent swap completed
+	KindBoostFire     = "boost_fire"     // performance boost engaged: everything to full speed
+	KindBoostRelease  = "boost_release"  // boost released, plan re-applied
+	KindBoostMute     = "boost_mute"     // boost watchdog muted for From seconds
+	KindRetry         = "retry"          // same-disk retry scheduled (From = attempts so far)
+	KindTimeout       = "timeout"        // op deadline expired, attempt abandoned via redundancy
+	KindFallback      = "fallback"       // request served through redundancy instead of its disk
+	KindSuspect       = "fault_suspect"  // error tracker marked a disk suspect (From = error count)
+	KindEvict         = "fault_evict"    // error tracker evicted a disk (fail-stop + autorebuild)
+	KindDiskFail      = "disk_fail"      // a disk fail-stopped
+	KindRebuildStart  = "rebuild_start"  // rebuild onto a spare began (To = spare index)
+	KindRebuildFinish = "rebuild_finish" // rebuild completed, group healthy again
+)
+
+// Event is one structured policy-decision record. T is simulated seconds;
+// Group and Disk identify the subject (Disk is the array-wide disk ID,
+// not the index within its group); From and To carry kind-specific
+// integers such as speed levels or group indices. Fields that do not
+// apply hold -1. Reason is a short human-readable cause ("cr_plan",
+// "tripwire", "severe violation", ...).
+type Event struct {
+	T      float64
+	Kind   string
+	Group  int
+	Disk   int
+	From   int
+	To     int
+	Reason string
+}
+
+// Trace is an append-only log of Events for one simulation run. A nil
+// *Trace swallows Emit calls, so emitters never need a guard. Trace is
+// not safe for concurrent use; each run owns its own.
+type Trace struct {
+	events []Event
+}
+
+// NewTrace returns an empty trace with room for a typical run's events.
+func NewTrace() *Trace {
+	return &Trace{events: make([]Event, 0, 256)}
+}
+
+// Emit appends one event. It is a no-op on a nil trace.
+func (t *Trace) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, ev)
+}
+
+// Event is shorthand for Emit with positional fields.
+func (t *Trace) Event(tm float64, kind string, group, disk, from, to int, reason string) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{T: tm, Kind: kind, Group: group, Disk: disk, From: from, To: to, Reason: reason})
+}
+
+// Len reports the number of recorded events (0 on a nil trace).
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events returns the recorded events in emission order. The slice is the
+// trace's backing store; callers must not modify it.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}

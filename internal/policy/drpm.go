@@ -2,6 +2,7 @@ package policy
 
 import (
 	"hibernator/internal/array"
+	"hibernator/internal/obs"
 	"hibernator/internal/sim"
 	"hibernator/internal/simevent"
 )
@@ -61,6 +62,9 @@ func (d *DRPM) adjust(now float64) {
 	if goal := env.Goal(); goal > 0 {
 		if mean, n := env.RespWindow.Mean(now); n > 0 && mean > d.TripFactor*goal {
 			for _, g := range env.Array.Groups() {
+				if from := g.TargetLevel(); from != full {
+					env.Trace.Event(now, obs.KindSpeedShift, g.ID(), -1, from, full, "tripwire")
+				}
 				g.SetLevel(full)
 			}
 			d.snapshotBusy()
@@ -75,8 +79,10 @@ func (d *DRPM) adjust(now float64) {
 		switch {
 		case util > d.StepUpUtil && level < full:
 			g.SetLevel(level + 1)
+			env.Trace.Event(now, obs.KindSpeedShift, g.ID(), -1, level, level+1, "util step up")
 		case util < d.StepDownUtil && level > 0:
 			g.SetLevel(level - 1)
+			env.Trace.Event(now, obs.KindSpeedShift, g.ID(), -1, level, level-1, "util step down")
 		}
 	}
 }

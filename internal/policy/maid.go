@@ -4,6 +4,7 @@ import (
 	"container/list"
 
 	"hibernator/internal/diskmodel"
+	"hibernator/internal/obs"
 	"hibernator/internal/sim"
 	"hibernator/internal/simevent"
 	"hibernator/internal/trace"
@@ -84,10 +85,10 @@ func (m *MAID) Init(env *sim.Env) {
 			m.free = append(m.free, slotRef{spare: si, slot: s})
 		}
 	}
-	simevent.NewTicker(env.Engine, 1.0, func(float64) {
+	simevent.NewTicker(env.Engine, 1.0, func(now float64) {
 		for _, g := range env.Array.Groups() {
-			if g.IdleFor() >= m.IdleThreshold {
-				g.Standby()
+			if g.IdleFor() >= m.IdleThreshold && g.Standby() {
+				env.Trace.Event(now, obs.KindStandby, g.ID(), -1, -1, -1, "idle data group")
 			}
 		}
 	})

@@ -6,6 +6,7 @@ import (
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/heat"
 	"hibernator/internal/mg1"
+	"hibernator/internal/obs"
 	"hibernator/internal/sim"
 	"hibernator/internal/simevent"
 )
@@ -93,10 +94,16 @@ func (p *PDC) reconcentrate() {
 	if k > len(groups) {
 		k = len(groups)
 	}
+	prevHot := p.hot
 	p.hot = k
+	// From carries the previous hot-set size, To the new one.
+	env.Trace.Event(env.Engine.Now(), obs.KindEpochPlan, -1, -1, prevHot, k, "pdc reconcentration")
 
 	// Wake the hot groups so migration is not fighting spin-ups.
 	for gi := 0; gi < k; gi++ {
+		if groups[gi].AllStandby() {
+			env.Trace.Event(env.Engine.Now(), obs.KindSpinUp, gi, -1, -1, -1, "hot group wake")
+		}
 		groups[gi].SpinUp()
 	}
 
@@ -178,8 +185,8 @@ func (p *PDC) coldestIn(k int) int {
 func (p *PDC) spinDownCold() {
 	groups := p.env.Array.Groups()
 	for gi := p.hot; gi < len(groups); gi++ {
-		if groups[gi].IdleFor() >= p.IdleThreshold {
-			groups[gi].Standby()
+		if groups[gi].IdleFor() >= p.IdleThreshold && groups[gi].Standby() {
+			p.env.Trace.Event(p.env.Engine.Now(), obs.KindStandby, gi, -1, -1, -1, "cold group")
 		}
 	}
 }

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"hibernator/internal/diskmodel"
+	"hibernator/internal/obs"
 	"hibernator/internal/sim"
 	"hibernator/internal/simevent"
 )
@@ -47,10 +48,10 @@ func (t *TPM) Init(env *sim.Env) {
 	if t.CheckPeriod == 0 {
 		t.CheckPeriod = 1.0
 	}
-	simevent.NewTicker(env.Engine, t.CheckPeriod, func(float64) {
+	simevent.NewTicker(env.Engine, t.CheckPeriod, func(now float64) {
 		for _, g := range env.Array.Groups() {
-			if g.IdleFor() >= t.IdleThreshold {
-				g.Standby()
+			if g.IdleFor() >= t.IdleThreshold && g.Standby() {
+				env.Trace.Event(now, obs.KindStandby, g.ID(), -1, -1, -1, "idle threshold")
 			}
 		}
 	})

@@ -12,6 +12,7 @@ import (
 	"hibernator/internal/cache"
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/fault"
+	"hibernator/internal/obs"
 	"hibernator/internal/raid"
 	"hibernator/internal/simevent"
 	"hibernator/internal/stats"
@@ -65,6 +66,20 @@ type Config struct {
 	// Faults is the injection schedule (nil = no faults). It is armed on
 	// the run's engine before the first request.
 	Faults *fault.Schedule
+
+	// Metrics, when non-nil, receives the standard instrument set (see
+	// internal/sim/obs.go and OBSERVABILITY.md) sampled every
+	// ObsSampleEvery simulated seconds. Nil is a strict no-op: no extra
+	// events are scheduled and no extra bytes are allocated, so runs
+	// without it are byte-identical to runs before the layer existed.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives the run's policy-decision events
+	// (speed shifts, migrations, boost activity, fault handling). Nil is
+	// a strict no-op.
+	Trace *obs.Trace
+	// ObsSampleEvery is the Metrics sampling interval in simulated
+	// seconds (default: RespWindow). Ignored when Metrics is nil.
+	ObsSampleEvery float64
 }
 
 func (c *Config) applyDefaults() error {
@@ -89,6 +104,12 @@ func (c *Config) applyDefaults() error {
 	if c.Warmup < 0 {
 		return fmt.Errorf("sim: negative warmup")
 	}
+	if c.ObsSampleEvery < 0 {
+		return fmt.Errorf("sim: negative metrics sampling interval")
+	}
+	if c.ObsSampleEvery == 0 {
+		c.ObsSampleEvery = c.RespWindow
+	}
 	return nil
 }
 
@@ -103,6 +124,15 @@ type Env struct {
 	// feeds both; policies read them.
 	RespWindow *stats.WindowTracker
 	RespCum    *stats.CumulativeTracker
+
+	// Trace is the run's decision trace (Cfg.Trace; nil when the run is
+	// unobserved). Emitting to a nil trace is a no-op, so policies call
+	// env.Trace.Event(...) without guards.
+	Trace *obs.Trace
+	// Metrics is the run's registry (Cfg.Metrics; may be nil). Policies
+	// that want bespoke instruments register them in Init, before the
+	// first sample.
+	Metrics *obs.Registry
 }
 
 // Goal returns the response-time limit (0 = none).
@@ -228,6 +258,7 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		ExpectedRotLatency: cfg.ExpectedRotLatency,
 		Scheduler:          cfg.Scheduler,
 		Retry:              cfg.Retry,
+		Trace:              cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -241,6 +272,8 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		Cfg:        &cfg,
 		RespWindow: stats.NewWindowTracker(cfg.RespWindow, 60),
 		RespCum:    &stats.CumulativeTracker{},
+		Trace:      cfg.Trace,
+		Metrics:    cfg.Metrics,
 	}
 
 	res := &Result{Scheme: ctrl.Name(), Duration: duration}
@@ -250,6 +283,8 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	arrivalObs, _ := ctrl.(ArrivalObserver)
 	completeObs, _ := ctrl.(CompletionObserver)
 	router, _ := ctrl.(Router)
+
+	var sampler *obsSampler // nil unless cfg.Metrics is set
 
 	recordResponse := func(lat float64, write bool) {
 		now := engine.Now()
@@ -262,6 +297,9 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		env.RespCum.Observe(lat)
 		if completeObs != nil {
 			completeObs.OnComplete(lat, write)
+		}
+		if sampler != nil {
+			sampler.onComplete(now, lat)
 		}
 	}
 
@@ -281,6 +319,9 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	}
 
 	process := func(r trace.Request) {
+		if sampler != nil {
+			sampler.onArrival(engine.Now())
+		}
 		if arrivalObs != nil {
 			arrivalObs.OnArrival(r)
 		}
@@ -395,6 +436,15 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 			res.Series = append(res.Series, TimePoint{
 				T: now, WindowMeanResp: mean, FullSpeedDisks: full, StandbyDisks: standby,
 			})
+		})
+	}
+	// Metrics sampling: one row at t=0 (the initial configuration), then
+	// one per ObsSampleEvery. Unobserved runs schedule nothing here.
+	if cfg.Metrics != nil {
+		sampler = newObsSampler(&cfg, env, arr, engine, ctrlCache)
+		engine.Schedule(0, func() { sampler.sample(engine.Now()) })
+		simevent.NewTicker(engine, cfg.ObsSampleEvery, func(now float64) {
+			sampler.sample(now)
 		})
 	}
 
