@@ -41,6 +41,7 @@ func main() {
 		csvDir      = flag.String("csv", "", "directory to also write per-table CSV files into")
 		list        = flag.Bool("list", false, "list experiments and exit")
 		verbose     = flag.Bool("v", false, "print progress while running")
+		check       = flag.Bool("check", false, "arm the invariant checker (internal/invariant) on every run; non-zero exit on violations")
 		metricsDir  = flag.String("metrics-dir", "", "directory to write per-run metrics and trace streams into (see OBSERVABILITY.md)")
 		sampleEvery = flag.Float64("sample-every", 0, "metrics sampling interval in simulated seconds (0 = each run's default)")
 		pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -88,6 +89,7 @@ func main() {
 	opts := experiments.Opts{
 		Scale: *scale, Seed: *seed, Workers: *par,
 		MetricsDir: *metricsDir, SampleEvery: *sampleEvery,
+		Check: *check,
 	}
 	if *verbose {
 		opts.Log = os.Stderr
@@ -146,6 +148,17 @@ func main() {
 	}
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "all done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *check {
+		total, samples := experiments.CheckViolations()
+		if total > 0 {
+			for _, s := range samples {
+				fmt.Fprintf(os.Stderr, "hibexp: invariant: %s\n", s)
+			}
+			fmt.Fprintf(os.Stderr, "hibexp: invariant checker found %d violation(s) across all runs\n", total)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "hibexp: invariants ok (0 violations)\n")
 	}
 }
 

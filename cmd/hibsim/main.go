@@ -22,6 +22,7 @@ import (
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/fault"
 	"hibernator/internal/hibernator"
+	"hibernator/internal/invariant"
 	"hibernator/internal/obs"
 	"hibernator/internal/policy"
 	"hibernator/internal/raid"
@@ -53,6 +54,7 @@ func main() {
 		retries    = flag.Int("retries", 2, "same-disk retries per transient error (used once faults are armed)")
 		opDeadline = flag.Duration("op-deadline", 250*time.Millisecond, "per-attempt deadline once faults are armed (0 disables)")
 
+		check       = flag.Bool("check", false, "arm the invariant checker (internal/invariant); violations print to stderr and exit non-zero")
 		metricsOut  = flag.String("metrics-out", "", "write per-interval metrics to this file (JSONL; a .csv suffix selects CSV)")
 		traceOut    = flag.String("trace-out", "", "write the policy decision trace to this file (JSONL; a .csv suffix selects CSV)")
 		sampleEvery = flag.Float64("sample-every", 0, "metrics sampling interval in simulated seconds (default: the response window)")
@@ -243,6 +245,11 @@ func main() {
 	if *traceOut != "" {
 		cfg.Trace = obs.NewTrace()
 	}
+	var checker *invariant.Checker
+	if *check {
+		checker = invariant.New()
+		cfg.Invariants = checker
+	}
 	start := time.Now()
 	res, err := sim.Run(cfg, src, ctrl, *duration)
 	if err != nil {
@@ -287,6 +294,16 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("trace           %d events -> %s\n", cfg.Trace.Len(), *traceOut)
+	}
+	if checker != nil {
+		if checker.Ok() {
+			fmt.Printf("invariants      ok (0 violations)\n")
+		} else {
+			for _, v := range checker.Violations() {
+				fmt.Fprintf(os.Stderr, "hibsim: invariant: %s\n", v.String())
+			}
+			fatalf("invariant checker found %d violation(s)", checker.Count())
+		}
 	}
 }
 

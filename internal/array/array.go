@@ -108,6 +108,13 @@ type Array struct {
 	groups []*Group
 	spares []*diskmodel.Disk
 
+	// all holds every drive ever created, in creation order (index ==
+	// Disk.ID()). Rebuilds swap a spare into a group and move the dead
+	// drive to retired, but neither ever leaves all: energy and activity
+	// sums over Disks() stay conservation-complete across the swap.
+	all     []*diskmodel.Disk
+	retired []*diskmodel.Disk
+
 	extentMap []Location // logical extent -> location
 	numExtent int
 
@@ -128,6 +135,9 @@ type Array struct {
 
 	// onComplete, if set, observes every finished logical request.
 	onComplete func(latency float64, write bool)
+
+	// auditor, if set, receives accounting events (see audit.go).
+	auditor Auditor
 }
 
 // New builds the array with extents laid out round-robin across groups
@@ -155,6 +165,7 @@ func New(cfg Config) (*Array, error) {
 				Scheduler:          cfg.Scheduler,
 			})
 			g.disks = append(g.disks, d)
+			a.all = append(a.all, d)
 			diskID++
 		}
 		slots := geo.LogicalCapacity(cfg.Spec.CapacityBytes) / cfg.ExtentBytes
@@ -162,13 +173,15 @@ func New(cfg Config) (*Array, error) {
 		a.groups = append(a.groups, g)
 	}
 	for si := 0; si < cfg.SpareDisks; si++ {
-		a.spares = append(a.spares, diskmodel.New(cfg.Engine, cfg.Spec, diskmodel.Config{
+		d := diskmodel.New(cfg.Engine, cfg.Spec, diskmodel.Config{
 			ID:                 diskID,
 			Seed:               cfg.Seed + int64(diskID)*104729,
 			InitialLevel:       cfg.InitialLevel,
 			ExpectedRotLatency: cfg.ExpectedRotLatency,
 			Scheduler:          cfg.Scheduler,
-		}))
+		})
+		a.spares = append(a.spares, d)
+		a.all = append(a.all, d)
 		diskID++
 	}
 	totalSlots := 0
@@ -209,14 +222,18 @@ func (a *Array) Groups() []*Group { return a.groups }
 // Spares returns the spare disks (outside any group).
 func (a *Array) Spares() []*diskmodel.Disk { return a.spares }
 
-// Disks returns every disk including spares.
+// Disks returns every drive ever created — group members, pool spares, a
+// spare mid-rebuild and retired (failed-and-replaced) drives — in creation
+// order, so index == Disk.ID(). Summing energy or activity over Disks() is
+// conservation-complete: a drive's history never vanishes from the totals
+// when a rebuild swaps it out of its group, which the old members+spares
+// reconstruction silently allowed.
 func (a *Array) Disks() []*diskmodel.Disk {
-	var out []*diskmodel.Disk
-	for _, g := range a.groups {
-		out = append(out, g.disks...)
-	}
-	return append(out, a.spares...)
+	return append([]*diskmodel.Disk(nil), a.all...)
 }
+
+// Retired returns drives that failed and were replaced by a rebuild.
+func (a *Array) Retired() []*diskmodel.Disk { return a.retired }
 
 // LocateDisk maps a global disk ID (as reported by Disk.ID) to its group
 // and member index. Spares are not members of any group: ok is false.
@@ -231,16 +248,9 @@ func (a *Array) LocateDisk(id int) (group, member int, ok bool) {
 	return 0, 0, false
 }
 
-// DiskByID finds any disk (member or spare) by its global ID.
+// DiskByID finds any disk (member, spare or retired) by its global ID.
 func (a *Array) DiskByID(id int) *diskmodel.Disk {
-	for _, g := range a.groups {
-		for _, d := range g.disks {
-			if d.ID() == id {
-				return d
-			}
-		}
-	}
-	for _, d := range a.spares {
+	for _, d := range a.all {
 		if d.ID() == id {
 			return d
 		}
@@ -315,6 +325,10 @@ func (a *Array) InFlight() int { return a.inFlight }
 
 // Migrations returns completed extent migrations and bytes moved.
 func (a *Array) Migrations() (count, bytes uint64) { return a.migrations, a.migratedBytes }
+
+// InFlightMigrations returns how many extents are mid-move right now (a
+// swap holds both of its extents in the set until it completes).
+func (a *Array) InFlightMigrations() int { return len(a.migrating) }
 
 // FanoutIOs returns the number of physical disk operations generated by
 // logical traffic (foreground and destage), excluding migration I/O.

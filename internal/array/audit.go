@@ -1,0 +1,38 @@
+package array
+
+// Auditor receives the array's logical-accounting events as they happen:
+// request submit/complete, data loss, extent movement and rebuilds. It
+// exists for verification layers (internal/invariant) that re-derive the
+// array's counters independently; a nil auditor costs one pointer compare
+// per event and nothing else. All times are simulated seconds.
+type Auditor interface {
+	// LogicalSubmit fires when Submit accepts a logical request; inFlight
+	// is the array's outstanding count after the increment.
+	LogicalSubmit(t float64, inFlight int)
+	// LogicalComplete fires when a logical request's last physical op
+	// finishes; inFlight is the outstanding count after the decrement.
+	LogicalComplete(t float64, inFlight int)
+	// IOLost fires each time an operation is counted in LostIOs.
+	IOLost(t float64, group int)
+	// MigrateStart/MigrateFinish bracket one MigrateExtent call.
+	MigrateStart(t float64, extent, from, to int)
+	MigrateFinish(t float64, extent, from, to int)
+	// SwapStart/SwapFinish bracket one SwapExtents call.
+	SwapStart(t float64, e1, e2, g1, g2 int)
+	SwapFinish(t float64, e1, e2, g1, g2 int)
+	// RebuildStart/RebuildFinish bracket one Rebuild call.
+	RebuildStart(t float64, group int)
+	RebuildFinish(t float64, group int)
+}
+
+// SetAuditor installs (or, with nil, removes) the accounting auditor.
+func (a *Array) SetAuditor(aud Auditor) { a.auditor = aud }
+
+// noteLost counts one operation that could not be served by any remaining
+// redundancy — the single place LostIOs grows.
+func (a *Array) noteLost(g *Group) {
+	a.lostIOs++
+	if a.auditor != nil {
+		a.auditor.IOLost(a.engine.Now(), g.id)
+	}
+}

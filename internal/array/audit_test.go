@@ -1,0 +1,101 @@
+package array
+
+import (
+	"math"
+	"testing"
+
+	"hibernator/internal/raid"
+)
+
+// TestRedirectTargetFailureCountsLost is the regression test for the
+// lost-IO accounting hole on the retry -> fallback -> eviction path: a
+// read whose attempts exhausted on the primary is served raw by the
+// mirror, and if the mirror then dies with the op still queued, the data
+// was never delivered. The completion used to count as served anyway.
+func TestRedirectTargetFailureCountsLost(t *testing.T) {
+	// MaxRetries 0: the first transient error goes straight to redundancy.
+	e, a := retryArray(t, raid.RAID1, 2, 0, RetryPolicy{})
+	g := a.Groups()[0]
+	g.Disks()[0].SetTransientErrorProb(1) // primary errors every attempt
+	g.Disks()[1].SetFailSlow(0, 0, 1000)  // mirror crawls: redirect stays in flight
+
+	completed := 0
+	a.Submit(0, 4096, false, func(float64) { completed++ })
+	// The fallback lands on the mirror within a millisecond; the slowed
+	// mirror is still serving it at t=0.05 when the drive dies.
+	e.At(0.05, func() {
+		if err := a.FailDisk(0, 1); err != nil {
+			t.Errorf("failing the mirror: %v", err)
+		}
+	})
+	e.RunAll()
+
+	if completed != 1 {
+		t.Fatalf("request completed %d times, want exactly 1", completed)
+	}
+	if fs := a.FaultStats(); fs.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1 (the redirect never happened)", fs.Fallbacks)
+	}
+	if got := a.LostIOs(); got != 1 {
+		t.Fatalf("LostIOs = %d, want 1: the mirror died with the redirected op queued", got)
+	}
+}
+
+// TestRebuildConservesDisksAndEnergy is the regression test for the
+// energy accounting hole across a rebuild: the array total used to drop
+// the evicted drive's lifetime energy when the spare took over its slot,
+// because the drive silently left the disk roster.
+func TestRebuildConservesDisksAndEnergy(t *testing.T) {
+	e, a := failArray(t, 1, 4, raid.RAID5, 1)
+	before := len(a.Disks()) // 4 members + 1 spare
+	completed := 0
+	for i := 0; i < 20; i++ {
+		a.Submit(int64(i)*65536, 65536, i%2 == 0, func(float64) { completed++ })
+	}
+	e.RunAll()
+	if completed != 20 {
+		t.Fatalf("completed %d of 20 warm-up ops", completed)
+	}
+	victim := a.Groups()[0].Disks()[2]
+	if err := a.FailDisk(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Rebuild(0, 2, 0, true, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.RunAll()
+
+	// The roster is conservation-complete: nothing joins or leaves it
+	// mid-run, so len(Disks()) is a constant of the simulation.
+	if got := len(a.Disks()); got != before {
+		t.Fatalf("len(Disks()) = %d after rebuild, want %d (roster must not shrink)", got, before)
+	}
+	retired := a.Retired()
+	if len(retired) != 1 || retired[0] != victim {
+		t.Fatalf("Retired() = %v, want exactly the failed drive", retired)
+	}
+	victim.CloseAccounting()
+	if victim.Energy() <= 0 {
+		t.Fatal("victim accrued no energy before failing — the test is vacuous")
+	}
+	// The array total must still include the retired drive's energy.
+	var live float64
+	for _, grp := range a.Groups() {
+		for _, d := range grp.Disks() {
+			d.CloseAccounting()
+			live += d.Energy()
+		}
+	}
+	for _, d := range a.Spares() {
+		d.CloseAccounting()
+		live += d.Energy()
+	}
+	total := a.TotalEnergy()
+	want := live + victim.Energy()
+	if math.Abs(total-want) > 1e-6 {
+		t.Fatalf("TotalEnergy = %v, want %v (live %v + retired %v)", total, want, live, victim.Energy())
+	}
+	if total <= live {
+		t.Fatalf("TotalEnergy %v excludes the retired drive (live sum %v)", total, live)
+	}
+}

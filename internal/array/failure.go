@@ -87,14 +87,21 @@ func (a *Array) dispatch(g *Group, io raid.PhysIO, background bool, onDone func(
 // submitted raw: a transient error on a survivor is not retried again.
 func (a *Array) redirect(g *Group, avoid int, io raid.PhysIO, background bool, onDone func()) {
 	lose := func() {
-		a.lostIOs++
+		a.noteLost(g)
 		a.engine.Schedule(0, func() { onDone() })
 	}
 	switch g.geo.Level {
 	case raid.RAID1:
 		mirror := io.Disk ^ 1
 		if mirror != avoid && !g.failed[mirror] {
-			a.submitRaw(g, mirror, io, background, onDone)
+			a.submitRaw(g, mirror, io, background, func(failed bool) {
+				// The mirror died while this op was queued on it: the data
+				// was never served, so it counts as lost, not completed.
+				if failed {
+					a.noteLost(g)
+				}
+				onDone()
+			})
 			return
 		}
 		lose()
@@ -112,12 +119,19 @@ func (a *Array) redirect(g *Group, avoid int, io raid.PhysIO, background bool, o
 			return
 		}
 		remaining := len(survivors)
+		anyFailed := false
 		for idx, s := range survivors {
 			sub := io
 			sub.Write = io.Write && idx == len(survivors)-1
-			a.submitRaw(g, s, sub, background, func() {
+			a.submitRaw(g, s, sub, background, func(failed bool) {
+				anyFailed = anyFailed || failed
 				remaining--
 				if remaining == 0 {
+					// Reconstruction needed every survivor; one dying
+					// mid-flight means the stripe could not be rebuilt.
+					if anyFailed {
+						a.noteLost(g)
+					}
 					onDone()
 				}
 			})
@@ -128,15 +142,18 @@ func (a *Array) redirect(g *Group, avoid int, io raid.PhysIO, background bool, o
 }
 
 // submitRaw issues a single physical op on a specific member disk with no
-// retry instrumentation (redirected last-resort ops and rebuild traffic).
-func (a *Array) submitRaw(g *Group, disk int, io raid.PhysIO, background bool, onDone func()) {
+// retry instrumentation (redirected last-resort ops). onDone reports
+// whether the op came back failed — the disk died while it was queued —
+// so the caller can account the loss; before it did, a redirected op
+// whose target failed mid-flight silently counted as served.
+func (a *Array) submitRaw(g *Group, disk int, io raid.PhysIO, background bool, onDone func(failed bool)) {
 	g.disks[disk].Submit(&diskmodel.Request{
 		LBA:        io.Offset,
 		Size:       io.Size,
 		Write:      io.Write,
 		Background: background,
-		Done: func(_ *diskmodel.Request, _ float64) {
-			onDone()
+		Done: func(r *diskmodel.Request, _ float64) {
+			onDone(r.Failed)
 		},
 	})
 }
@@ -167,6 +184,9 @@ func (a *Array) Rebuild(group, disk, spareIdx int, background bool, done func())
 	g.rebuilding = true
 	a.cfg.Trace.Event(a.engine.Now(), obs.KindRebuildStart,
 		group, g.disks[disk].ID(), -1, spareIdx, "rebuild onto spare")
+	if a.auditor != nil {
+		a.auditor.RebuildStart(a.engine.Now(), group)
+	}
 	a.spares = append(a.spares[:spareIdx], a.spares[spareIdx+1:]...)
 
 	capacity := a.cfg.Spec.CapacityBytes
@@ -179,6 +199,7 @@ func (a *Array) Rebuild(group, disk, spareIdx int, background bool, done func())
 	var step func(off int64)
 	step = func(off int64) {
 		if off >= capacity {
+			a.retired = append(a.retired, g.disks[disk])
 			g.disks[disk] = spare
 			delete(g.failed, disk)
 			// The member slot holds a fresh drive now: its health record
@@ -189,6 +210,9 @@ func (a *Array) Rebuild(group, disk, spareIdx int, background bool, done func())
 			a.rebuilds++
 			a.cfg.Trace.Event(a.engine.Now(), obs.KindRebuildFinish,
 				group, spare.ID(), -1, -1, "group healthy")
+			if a.auditor != nil {
+				a.auditor.RebuildFinish(a.engine.Now(), group)
+			}
 			if done != nil {
 				done()
 			}

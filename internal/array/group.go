@@ -67,6 +67,9 @@ func (g *Group) Disks() []*diskmodel.Disk { return g.disks }
 // Slots returns total and used physical extent slots.
 func (g *Group) Slots() (total, used int) { return len(g.slotUsed), g.used }
 
+// SlotInUse reports whether physical extent slot s is allocated.
+func (g *Group) SlotInUse(s int64) bool { return g.slotUsed[s] }
+
 // FreeSlots returns how many extent slots are unoccupied.
 func (g *Group) FreeSlots() int { return len(g.slotUsed) - g.used }
 

@@ -15,10 +15,16 @@ func (a *Array) Submit(off, size int64, write bool, done func(latency float64)) 
 	}
 	start := a.engine.Now()
 	a.inFlight++
+	if a.auditor != nil {
+		a.auditor.LogicalSubmit(start, a.inFlight)
+	}
 	a.fanOut(off, size, write, false, func() {
 		lat := a.engine.Now() - start
 		a.inFlight--
 		a.completed++
+		if a.auditor != nil {
+			a.auditor.LogicalComplete(a.engine.Now(), a.inFlight)
+		}
 		a.resp.Add(lat)
 		a.respPct.Add(lat)
 		if a.onComplete != nil {

@@ -52,6 +52,9 @@ func (a *Array) MigrateExtent(e, toGroup int, background bool, done func()) erro
 		a.cfg.Trace.Event(a.engine.Now(), obs.KindMigrateStart,
 			toGroup, -1, src.Group, toGroup, "extent "+strconv.Itoa(e))
 	}
+	if a.auditor != nil {
+		a.auditor.MigrateStart(a.engine.Now(), e, src.Group, toGroup)
+	}
 
 	eb := a.cfg.ExtentBytes
 	srcG := a.groups[src.Group]
@@ -67,6 +70,9 @@ func (a *Array) MigrateExtent(e, toGroup int, background bool, done func()) erro
 			if a.cfg.Trace != nil {
 				a.cfg.Trace.Event(a.engine.Now(), obs.KindMigrateFinish,
 					toGroup, -1, src.Group, toGroup, "extent "+strconv.Itoa(e))
+			}
+			if a.auditor != nil {
+				a.auditor.MigrateFinish(a.engine.Now(), e, src.Group, toGroup)
 			}
 			if done != nil {
 				done()
@@ -115,6 +121,9 @@ func (a *Array) SwapExtents(e1, e2 int, background bool, done func()) error {
 		a.cfg.Trace.Event(a.engine.Now(), obs.KindSwapStart,
 			l1.Group, -1, l1.Group, l2.Group, "extents "+strconv.Itoa(e1)+","+strconv.Itoa(e2))
 	}
+	if a.auditor != nil {
+		a.auditor.SwapStart(a.engine.Now(), e1, e2, l1.Group, l2.Group)
+	}
 	g1, g2 := a.groups[l1.Group], a.groups[l2.Group]
 	eb := a.cfg.ExtentBytes
 
@@ -129,6 +138,9 @@ func (a *Array) SwapExtents(e1, e2 int, background bool, done func()) error {
 			if a.cfg.Trace != nil {
 				a.cfg.Trace.Event(a.engine.Now(), obs.KindSwapFinish,
 					l1.Group, -1, l1.Group, l2.Group, "extents "+strconv.Itoa(e1)+","+strconv.Itoa(e2))
+			}
+			if a.auditor != nil {
+				a.auditor.SwapFinish(a.engine.Now(), e1, e2, l1.Group, l2.Group)
 			}
 			if done != nil {
 				done()

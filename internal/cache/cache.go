@@ -37,6 +37,12 @@ type Cache struct {
 	destages   uint64
 	writeHits  uint64
 	writeAlloc uint64
+
+	// lookups counters exist so `hits + misses == readLookups` (and the
+	// write-side equivalent) can be checked as an invariant; they are
+	// incremented in exactly one place each.
+	readLookups  uint64
+	writeLookups uint64
 }
 
 type entry struct {
@@ -81,6 +87,19 @@ func (c *Cache) Stats() (hits, misses, destages uint64) {
 	return c.hits, c.misses, c.destages
 }
 
+// Lookups returns how many block lookups Read and Write performed. Every
+// read lookup is a hit or a miss, and every write lookup a write-hit or a
+// write-allocate — the conservation the invariant checker verifies.
+func (c *Cache) Lookups() (read, write uint64) {
+	return c.readLookups, c.writeLookups
+}
+
+// WriteStats returns the write-side block counters: blocks absorbed into
+// resident entries and blocks allocated on write.
+func (c *Cache) WriteStats() (writeHits, writeAllocs uint64) {
+	return c.writeHits, c.writeAlloc
+}
+
 // blocksOf enumerates the block indices overlapping [off, off+size).
 func (c *Cache) blocksOf(off, size int64) (first, last int64) {
 	if off < 0 || size <= 0 {
@@ -100,6 +119,7 @@ func (c *Cache) Read(off, size int64) (misses, evictions []Range) {
 	first, last := c.blocksOf(off, size)
 	var missBlocks []int64
 	for b := first; b <= last; b++ {
+		c.readLookups++
 		if el, ok := c.entries[b]; ok {
 			c.hits++
 			c.lru.MoveToFront(el)
@@ -124,6 +144,7 @@ func (c *Cache) Write(off, size int64) (evictions []Range) {
 	}
 	first, last := c.blocksOf(off, size)
 	for b := first; b <= last; b++ {
+		c.writeLookups++
 		if el, ok := c.entries[b]; ok {
 			c.writeHits++
 			c.lru.MoveToFront(el)

@@ -100,6 +100,17 @@ type Config struct {
 	Scheduler Scheduler
 }
 
+// Observer receives every disk state transition as it happens. It exists
+// for verification layers (internal/invariant) that shadow the disk's own
+// accounting; a nil observer costs one pointer compare per transition and
+// nothing else.
+type Observer interface {
+	// DiskTransition fires from inside the state change, after the disk's
+	// fields (state, level, targetLevel) reflect the new state. power is the
+	// draw the disk charged for the interval it is entering.
+	DiskTransition(d *Disk, t float64, from, to State, power float64)
+}
+
 // Disk simulates one multi-speed drive: FCFS service with a foreground and
 // a background queue, explicit spin and speed transitions, and full energy
 // accounting.
@@ -121,6 +132,7 @@ type Disk struct {
 
 	idleSince float64
 	account   *stats.StateAccount
+	observer  Observer
 
 	// faults is nil until a fault model is armed (see faults.go); the
 	// healthy fast path never touches it beyond a nil check.
@@ -252,6 +264,9 @@ func (d *Disk) IdleFor() float64 {
 
 // Account exposes the energy/state ledger.
 func (d *Disk) Account() *stats.StateAccount { return d.account }
+
+// SetObserver installs (or, with nil, removes) the transition observer.
+func (d *Disk) SetObserver(o Observer) { d.observer = o }
 
 // Completed returns the number of finished requests.
 func (d *Disk) Completed() uint64 { return d.completed }
@@ -553,8 +568,12 @@ func (d *Disk) serviceTime(r *Request) (svc, pos float64, sequential bool) {
 }
 
 func (d *Disk) setState(s State, power float64) {
+	from := d.state
 	d.state = s
 	d.account.Transition(d.engine.Now(), s.String(), power)
+	if d.observer != nil {
+		d.observer.DiskTransition(d, d.engine.Now(), from, s, power)
+	}
 }
 
 // Fail kills the disk: the in-flight request and everything queued

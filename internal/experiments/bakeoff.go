@@ -154,10 +154,12 @@ func runBakeoff(o Opts, kind string, factory func(seed int64, vol int64, dur flo
 		// Bake-off runs are shared across experiments (F1/F2 read the same
 		// OLTP runs), so streams are named by workload and scheme.
 		flush := o.observe(&cfg, "bakeoff-"+kind+"-"+s.name)
+		check := o.audit(&cfg, "bakeoff-"+kind+"-"+s.name)
 		res, err := sim.Run(cfg, src, s.make(dur), dur)
 		if err != nil {
 			return nil, err
 		}
+		check()
 		return res, flush()
 	}
 

@@ -45,6 +45,10 @@ type Opts struct {
 	// seconds (0 = each run's default, its response window). Only
 	// meaningful with MetricsDir.
 	SampleEvery float64
+	// Check arms an invariant checker (internal/invariant) on every
+	// simulation run. Violations accumulate in the process-wide tally read
+	// by CheckViolations. Checking does not change any table output byte.
+	Check bool
 }
 
 func (o *Opts) norm() {

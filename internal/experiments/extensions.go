@@ -63,10 +63,12 @@ func runX1(o Opts) ([]*report.Table, error) {
 		}
 		cfg := arrayConfig(o.Seed, false, 0, 0, dur)
 		cfg.Scheduler = sched
+		check := o.audit(&cfg, "X1-Base-"+name)
 		base, err := sim.Run(cfg, src, policy.NewBase(), dur)
 		if err != nil {
 			return nil, err
 		}
+		check()
 		if sched == diskmodel.FCFS {
 			baseMean = base.MeanResp
 		}
@@ -79,10 +81,12 @@ func runX1(o Opts) ([]*report.Table, error) {
 		}
 		cfg = arrayConfig(o.Seed, true, 0, 1.6*baseMean, dur)
 		cfg.Scheduler = sched
+		check = o.audit(&cfg, "X1-Hibernator-"+name)
 		hib, err := sim.Run(cfg, src, hibernator.New(hibernator.Options{Epoch: dur / 4}), dur)
 		if err != nil {
 			return nil, err
 		}
+		check()
 		t.AddRow("Hibernator", name, report.KJ(hib.Energy), report.Ms(hib.MeanResp),
 			report.Ms(hib.P95Resp), report.Ms(hib.P99Resp))
 	}
@@ -102,10 +106,13 @@ func runX2(o Opts) ([]*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := sim.Run(arrayConfig(o.Seed, false, 0, 0, dur), src, policy.NewBase(), dur)
+	baseCfg := arrayConfig(o.Seed, false, 0, 0, dur)
+	check := o.audit(&baseCfg, "X2-Base")
+	base, err := sim.Run(baseCfg, src, policy.NewBase(), dur)
 	if err != nil {
 		return nil, err
 	}
+	check()
 	goal := 1.6 * base.MeanResp
 	t := report.New("X2", "Fixed vs adaptive CR epochs (OLTP-like, goal 1.6x, base epoch dur/8)",
 		"mode", "epochs run", "savings", "mean resp (ms)", "speed shifts", "violations")
@@ -114,15 +121,18 @@ func runX2(o Opts) ([]*report.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		ctrl := hibernator.New(hibernator.Options{Epoch: dur / 8, AdaptiveEpoch: adaptive})
-		res, err := sim.Run(arrayConfig(o.Seed, true, 0, goal, dur), src, ctrl, dur)
-		if err != nil {
-			return nil, err
-		}
 		mode := "fixed"
 		if adaptive {
 			mode = "adaptive"
 		}
+		ctrl := hibernator.New(hibernator.Options{Epoch: dur / 8, AdaptiveEpoch: adaptive})
+		cfg := arrayConfig(o.Seed, true, 0, goal, dur)
+		check := o.audit(&cfg, "X2-"+mode)
+		res, err := sim.Run(cfg, src, ctrl, dur)
+		if err != nil {
+			return nil, err
+		}
+		check()
 		t.AddRow(mode, report.N(ctrl.Epochs()), report.Pct(res.SavingsVs(base)),
 			report.Ms(res.MeanResp), report.N(res.LevelShifts), report.Pct(res.GoalViolationFrac))
 	}
@@ -155,6 +165,7 @@ func runX3(o Opts) ([]*report.Table, error) {
 			name = "X3-fail-rebuild"
 		}
 		flush := o.observe(&cfg, name)
+		check := o.audit(&cfg, name)
 		inj := &failureInjector{inner: hibernator.New(hibernator.Options{Epoch: dur / 4})}
 		if inject {
 			inj.failAt, inj.rebuildAt = dur/3, dur/2
@@ -163,6 +174,7 @@ func runX3(o Opts) ([]*report.Table, error) {
 		if err != nil {
 			return nil, nil, err
 		}
+		check()
 		return res, inj, flush()
 	}
 	healthy, _, err := run(false)
@@ -230,24 +242,30 @@ func runX4(o Opts) ([]*report.Table, error) {
 	}
 	reqs := trace.Drain(src, 0)
 
-	base, err := sim.Run(arrayConfig(o.Seed, false, 0, 0, dur),
-		trace.NewSliceSource(reqs), policy.NewBase(), dur)
+	baseCfg := arrayConfig(o.Seed, false, 0, 0, dur)
+	check := o.audit(&baseCfg, "X4-Base")
+	base, err := sim.Run(baseCfg, trace.NewSliceSource(reqs), policy.NewBase(), dur)
 	if err != nil {
 		return nil, err
 	}
+	check()
 	goal := 1.6 * base.MeanResp
 	epoch := dur / 4
 
-	hib, err := sim.Run(arrayConfig(o.Seed, true, 0, goal, dur),
-		trace.NewSliceSource(reqs), hibernator.New(hibernator.Options{Epoch: epoch}), dur)
+	hibCfg := arrayConfig(o.Seed, true, 0, goal, dur)
+	check = o.audit(&hibCfg, "X4-Hibernator")
+	hib, err := sim.Run(hibCfg, trace.NewSliceSource(reqs), hibernator.New(hibernator.Options{Epoch: epoch}), dur)
 	if err != nil {
 		return nil, err
 	}
-	oracle, err := sim.Run(arrayConfig(o.Seed, true, 0, goal, dur),
-		trace.NewSliceSource(reqs), hibernator.NewOracle(reqs, hibernator.Options{Epoch: epoch}), dur)
+	check()
+	oracleCfg := arrayConfig(o.Seed, true, 0, goal, dur)
+	check = o.audit(&oracleCfg, "X4-Oracle")
+	oracle, err := sim.Run(oracleCfg, trace.NewSliceSource(reqs), hibernator.NewOracle(reqs, hibernator.Options{Epoch: epoch}), dur)
 	if err != nil {
 		return nil, err
 	}
+	check()
 	t := report.New("X4", "Online Hibernator vs clairvoyant oracle (OLTP-like, goal 1.6x)",
 		"policy", "energy (kJ)", "savings", "mean resp (ms)", "violations")
 	t.AddRow("Base", report.KJ(base.Energy), "0.0%", report.Ms(base.MeanResp), report.Pct(base.GoalViolationFrac))

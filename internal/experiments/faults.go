@@ -104,11 +104,13 @@ func runX5(o Opts) ([]*report.Table, error) {
 			}
 			kind := map[bool]string{false: "healthy", true: "faulted"}[r.faulted]
 			flush := o.observe(&cfg, "X5-"+r.scheme+"-"+kind)
+			check := o.audit(&cfg, "X5-"+r.scheme+"-"+kind)
 			o.logf("  X5: %s %s...", r.scheme, kind)
 			res, err := sim.Run(cfg, src, ctrl, dur)
 			if err != nil {
 				return nil, err
 			}
+			check()
 			return res, flush()
 		})
 	if err != nil {
@@ -169,7 +171,13 @@ func runX6(o Opts) ([]*report.Table, error) {
 				Events: []fault.Event{{Time: 0.4 * dur, Disk: 3, Kind: fault.TransientBurst, Prob: 0.5, Duration: 0.2 * dur}},
 			}
 			o.logf("  X6: %s...", policies[i].name)
-			return sim.Run(cfg, src, policy.NewBase(), dur)
+			check := o.audit(&cfg, "X6-"+policies[i].name)
+			res, err := sim.Run(cfg, src, policy.NewBase(), dur)
+			if err != nil {
+				return nil, err
+			}
+			check()
+			return res, nil
 		})
 	if err != nil {
 		return nil, err

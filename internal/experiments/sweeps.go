@@ -66,7 +66,13 @@ func hibBase(o Opts, cfg sim.Config, dur float64, wf workloadFactory) (*sim.Resu
 		if err != nil {
 			return nil, err
 		}
-		return sim.Run(cfg, src, policy.NewBase(), dur)
+		check := o.audit(&cfg, "sweep-Base")
+		res, err := sim.Run(cfg, src, policy.NewBase(), dur)
+		if err != nil {
+			return nil, err
+		}
+		check()
+		return res, nil
 	})
 }
 
@@ -100,10 +106,13 @@ func hibRun(o Opts, cfgMut func(*sim.Config), opts hibernator.Options, goalMul f
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	hib, err = sim.Run(mkCfg(goal, true), src, hibernator.New(opts), dur)
+	hibCfg := mkCfg(goal, true)
+	check := o.audit(&hibCfg, "sweep-Hibernator")
+	hib, err = sim.Run(hibCfg, src, hibernator.New(opts), dur)
 	if err != nil {
 		return nil, nil, 0, err
 	}
+	check()
 	return base, hib, goal, nil
 }
 
@@ -250,17 +259,26 @@ func runF8(o Opts) ([]*report.Table, error) {
 		}
 		cfg := arrayConfig(o.Seed, true, 0, goal, dur)
 		ctrl := hibernator.New(hibernator.Options{Epoch: dur / 8, Migration: mode})
-		return sim.Run(cfg, src, ctrl, dur)
+		check := o.audit(&cfg, "F8-"+mode.String())
+		res, err := sim.Run(cfg, src, ctrl, dur)
+		if err != nil {
+			return nil, err
+		}
+		check()
+		return res, nil
 	}
 	// Fix the goal from a Base run on the same workload.
 	src, err := shifting()
 	if err != nil {
 		return nil, err
 	}
-	base, err := sim.Run(arrayConfig(o.Seed, false, 0, 0, dur), src, policy.NewBase(), dur)
+	baseCfg := arrayConfig(o.Seed, false, 0, 0, dur)
+	check := o.audit(&baseCfg, "F8-Base")
+	base, err := sim.Run(baseCfg, src, policy.NewBase(), dur)
 	if err != nil {
 		return nil, err
 	}
+	check()
 	goal := 1.6 * base.MeanResp
 	t := report.New("F8", "Migration strategy ablation (OLTP with mid-run popularity shift, goal 1.6x)",
 		"strategy", "savings", "mean resp (ms)", "P95 (ms)", "migrated (GiB)", "violations")
@@ -325,19 +343,25 @@ func runF11(o Opts) ([]*report.Table, error) {
 			if err != nil {
 				return point{}, err
 			}
-			base, err := sim.Run(mkCfg(false, 0), src, policy.NewBase(), dur)
+			baseCfg := mkCfg(false, 0)
+			check := o.audit(&baseCfg, fmt.Sprintf("F11-Base-%dg", groups))
+			base, err := sim.Run(baseCfg, src, policy.NewBase(), dur)
 			if err != nil {
 				return point{}, err
 			}
+			check()
 			src, err = wf()
 			if err != nil {
 				return point{}, err
 			}
-			hib, err := sim.Run(mkCfg(true, 1.6*base.MeanResp), src,
+			hibCfg := mkCfg(true, 1.6*base.MeanResp)
+			check = o.audit(&hibCfg, fmt.Sprintf("F11-Hibernator-%dg", groups))
+			hib, err := sim.Run(hibCfg, src,
 				hibernator.New(hibernator.Options{Epoch: dur / 4}), dur)
 			if err != nil {
 				return point{}, err
 			}
+			check()
 			return point{base, hib}, nil
 		})
 	if err != nil {

@@ -37,10 +37,13 @@ func runF9(o Opts) ([]*report.Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, err := sim.Run(arrayConfig(o.Seed, false, 0, 0, dur), src, policy.NewBase(), dur)
+	baseCfg := arrayConfig(o.Seed, false, 0, 0, dur)
+	check := o.audit(&baseCfg, "F9-Base")
+	base, err := sim.Run(baseCfg, src, policy.NewBase(), dur)
 	if err != nil {
 		return nil, err
 	}
+	check()
 	goal := 1.3 * base.MeanResp
 
 	runHib := func(disableBoost bool) (*sim.Result, *hibernator.Controller, error) {
@@ -55,11 +58,13 @@ func runF9(o Opts) ([]*report.Table, error) {
 			name = "F9-no-boost"
 		}
 		flush := o.observe(&cfg, name)
+		check := o.audit(&cfg, name)
 		ctrl := hibernator.New(hibernator.Options{Epoch: dur / 12, DisableBoost: disableBoost})
 		res, err := sim.Run(cfg, src, ctrl, dur)
 		if err != nil {
 			return nil, nil, err
 		}
+		check()
 		return res, ctrl, flush()
 	}
 	o.logf("  F9: Hibernator with boost")

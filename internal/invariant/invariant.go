@@ -1,0 +1,610 @@
+// Package invariant cross-checks a simulation run's accounting while it
+// executes. A Checker shadows the array and every disk through narrow
+// observer interfaces (diskmodel.Observer, array.Auditor) and re-derives,
+// independently of the code under test, the quantities the simulator
+// reports: it integrates each disk's energy from the Spec's power tables,
+// ledgers IO conservation from submit/complete/lost events, walks the disk
+// state machine, and audits extent-slot bookkeeping. At Finish it compares
+// its shadow ledgers against the simulator's own counters; every
+// disagreement becomes a Violation carrying the simulated timestamp, the
+// disk or group involved, and the two quantities that disagree.
+//
+// The checker is wired through sim.Config.Invariants and is nil by default:
+// an unarmed run schedules no extra events, allocates nothing extra, and is
+// byte-identical to a build without this package. Armed, it costs one
+// virtual call per disk transition and per logical IO — cheap enough to run
+// the full experiment suite under (the -check flag on hibsim and hibexp).
+//
+// The rules, by name as they appear in Violation.Rule:
+//
+//	io-conservation    submitted == completed + in-flight; counts match the
+//	                   array's own inFlight/completed/lostIOs counters
+//	inflight-negative  the array's in-flight count went below zero
+//	state-machine      a disk made an illegal transition (e.g. Standby to
+//	                   Busy without a spin-up)
+//	disk-power         a disk charged a different power than the Spec gives
+//	                   for the state it entered
+//	disk-energy        a disk's energy ledger differs from the checker's
+//	                   independent integral of Spec power over state time
+//	disk-duration      a disk's per-state durations do not sum to the time
+//	                   it was under observation
+//	array-energy       the array total differs from the per-disk sum
+//	energy-series      the observed energy_j metrics series decreases, or
+//	                   ends above the final total
+//	migrate-legality   an extent moved onto a degraded or rebuilding group
+//	                   in a fault-aware run, or a finish had no start
+//	slot-ledger        a group's used-slot count disagrees with its slot
+//	                   bitmap, or global slots != extents + in-flight moves
+//	extent-map         two extents map to one physical slot, or a mapping
+//	                   points at a free slot
+//	cache-conservation hits + misses != lookups on either cache side
+//	rebuild-pairing    a rebuild finished that never started
+package invariant
+
+import (
+	"fmt"
+	"math"
+
+	"hibernator/internal/array"
+	"hibernator/internal/cache"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/obs"
+	"hibernator/internal/simevent"
+)
+
+// DefaultLimit caps how many violations a Checker retains. Runs that break
+// one invariant tend to break it millions of times; the cap keeps the
+// report readable while Count still reflects the full damage.
+const DefaultLimit = 64
+
+// Violation is one observed disagreement between the simulator's
+// accounting and the checker's independent re-derivation.
+type Violation struct {
+	T      float64 // simulated seconds
+	Rule   string  // which invariant broke (see the package comment)
+	Disk   int     // global disk ID, -1 when not disk-scoped
+	Group  int     // group index, -1 when not group-scoped
+	Got    float64 // the simulator's value
+	Want   float64 // the checker's independently derived value
+	Detail string
+}
+
+// String renders the violation on one line.
+func (v Violation) String() string {
+	scope := ""
+	if v.Disk >= 0 {
+		scope += fmt.Sprintf(" disk=%d", v.Disk)
+	}
+	if v.Group >= 0 {
+		scope += fmt.Sprintf(" group=%d", v.Group)
+	}
+	return fmt.Sprintf("t=%.6f %s%s got=%v want=%v: %s", v.T, v.Rule, scope, v.Got, v.Want, v.Detail)
+}
+
+// diskTrack is the checker's shadow of one disk: the interval it is
+// currently in and the energy/time integrals accumulated so far.
+type diskTrack struct {
+	d     *diskmodel.Disk
+	lastT float64
+	state diskmodel.State
+	power float64 // expected draw for the current interval
+
+	energy    float64 // independent integral of power dt (+ shift lumps)
+	durations map[diskmodel.State]float64
+}
+
+// Checker verifies a run's accounting. Create with New, pass via
+// sim.Config.Invariants; one Checker observes one run.
+type Checker struct {
+	limit int
+
+	violations []Violation
+	dropped    int
+
+	engine  *simevent.Engine
+	arr     *array.Array
+	cache   *cache.Cache
+	metrics *obs.Registry
+
+	startT float64
+	disks  map[int]*diskTrack
+
+	// Shadow IO ledger, maintained from Auditor events alone.
+	submitted uint64
+	completed uint64
+	lost      uint64
+	inFlight  int
+
+	// Extent movement in flight: extent -> destination group for migrations
+	// (each holds one extra allocated slot), swap pairs keyed by both ends.
+	pendingMigrate map[int]int
+	pendingSwap    map[int]int
+
+	rebuilding map[int]int // group -> nesting count (paranoia; depth is 0/1)
+
+	finished bool
+}
+
+// New creates a Checker retaining at most DefaultLimit violations.
+func New() *Checker { return NewLimit(DefaultLimit) }
+
+// NewLimit creates a Checker retaining at most limit violations (further
+// ones are counted but dropped).
+func NewLimit(limit int) *Checker {
+	if limit <= 0 {
+		limit = 1
+	}
+	return &Checker{
+		limit:          limit,
+		disks:          map[int]*diskTrack{},
+		pendingMigrate: map[int]int{},
+		pendingSwap:    map[int]int{},
+		rebuilding:     map[int]int{},
+	}
+}
+
+// Attach wires the checker into a run: it installs itself as every disk's
+// transition observer and as the array's auditor, and snapshots the start
+// time. cache and metrics may be nil (those cross-checks are skipped).
+// sim.Run calls this before the controller initializes, so the checker sees
+// every transition from the initial configuration on.
+func (c *Checker) Attach(engine *simevent.Engine, arr *array.Array, ctrlCache *cache.Cache, metrics *obs.Registry) {
+	c.engine, c.arr, c.cache, c.metrics = engine, arr, ctrlCache, metrics
+	c.startT = engine.Now()
+	arr.SetAuditor(c)
+	for _, d := range arr.Disks() {
+		d.SetObserver(c)
+		c.disks[d.ID()] = &diskTrack{
+			d:         d,
+			lastT:     c.startT,
+			state:     d.State(),
+			power:     c.expectedPower(d, d.State()),
+			durations: map[diskmodel.State]float64{},
+		}
+	}
+}
+
+// report records one violation, honoring the retention cap.
+func (c *Checker) report(v Violation) {
+	if len(c.violations) >= c.limit {
+		c.dropped++
+		return
+	}
+	c.violations = append(c.violations, v)
+}
+
+// Violations returns the retained violations (at most the creation limit).
+func (c *Checker) Violations() []Violation { return c.violations }
+
+// Count returns the total number of violations observed, including any
+// dropped beyond the retention limit.
+func (c *Checker) Count() int { return len(c.violations) + c.dropped }
+
+// Ok reports whether no invariant was violated.
+func (c *Checker) Ok() bool { return c.Count() == 0 }
+
+// legalTransitions mirrors the disk state machine in diskmodel/disk.go:
+// spin-up retries re-enter SpinningUp, Busy chains to Busy when the queue
+// drains back-to-back, any live state may Fail, and Failed is terminal.
+var legalTransitions = map[diskmodel.State][]diskmodel.State{
+	diskmodel.Standby:       {diskmodel.SpinningUp, diskmodel.Failed},
+	diskmodel.SpinningUp:    {diskmodel.SpinningUp, diskmodel.Idle, diskmodel.Failed},
+	diskmodel.SpinningDown:  {diskmodel.Standby, diskmodel.Failed},
+	diskmodel.Idle:          {diskmodel.Busy, diskmodel.ShiftingSpeed, diskmodel.SpinningDown, diskmodel.Failed},
+	diskmodel.Busy:          {diskmodel.Idle, diskmodel.Busy, diskmodel.Failed},
+	diskmodel.ShiftingSpeed: {diskmodel.Idle, diskmodel.Failed},
+	diskmodel.Failed:        {},
+}
+
+func legal(from, to diskmodel.State) bool {
+	for _, s := range legalTransitions[from] {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// expectedPower re-derives, from the Spec alone, the draw a disk must
+// charge for the state it just entered. Level bookkeeping at observation
+// time: entering ShiftingSpeed the disk still reports the old level with
+// TargetLevel set to the destination (the shift holds the higher of the
+// two levels' idle power); everywhere else Level is already final.
+func (c *Checker) expectedPower(d *diskmodel.Disk, s diskmodel.State) float64 {
+	spec := d.Spec()
+	switch s {
+	case diskmodel.Standby:
+		return spec.StandbyPower
+	case diskmodel.SpinningUp:
+		return spec.SpinUpEnergy / spec.SpinUpTime
+	case diskmodel.SpinningDown:
+		return spec.SpinDownEnergy / spec.SpinDownTime
+	case diskmodel.Idle:
+		return spec.IdlePower[d.Level()]
+	case diskmodel.Busy:
+		return spec.ActivePower[d.Level()]
+	case diskmodel.ShiftingSpeed:
+		hi := d.Level()
+		if t := d.TargetLevel(); t > hi {
+			hi = t
+		}
+		return spec.IdlePower[hi]
+	case diskmodel.Failed:
+		return 0
+	}
+	return math.NaN()
+}
+
+// DiskTransition implements diskmodel.Observer: it closes the previous
+// interval in the shadow ledger, validates the transition's legality and
+// charged power, and opens the new interval.
+func (c *Checker) DiskTransition(d *diskmodel.Disk, t float64, from, to diskmodel.State, power float64) {
+	tr := c.disks[d.ID()]
+	if tr == nil {
+		// A disk the checker was never attached to: the array grew a drive
+		// after Attach, which the current array cannot do.
+		c.report(Violation{T: t, Rule: "state-machine", Disk: d.ID(), Group: -1,
+			Detail: "transition on an untracked disk"})
+		return
+	}
+	if !legal(from, to) {
+		c.report(Violation{T: t, Rule: "state-machine", Disk: d.ID(), Group: -1,
+			Got: float64(to), Want: float64(from),
+			Detail: fmt.Sprintf("illegal transition %v -> %v", from, to)})
+	}
+	if from != tr.state {
+		c.report(Violation{T: t, Rule: "state-machine", Disk: d.ID(), Group: -1,
+			Got: float64(from), Want: float64(tr.state),
+			Detail: fmt.Sprintf("transition reports leaving %v but checker observed %v", from, tr.state)})
+	}
+	if t < tr.lastT {
+		c.report(Violation{T: t, Rule: "disk-duration", Disk: d.ID(), Group: -1,
+			Got: t, Want: tr.lastT, Detail: "transition time moved backwards"})
+	}
+	if q := d.QueueLen(); q < 0 {
+		c.report(Violation{T: t, Rule: "inflight-negative", Disk: d.ID(), Group: -1,
+			Got: float64(q), Want: 0, Detail: "negative disk queue depth"})
+	}
+	// Close the interval the disk is leaving.
+	dt := t - tr.lastT
+	tr.energy += tr.power * dt
+	tr.durations[tr.state] += dt
+	// Validate and open the interval it is entering.
+	want := c.expectedPower(d, to)
+	if !closeEnough(power, want) {
+		c.report(Violation{T: t, Rule: "disk-power", Disk: d.ID(), Group: -1,
+			Got: power, Want: want,
+			Detail: fmt.Sprintf("entering %v at level %d", to, d.Level())})
+	}
+	if to == diskmodel.ShiftingSpeed {
+		// The shift's lump energy is charged at shift start; re-derive it
+		// from the Spec's per-1000-RPM cost over the same level pair.
+		_, joules := d.Spec().LevelShift(d.Level(), d.TargetLevel())
+		tr.energy += joules
+	}
+	tr.lastT, tr.state, tr.power = t, to, want
+}
+
+// LogicalSubmit implements array.Auditor.
+func (c *Checker) LogicalSubmit(t float64, inFlight int) {
+	c.submitted++
+	c.inFlight++
+	if inFlight != c.inFlight {
+		c.report(Violation{T: t, Rule: "io-conservation", Disk: -1, Group: -1,
+			Got: float64(inFlight), Want: float64(c.inFlight),
+			Detail: "array in-flight count diverged at submit"})
+		c.inFlight = inFlight // resync so one slip doesn't cascade
+	}
+}
+
+// LogicalComplete implements array.Auditor.
+func (c *Checker) LogicalComplete(t float64, inFlight int) {
+	c.completed++
+	c.inFlight--
+	if inFlight < 0 {
+		c.report(Violation{T: t, Rule: "inflight-negative", Disk: -1, Group: -1,
+			Got: float64(inFlight), Want: 0, Detail: "array in-flight count went negative"})
+	}
+	if inFlight != c.inFlight {
+		c.report(Violation{T: t, Rule: "io-conservation", Disk: -1, Group: -1,
+			Got: float64(inFlight), Want: float64(c.inFlight),
+			Detail: "array in-flight count diverged at completion"})
+		c.inFlight = inFlight
+	}
+}
+
+// IOLost implements array.Auditor.
+func (c *Checker) IOLost(t float64, group int) {
+	c.lost++
+	if group < 0 || group >= len(c.arr.Groups()) {
+		c.report(Violation{T: t, Rule: "io-conservation", Disk: -1, Group: group,
+			Got: float64(group), Want: float64(len(c.arr.Groups())),
+			Detail: "lost IO attributed to a group outside the array"})
+	}
+}
+
+// MigrateStart implements array.Auditor.
+func (c *Checker) MigrateStart(t float64, extent, from, to int) {
+	c.pendingMigrate[extent] = to
+	c.checkMoveTarget(t, extent, to)
+}
+
+// MigrateFinish implements array.Auditor.
+func (c *Checker) MigrateFinish(t float64, extent, from, to int) {
+	if _, ok := c.pendingMigrate[extent]; !ok {
+		c.report(Violation{T: t, Rule: "migrate-legality", Disk: -1, Group: to,
+			Got: float64(extent), Want: -1,
+			Detail: fmt.Sprintf("extent %d finished a migration that never started", extent)})
+		return
+	}
+	delete(c.pendingMigrate, extent)
+	loc := c.arr.ExtentLocation(extent)
+	if loc.Group != to {
+		c.report(Violation{T: t, Rule: "extent-map", Disk: -1, Group: to,
+			Got: float64(loc.Group), Want: float64(to),
+			Detail: fmt.Sprintf("extent %d landed in group %d, not the migration target", extent, loc.Group)})
+	}
+}
+
+// SwapStart implements array.Auditor.
+func (c *Checker) SwapStart(t float64, e1, e2, g1, g2 int) {
+	c.pendingSwap[e1] = e2
+	c.pendingSwap[e2] = e1
+	// The swap lands e1 in g2 and e2 in g1; both destinations must be
+	// trustworthy in a fault-aware run.
+	c.checkMoveTarget(t, e1, g2)
+	c.checkMoveTarget(t, e2, g1)
+}
+
+// SwapFinish implements array.Auditor.
+func (c *Checker) SwapFinish(t float64, e1, e2, g1, g2 int) {
+	if c.pendingSwap[e1] != e2 {
+		c.report(Violation{T: t, Rule: "migrate-legality", Disk: -1, Group: -1,
+			Got: float64(e1), Want: float64(e2),
+			Detail: fmt.Sprintf("extents %d,%d finished a swap that never started", e1, e2)})
+		return
+	}
+	delete(c.pendingSwap, e1)
+	delete(c.pendingSwap, e2)
+}
+
+// checkMoveTarget flags extent movement onto a group that a fault-aware
+// policy must not target: one with failed members (data would land on
+// degraded redundancy — the "migration onto an evicted disk" bug) or one
+// mid-rebuild. Runs without the retry/health machinery keep the legacy
+// behavior of moving anywhere, so the rule is gated on FaultAware.
+func (c *Checker) checkMoveTarget(t float64, extent, group int) {
+	if !c.arr.FaultAware() {
+		return
+	}
+	g := c.arr.Groups()[group]
+	if g.Degraded() || g.Rebuilding() {
+		c.report(Violation{T: t, Rule: "migrate-legality", Disk: -1, Group: group,
+			Got: 1, Want: 0,
+			Detail: fmt.Sprintf("extent %d moved onto a degraded/rebuilding group in a fault-aware run", extent)})
+	}
+}
+
+// RebuildStart implements array.Auditor.
+func (c *Checker) RebuildStart(t float64, group int) {
+	c.rebuilding[group]++
+}
+
+// RebuildFinish implements array.Auditor.
+func (c *Checker) RebuildFinish(t float64, group int) {
+	if c.rebuilding[group] <= 0 {
+		c.report(Violation{T: t, Rule: "rebuild-pairing", Disk: -1, Group: group,
+			Got: 1, Want: 0, Detail: "rebuild finished that never started"})
+		return
+	}
+	c.rebuilding[group]--
+}
+
+// closeEnough compares two floats with a relative tolerance wide enough
+// for differently-ordered summation but far below any real accounting bug.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-6 || diff <= 1e-9*scale
+}
+
+// Finish closes every shadow ledger at simulated time t and runs the
+// end-of-run cross-checks. sim.Run calls it after the event loop drains;
+// tests may call it directly. Finish is idempotent in the sense that a
+// second call re-runs the end checks, but the intended use is once.
+func (c *Checker) Finish(t float64) {
+	c.finished = true
+	elapsed := t - c.startT
+
+	// Per-disk: close the final interval, then compare the checker's
+	// independent integrals against the disk's own ledger.
+	sumEnergy := 0.0
+	for _, tr := range sortedTracks(c.disks) {
+		dt := t - tr.lastT
+		tr.energy += tr.power * dt
+		tr.durations[tr.state] += dt
+		tr.lastT = t
+
+		tr.d.CloseAccounting()
+		got := tr.d.Energy()
+		if !closeEnough(got, tr.energy) {
+			c.report(Violation{T: t, Rule: "disk-energy", Disk: tr.d.ID(), Group: -1,
+				Got: got, Want: tr.energy,
+				Detail: "disk energy ledger != independent integral of Spec power over state time"})
+		}
+		sumEnergy += got
+
+		var ledgerDur, shadowDur float64
+		for _, v := range tr.d.Account().DurationByState() {
+			ledgerDur += v
+		}
+		for _, v := range tr.durations {
+			shadowDur += v
+		}
+		if !closeEnough(ledgerDur, elapsed) {
+			c.report(Violation{T: t, Rule: "disk-duration", Disk: tr.d.ID(), Group: -1,
+				Got: ledgerDur, Want: elapsed,
+				Detail: "per-state durations do not sum to the run duration"})
+		}
+		if !closeEnough(shadowDur, elapsed) {
+			c.report(Violation{T: t, Rule: "disk-duration", Disk: tr.d.ID(), Group: -1,
+				Got: shadowDur, Want: elapsed,
+				Detail: "observed transition intervals do not sum to the run duration"})
+		}
+	}
+
+	// Array energy total vs the per-disk sum. Disks() includes retired
+	// drives and the spare pool, so the sum is conservation-complete.
+	total := c.arr.TotalEnergy()
+	if !closeEnough(total, sumEnergy) {
+		c.report(Violation{T: t, Rule: "array-energy", Disk: -1, Group: -1,
+			Got: total, Want: sumEnergy,
+			Detail: "array energy total != sum over all drives ever created"})
+	}
+
+	// IO conservation: the shadow ledger against itself and against the
+	// array's counters.
+	if c.submitted != c.completed+uint64(c.inFlight) {
+		c.report(Violation{T: t, Rule: "io-conservation", Disk: -1, Group: -1,
+			Got: float64(c.completed) + float64(c.inFlight), Want: float64(c.submitted),
+			Detail: "submitted != completed + in-flight"})
+	}
+	if got := c.arr.Completed(); got != c.completed {
+		c.report(Violation{T: t, Rule: "io-conservation", Disk: -1, Group: -1,
+			Got: float64(got), Want: float64(c.completed),
+			Detail: "array completed-count != audited completions"})
+	}
+	if got := c.arr.InFlight(); got != c.inFlight {
+		c.report(Violation{T: t, Rule: "io-conservation", Disk: -1, Group: -1,
+			Got: float64(got), Want: float64(c.inFlight),
+			Detail: "array in-flight count != audited submits minus completions"})
+	}
+	if got := c.arr.InFlight(); got < 0 {
+		c.report(Violation{T: t, Rule: "inflight-negative", Disk: -1, Group: -1,
+			Got: float64(got), Want: 0, Detail: "array in-flight count negative at end of run"})
+	}
+	if got := c.arr.LostIOs(); got != c.lost {
+		c.report(Violation{T: t, Rule: "io-conservation", Disk: -1, Group: -1,
+			Got: float64(got), Want: float64(c.lost),
+			Detail: "array lost-IO count != audited losses"})
+	}
+
+	// Slot ledger: each group's used counter vs its bitmap, and the global
+	// balance: every logical extent holds one slot, plus one extra per
+	// migration in flight (the destination slot is allocated up front).
+	usedTotal := 0
+	for gi, g := range c.arr.Groups() {
+		totalSlots, used := g.Slots()
+		scan := 0
+		for s := int64(0); s < int64(totalSlots); s++ {
+			if g.SlotInUse(s) {
+				scan++
+			}
+		}
+		if scan != used {
+			c.report(Violation{T: t, Rule: "slot-ledger", Disk: -1, Group: gi,
+				Got: float64(used), Want: float64(scan),
+				Detail: "group used-slot counter != slot bitmap population"})
+		}
+		usedTotal += used
+	}
+	wantUsed := c.arr.NumExtents() + len(c.pendingMigrate)
+	if usedTotal != wantUsed {
+		c.report(Violation{T: t, Rule: "slot-ledger", Disk: -1, Group: -1,
+			Got: float64(usedTotal), Want: float64(wantUsed),
+			Detail: "allocated slots != logical extents + in-flight migrations"})
+	}
+
+	// Extent map: a bijection from extents onto allocated slots.
+	seen := map[Location]int{}
+	for e := 0; e < c.arr.NumExtents(); e++ {
+		loc := c.arr.ExtentLocation(e)
+		key := Location{loc.Group, loc.Slot}
+		if prev, dup := seen[key]; dup {
+			c.report(Violation{T: t, Rule: "extent-map", Disk: -1, Group: loc.Group,
+				Got: float64(e), Want: float64(prev),
+				Detail: fmt.Sprintf("extents %d and %d share slot %d/%d", prev, e, loc.Group, loc.Slot)})
+		}
+		seen[key] = e
+		if !c.arr.Groups()[loc.Group].SlotInUse(loc.Slot) {
+			c.report(Violation{T: t, Rule: "extent-map", Disk: -1, Group: loc.Group,
+				Got: 0, Want: 1,
+				Detail: fmt.Sprintf("extent %d maps to unallocated slot %d/%d", e, loc.Group, loc.Slot)})
+		}
+	}
+
+	// Cache conservation, when a cache exists.
+	if c.cache != nil {
+		hits, misses, _ := c.cache.Stats()
+		readLookups, writeLookups := c.cache.Lookups()
+		if hits+misses != readLookups {
+			c.report(Violation{T: t, Rule: "cache-conservation", Disk: -1, Group: -1,
+				Got: float64(hits + misses), Want: float64(readLookups),
+				Detail: "cache hits + misses != read lookups"})
+		}
+		wh, wa := c.cache.WriteStats()
+		if wh+wa != writeLookups {
+			c.report(Violation{T: t, Rule: "cache-conservation", Disk: -1, Group: -1,
+				Got: float64(wh + wa), Want: float64(writeLookups),
+				Detail: "cache write hits + allocations != write lookups"})
+		}
+	}
+
+	// The observed cumulative-energy series must be nondecreasing and end
+	// at or below the final total (it samples mid-run).
+	if c.metrics != nil {
+		series := c.metrics.Series("energy_j")
+		prev := 0.0
+		for _, p := range series {
+			if p.V < prev && !closeEnough(p.V, prev) {
+				c.report(Violation{T: p.T, Rule: "energy-series", Disk: -1, Group: -1,
+					Got: p.V, Want: prev,
+					Detail: "cumulative energy series decreased"})
+			}
+			prev = p.V
+		}
+		if len(series) > 0 {
+			last := series[len(series)-1].V
+			if last > total && !closeEnough(last, total) {
+				c.report(Violation{T: series[len(series)-1].T, Rule: "energy-series", Disk: -1, Group: -1,
+					Got: last, Want: total,
+					Detail: "cumulative energy series ends above the final total"})
+			}
+		}
+	}
+}
+
+// Location mirrors array.Location for map keys (array.Location is already
+// comparable; the alias keeps the array type out of the exported surface).
+type Location struct {
+	Group int
+	Slot  int64
+}
+
+// sortedTracks returns the disk tracks in ascending disk-ID order so
+// violation output is deterministic.
+func sortedTracks(m map[int]*diskTrack) []*diskTrack {
+	out := make([]*diskTrack, 0, len(m))
+	for id := 0; ; id++ {
+		tr, ok := m[id]
+		if !ok {
+			break
+		}
+		out = append(out, tr)
+		if len(out) == len(m) {
+			break
+		}
+	}
+	// Disk IDs are dense from 0 in this simulator; fall back to the map
+	// should that ever change (order then unspecified but complete).
+	if len(out) != len(m) {
+		out = out[:0]
+		for _, tr := range m {
+			out = append(out, tr)
+		}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package invariant_test
+
+import (
+	"strings"
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/fault"
+	"hibernator/internal/hibernator"
+	"hibernator/internal/invariant"
+	"hibernator/internal/obs"
+	"hibernator/internal/policy"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/simevent"
+	"hibernator/internal/trace"
+)
+
+// testConfig builds a small multi-speed array with a cache, the surface
+// the checker watches end to end.
+func testConfig(seed int64) sim.Config {
+	return sim.Config{
+		Spec:               diskmodel.MultiSpeedUltrastar(5, 3000),
+		Groups:             2,
+		GroupDisks:         3,
+		Level:              raid.RAID5,
+		ExtentBytes:        64 << 20,
+		CacheBytes:         64 << 20,
+		Seed:               seed,
+		ExpectedRotLatency: true,
+	}
+}
+
+func oltpSource(t *testing.T, cfg sim.Config, dur, rate float64, seed int64) trace.Source {
+	t.Helper()
+	vol, err := sim.LogicalBytes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed: seed, VolumeBytes: vol, Duration: dur, MaxRate: rate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func mustOk(t *testing.T, chk *invariant.Checker) {
+	t.Helper()
+	if chk.Ok() {
+		return
+	}
+	for _, v := range chk.Violations() {
+		t.Errorf("violation: %s", v)
+	}
+	t.Fatalf("%d violation(s) on a clean run", chk.Count())
+}
+
+// TestArmedHealthyRunClean: the checker stays silent through a full
+// Hibernator run with cache, metrics and migrations in play.
+func TestArmedHealthyRunClean(t *testing.T) {
+	const dur = 400
+	cfg := testConfig(1)
+	cfg.Metrics = obs.NewRegistry(0)
+	cfg.RespGoal = 0.02
+	chk := invariant.New()
+	cfg.Invariants = chk
+	src := oltpSource(t, cfg, dur, 30, 2)
+	res, err := sim.Run(cfg, src, hibernator.New(hibernator.Options{Epoch: dur / 4}), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("run served no requests — the test is vacuous")
+	}
+	mustOk(t, chk)
+}
+
+// TestArmedFaultRunClean: transient errors, a mid-run fail-stop and the
+// auto-rebuild onto the spare all reconcile.
+func TestArmedFaultRunClean(t *testing.T) {
+	// The rebuild streams the full 36.7 GB disk image in 1 MiB chunks
+	// (read survivors, write spare — roughly 1400 simulated seconds), so
+	// the run must be long enough to finish it.
+	const dur = 2000
+	cfg := testConfig(3)
+	cfg.SpareDisks = 1
+	cfg.Retry = array.RetryPolicy{
+		MaxRetries: 2, Backoff: 0.01, BackoffFactor: 4, OpDeadline: 0.25,
+		SuspectAfter: 10, EvictAfter: 1000, AutoRebuild: true,
+	}
+	cfg.Faults = &fault.Schedule{
+		Rates: fault.Rates{TransientProb: 0.01},
+		Events: []fault.Event{
+			{Time: 0.05 * dur, Disk: 1, Kind: fault.FailStop},
+		},
+	}
+	chk := invariant.New()
+	cfg.Invariants = chk
+	src := oltpSource(t, cfg, dur, 30, 4)
+	res, err := sim.Run(cfg, src, policy.NewBase(), dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.DiskFailures == 0 || res.Faults.Rebuilds == 0 {
+		t.Fatalf("fault storm never fired (failures=%d rebuilds=%d) — the test is vacuous",
+			res.Faults.DiskFailures, res.Faults.Rebuilds)
+	}
+	mustOk(t, chk)
+}
+
+// auditArray builds a bare engine+array pair with the checker attached,
+// for tests that inject corrupted events below the sim layer.
+func auditArray(t *testing.T) (*simevent.Engine, *array.Array, *invariant.Checker) {
+	t.Helper()
+	e := simevent.New()
+	spec := diskmodel.MultiSpeedUltrastar(1, 0)
+	a, err := array.New(array.Config{
+		Engine: e, Spec: &spec, Groups: 1, GroupDisks: 4, Level: raid.RAID5,
+		ExtentBytes: 64 << 20, Seed: 9, ExpectedRotLatency: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk := invariant.New()
+	chk.Attach(e, a, nil, nil)
+	return e, a, chk
+}
+
+func findRule(vs []invariant.Violation, rule, detail string) *invariant.Violation {
+	for i := range vs {
+		if vs[i].Rule == rule && strings.Contains(vs[i].Detail, detail) {
+			return &vs[i]
+		}
+	}
+	return nil
+}
+
+// TestDroppedCompletionDetected: a submit whose completion never fires
+// must surface as an IO-conservation violation at Finish.
+func TestDroppedCompletionDetected(t *testing.T) {
+	e, a, chk := auditArray(t)
+	done := 0
+	a.Submit(0, 4096, false, func(float64) { done++ })
+	e.RunAll()
+	if done != 1 {
+		t.Fatalf("warm-up op completed %d times", done)
+	}
+	// The corrupted event: the auditor hears a submit the array never
+	// tracked, exactly what a dropped completion leaves behind.
+	chk.LogicalSubmit(e.Now(), a.InFlight()+1)
+	chk.Finish(e.Now())
+
+	v := findRule(chk.Violations(), "io-conservation", "in-flight")
+	if v == nil {
+		t.Fatalf("no io-conservation violation; got %v", chk.Violations())
+	}
+	if v.T != e.Now() {
+		t.Errorf("violation at t=%v, want the finish time %v", v.T, e.Now())
+	}
+}
+
+// TestSkewedEnergyLedgerDetected: phantom joules slipped into one disk's
+// ledger must surface as a disk-energy violation naming that disk.
+func TestSkewedEnergyLedgerDetected(t *testing.T) {
+	e, a, chk := auditArray(t)
+	done := 0
+	for i := 0; i < 8; i++ {
+		a.Submit(int64(i)*65536, 65536, i%2 == 0, func(float64) { done++ })
+	}
+	e.RunAll()
+	victim := a.Groups()[0].Disks()[2]
+	victim.Account().AddEnergy("idle", 12345) // the skewed power table
+	chk.Finish(e.Now())
+
+	v := findRule(chk.Violations(), "disk-energy", "integral")
+	if v == nil {
+		t.Fatalf("no disk-energy violation; got %v", chk.Violations())
+	}
+	if v.Disk != victim.ID() {
+		t.Errorf("violation names disk %d, want %d", v.Disk, victim.ID())
+	}
+	if diff := v.Got - v.Want; diff < 12344 || diff > 12346 {
+		t.Errorf("violation Got-Want = %v, want ~12345 (the injected joules)", diff)
+	}
+	// Only the one disk may be implicated.
+	for _, v := range chk.Violations() {
+		if v.Rule == "disk-energy" && v.Disk != victim.ID() {
+			t.Errorf("clean disk %d implicated: %s", v.Disk, v)
+		}
+	}
+}
+
+// TestIllegalTransitionDetected: a Standby->Busy jump (no spin-up) must
+// surface as a state-machine violation with the disk and timestamp.
+func TestIllegalTransitionDetected(t *testing.T) {
+	_, a, chk := auditArray(t)
+	d := a.Groups()[0].Disks()[0]
+	chk.DiskTransition(d, 3.5, diskmodel.Standby, diskmodel.Busy, 0)
+
+	v := findRule(chk.Violations(), "state-machine", "illegal transition")
+	if v == nil {
+		t.Fatalf("no state-machine violation; got %v", chk.Violations())
+	}
+	if v.T != 3.5 || v.Disk != d.ID() {
+		t.Errorf("violation t=%v disk=%d, want t=3.5 disk=%d", v.T, v.Disk, d.ID())
+	}
+	// The checker also knows the disk was really Idle, not Standby.
+	if findRule(chk.Violations(), "state-machine", "checker observed") == nil {
+		t.Error("missing the from-state divergence violation")
+	}
+}
+
+// TestWrongPowerDetected: a legal transition charging the wrong draw must
+// surface as a disk-power violation carrying both wattages.
+func TestWrongPowerDetected(t *testing.T) {
+	_, a, chk := auditArray(t)
+	d := a.Groups()[0].Disks()[1]
+	chk.DiskTransition(d, 1.25, diskmodel.Idle, diskmodel.Busy, 999)
+
+	v := findRule(chk.Violations(), "disk-power", "entering")
+	if v == nil {
+		t.Fatalf("no disk-power violation; got %v", chk.Violations())
+	}
+	if v.T != 1.25 || v.Disk != d.ID() {
+		t.Errorf("violation t=%v disk=%d, want t=1.25 disk=%d", v.T, v.Disk, d.ID())
+	}
+	if v.Got != 999 {
+		t.Errorf("violation Got = %v, want the charged 999 W", v.Got)
+	}
+	if want := d.Spec().ActivePower[d.Level()]; v.Want != want {
+		t.Errorf("violation Want = %v, want the Spec draw %v", v.Want, want)
+	}
+}
+
+// TestViolationLimitAndCount: the retention cap keeps the report bounded
+// while Count reflects every violation.
+func TestViolationLimitAndCount(t *testing.T) {
+	chk := invariant.NewLimit(2)
+	// IOLost validates the group against the array, so attach a real one.
+	_, arr, _ := auditArray(t)
+	chk.Attach(simevent.New(), arr, nil, nil)
+	for i := 0; i < 5; i++ {
+		chk.IOLost(float64(i), -5) // group outside the array: one violation each
+	}
+	if len(chk.Violations()) != 2 {
+		t.Errorf("retained %d violations, want the cap of 2", len(chk.Violations()))
+	}
+	if chk.Count() != 5 {
+		t.Errorf("Count = %d, want all 5", chk.Count())
+	}
+	if chk.Ok() {
+		t.Error("Ok() must be false with violations dropped past the cap")
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := invariant.Violation{T: 1.5, Rule: "disk-energy", Disk: 3, Group: -1,
+		Got: 2, Want: 1, Detail: "x"}
+	s := v.String()
+	for _, want := range []string{"t=1.500000", "disk-energy", "disk=3", "got=2", "want=1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "group=") {
+		t.Errorf("String() = %q must omit group when -1", s)
+	}
+}

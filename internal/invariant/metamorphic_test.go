@@ -1,0 +1,128 @@
+package invariant_test
+
+// Metamorphic checks: properties that must hold across *pairs* of runs —
+// repeating a run changes nothing, arming the checker changes nothing,
+// run order changes nothing, and more simulated time never costs less
+// energy. Each catches a class of accounting bug (hidden global state,
+// observer side effects, cross-run leakage, time-truncation) that no
+// single-run invariant can see.
+
+import (
+	"testing"
+
+	"hibernator/internal/hibernator"
+	"hibernator/internal/invariant"
+	"hibernator/internal/policy"
+	"hibernator/internal/sim"
+)
+
+// fingerprint collapses a run to the scalars any accounting bug would
+// disturb. Exact float comparison is intentional: a deterministic
+// simulator must reproduce these bit for bit.
+type fingerprint struct {
+	energy, meanResp, p99 float64
+	requests, cacheHits   uint64
+	spinUps, levelShifts  uint64
+	migrations            uint64
+}
+
+func fp(r *sim.Result) fingerprint {
+	return fingerprint{
+		energy: r.Energy, meanResp: r.MeanResp, p99: r.P99Resp,
+		requests: r.Requests, cacheHits: r.CacheHits,
+		spinUps: r.SpinUps, levelShifts: r.LevelShifts,
+		migrations: r.Migrations,
+	}
+}
+
+// runScheme executes one run of the named scheme, optionally armed.
+func runScheme(t *testing.T, scheme string, seed int64, dur float64, armed bool) *sim.Result {
+	t.Helper()
+	cfg := testConfig(seed)
+	cfg.RespGoal = 0.02
+	var chk *invariant.Checker
+	if armed {
+		chk = invariant.New()
+		cfg.Invariants = chk
+	}
+	var ctrl sim.Controller = policy.NewBase()
+	if scheme == "hibernator" {
+		ctrl = hibernator.New(hibernator.Options{Epoch: dur / 4})
+	}
+	src := oltpSource(t, cfg, dur, 30, seed+11)
+	res, err := sim.Run(cfg, src, ctrl, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed {
+		mustOk(t, chk)
+	}
+	return res
+}
+
+// TestDeterminismAcrossSeeds: for each seed, repeating the identical run
+// reproduces it exactly; distinct seeds genuinely differ.
+func TestDeterminismAcrossSeeds(t *testing.T) {
+	const dur = 300
+	var prints []fingerprint
+	for _, seed := range []int64{1, 2, 5} {
+		a := fp(runScheme(t, "hibernator", seed, dur, true))
+		b := fp(runScheme(t, "hibernator", seed, dur, true))
+		if a != b {
+			t.Errorf("seed %d: repeat run diverged:\n  %+v\n  %+v", seed, a, b)
+		}
+		prints = append(prints, a)
+	}
+	if prints[0] == prints[1] && prints[1] == prints[2] {
+		t.Error("all seeds produced identical runs — the seed is not reaching the simulation")
+	}
+}
+
+// TestArmedMatchesUnarmed: the checker observes; it must not perturb.
+// An armed run's results are identical to the same run unarmed.
+func TestArmedMatchesUnarmed(t *testing.T) {
+	const dur = 300
+	for _, scheme := range []string{"base", "hibernator"} {
+		unarmed := fp(runScheme(t, scheme, 3, dur, false))
+		armed := fp(runScheme(t, scheme, 3, dur, true))
+		if unarmed != armed {
+			t.Errorf("%s: arming the checker changed the run:\n  unarmed %+v\n  armed   %+v",
+				scheme, unarmed, armed)
+		}
+	}
+}
+
+// TestSchemeOrderInvariance: runs share no state, so executing the
+// contenders in either order reproduces each scheme's result exactly.
+func TestSchemeOrderInvariance(t *testing.T) {
+	const dur = 300
+	baseFirst := []fingerprint{
+		fp(runScheme(t, "base", 7, dur, true)),
+		fp(runScheme(t, "hibernator", 7, dur, true)),
+	}
+	hibFirst := []fingerprint{
+		fp(runScheme(t, "hibernator", 7, dur, true)),
+		fp(runScheme(t, "base", 7, dur, true)),
+	}
+	if baseFirst[0] != hibFirst[1] {
+		t.Errorf("Base result depends on run order:\n  first  %+v\n  second %+v", baseFirst[0], hibFirst[1])
+	}
+	if baseFirst[1] != hibFirst[0] {
+		t.Errorf("Hibernator result depends on run order:\n  second %+v\n  first  %+v", baseFirst[1], hibFirst[0])
+	}
+}
+
+// TestBaseEnergyMonotoneInDuration: under the always-full-speed Base
+// policy, a longer run can only cost more energy. A truncated energy
+// integral (e.g. an interval dropped at a mid-run state change) shows up
+// here as a violation of monotonicity.
+func TestBaseEnergyMonotoneInDuration(t *testing.T) {
+	prev := 0.0
+	for _, dur := range []float64{100, 200, 400} {
+		res := runScheme(t, "base", 9, dur, true)
+		if res.Energy <= prev {
+			t.Errorf("Base energy at %gs = %v, not above the %v of the shorter run", dur, res.Energy, prev)
+		}
+		prev = res.Energy
+	}
+}

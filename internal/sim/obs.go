@@ -114,7 +114,6 @@ func (s *obsSampler) sample(now float64) {
 	// idempotent and safe mid-run; per-disk Energy() is then current too.
 	s.energy.Set(s.arr.TotalEnergy())
 	s.events.Set(float64(s.engine.Processed()))
-	depth := 0
 	for gi, g := range s.arr.Groups() {
 		s.groupLevel[gi].Set(float64(g.Level()))
 		q, e := 0, 0.0
@@ -122,18 +121,17 @@ func (s *obsSampler) sample(now float64) {
 			q += d.QueueLen()
 			e += d.Energy()
 		}
-		depth += q
 		s.groupQueue[gi].Set(float64(q))
 		s.groupEnergy[gi].Set(e)
 	}
-	disks := s.arr.Disks()
-	spareStart := len(disks) - len(s.arr.Spares())
-	for di, d := range disks {
+	// queue_depth sums over every drive ever created (Array.Disks covers
+	// members, the spare pool, retired drives and a spare mid-rebuild —
+	// the old members+pool split dropped the rebuild target's queue).
+	depth := 0
+	for di, d := range s.arr.Disks() {
 		s.diskLevel[di].Set(float64(d.Level()))
 		s.diskState[di].Set(float64(d.State()))
-		if di >= spareStart {
-			depth += d.QueueLen() // spares rebuild in the background
-		}
+		depth += d.QueueLen()
 	}
 	s.queueDepth.Set(float64(depth))
 	s.cfg.Metrics.Sample(now)

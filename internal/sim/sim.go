@@ -12,6 +12,7 @@ import (
 	"hibernator/internal/cache"
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/fault"
+	"hibernator/internal/invariant"
 	"hibernator/internal/obs"
 	"hibernator/internal/raid"
 	"hibernator/internal/simevent"
@@ -80,6 +81,13 @@ type Config struct {
 	// ObsSampleEvery is the Metrics sampling interval in simulated
 	// seconds (default: RespWindow). Ignored when Metrics is nil.
 	ObsSampleEvery float64
+
+	// Invariants, when non-nil, cross-checks the run's accounting while it
+	// executes: IO conservation, per-disk state durations and energy
+	// integrals, state-machine legality, migration/slot bookkeeping and
+	// cache counters (see internal/invariant). Nil is a strict no-op — no
+	// extra events, no extra allocations, byte-identical output.
+	Invariants *invariant.Checker
 }
 
 func (c *Config) applyDefaults() error {
@@ -308,6 +316,12 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		ctrlCache = cache.New(cfg.CacheBytes, cfg.CacheBlock)
 	}
 
+	// Arm the invariant checker before the controller or any event runs, so
+	// it observes every transition from the initial configuration on.
+	if cfg.Invariants != nil {
+		cfg.Invariants.Attach(engine, arr, ctrlCache, cfg.Metrics)
+	}
+
 	destage := func(ranges []cache.Range) {
 		for _, rg := range ranges {
 			off, size := clampRange(rg.Off, rg.Size, arr.LogicalBytes())
@@ -452,7 +466,9 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	engine.Run(duration)
 
 	res.MeanResp = respW.Mean()
-	res.MaxResp = respW.Max()
+	if respW.Count() > 0 { // an empty accumulator's Max is NaN, not 0
+		res.MaxResp = respW.Max()
+	}
 	res.P95Resp = respPct.Quantile(0.95)
 	res.P99Resp = respPct.Quantile(0.99)
 	res.Energy = arr.TotalEnergy()
@@ -484,6 +500,9 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	}
 	if windows > 0 {
 		res.GoalViolationFrac = float64(violations) / float64(windows)
+	}
+	if cfg.Invariants != nil {
+		cfg.Invariants.Finish(engine.Now())
 	}
 	return res, nil
 }

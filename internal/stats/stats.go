@@ -65,11 +65,24 @@ func (w *Welford) SecondMoment() float64 {
 	return w.Var() + w.mean*w.mean
 }
 
-// Min returns the smallest observation (0 if none).
-func (w *Welford) Min() float64 { return w.min }
+// Min returns the smallest observation, or NaN with no observations.
+// NaN (rather than 0) keeps an empty accumulator from masquerading as a
+// real zero observation; callers that want a default must check Count.
+func (w *Welford) Min() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.min
+}
 
-// Max returns the largest observation (0 if none).
-func (w *Welford) Max() float64 { return w.max }
+// Max returns the largest observation, or NaN with no observations (see
+// Min for why).
+func (w *Welford) Max() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.max
+}
 
 // Reset clears the accumulator.
 func (w *Welford) Reset() { *w = Welford{} }
@@ -106,7 +119,13 @@ type Reservoir struct {
 	cap   int
 	seen  uint64
 	items []float64
-	dirty bool // sorted cache invalid
+	// sorted caches a sorted copy of items for Quantile. Sorting a COPY is
+	// load-bearing: items must stay in insertion order because Add replaces
+	// r.items[j] for a uniformly drawn j — sorting items in place would make
+	// that replacement hit a rank-dependent position, so querying a quantile
+	// mid-stream would change which observations survive.
+	sorted []float64
+	dirty  bool // sorted cache invalid
 }
 
 // NewReservoir panics unless capacity > 0. The seed fixes sampling so runs
@@ -149,18 +168,19 @@ func (r *Reservoir) Quantile(q float64) float64 {
 		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
 	}
 	if r.dirty {
-		sort.Float64s(r.items)
+		r.sorted = append(r.sorted[:0], r.items...)
+		sort.Float64s(r.sorted)
 		r.dirty = false
 	}
 	// Nearest-rank with linear interpolation.
-	pos := q * float64(len(r.items)-1)
+	pos := q * float64(len(r.sorted)-1)
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return r.items[lo]
+		return r.sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return r.items[lo]*(1-frac) + r.items[hi]*frac
+	return r.sorted[lo]*(1-frac) + r.sorted[hi]*frac
 }
 
 // Reset clears the reservoir but keeps the RNG stream position.

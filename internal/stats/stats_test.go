@@ -41,6 +41,19 @@ func TestWelfordEmpty(t *testing.T) {
 	if w.Mean() != 0 || w.Var() != 0 || w.Count() != 0 {
 		t.Error("empty accumulator must read as zeros")
 	}
+	// Min/Max of nothing is NaN, not 0: a 0 would masquerade as a real
+	// observation (e.g. a "0 ms max response time" from a run that served
+	// no requests at all).
+	if !math.IsNaN(w.Min()) {
+		t.Errorf("empty Min() = %v, want NaN", w.Min())
+	}
+	if !math.IsNaN(w.Max()) {
+		t.Errorf("empty Max() = %v, want NaN", w.Max())
+	}
+	w.Add(-3)
+	if w.Min() != -3 || w.Max() != -3 {
+		t.Errorf("after one add, Min/Max = %v/%v, want -3/-3", w.Min(), w.Max())
+	}
 }
 
 // Property: merging two accumulators equals accumulating the concatenation.
@@ -126,6 +139,32 @@ func TestReservoirAddAfterQuantile(t *testing.T) {
 		want := slicesMax(vals[:i+1])
 		if got != want {
 			t.Fatalf("after %d adds, max = %v, want %v", i+1, got, want)
+		}
+	}
+}
+
+// Regression: Quantile used to sort r.items in place, so a mid-stream
+// quantile query changed which index a later Add replaced — the final
+// sample depended on when (or whether) anyone looked at a percentile.
+// Two reservoirs fed the same stream must end with the same sample, no
+// matter how many Quantile calls are interleaved.
+func TestReservoirQuantileDoesNotPerturbSampling(t *testing.T) {
+	const cap = 16
+	quiet := NewReservoir(cap, 7)
+	nosy := NewReservoir(cap, 7)
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		x := rng.Float64() * 100
+		quiet.Add(x)
+		nosy.Add(x)
+		if i%3 == 0 {
+			nosy.Quantile(0.5) // the read that used to corrupt the sample
+			nosy.Quantile(0.99)
+		}
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		if got, want := nosy.Quantile(q), quiet.Quantile(q); got != want {
+			t.Errorf("Q(%v): interleaved-read reservoir = %v, read-free = %v", q, got, want)
 		}
 	}
 }
