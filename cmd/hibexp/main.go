@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"hibernator/internal/cliutil"
 	"hibernator/internal/experiments"
 	"hibernator/internal/report"
 	"hibernator/internal/runner"
@@ -49,17 +50,10 @@ func main() {
 	flag.Parse()
 
 	// Validate up front: a bad flag should be one clear line and a
-	// non-zero exit, not a silent clamp deep inside an experiment.
-	if *scale <= 0 {
-		fmt.Fprintf(os.Stderr, "hibexp: -scale must be positive, got %g\n", *scale)
-		os.Exit(2)
-	}
-	if *par < 0 {
-		fmt.Fprintf(os.Stderr, "hibexp: -par must be >= 0 (0 = GOMAXPROCS), got %d\n", *par)
-		os.Exit(2)
-	}
-	if *sampleEvery < 0 {
-		fmt.Fprintf(os.Stderr, "hibexp: -sample-every must be >= 0, got %g\n", *sampleEvery)
+	// non-zero exit, not a silent clamp deep inside an experiment. The
+	// cliutil helpers also reject NaN, which `*scale <= 0` alone passes.
+	if err := validateFlags(*scale, *sampleEvery, *par); err != nil {
+		fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
 		os.Exit(2)
 	}
 	servePprof(*pprofAddr)
@@ -160,6 +154,16 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "hibexp: invariants ok (0 violations)\n")
 	}
+}
+
+// validateFlags applies the numeric-flag rules. Table-tested in
+// main_test.go.
+func validateFlags(scale, sampleEvery float64, par int) error {
+	return cliutil.FirstError(
+		cliutil.Positive("-scale", scale),
+		cliutil.NonNegativeInt("-par", par),
+		cliutil.NonNegative("-sample-every", sampleEvery),
+	)
 }
 
 // servePprof exposes net/http/pprof on addr in the background; empty addr

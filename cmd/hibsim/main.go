@@ -6,6 +6,7 @@
 //	hibsim -scheme hibernator -workload oltp -duration 3600 -rate 50
 //	hibsim -scheme tpm -workload cello -duration 86400 -goal 8ms
 //	hibsim -scheme base -trace requests.csv -duration 600
+//	hibsim -repro seed1-17.repro        # replay a hibchaos reproducer
 package main
 
 import (
@@ -19,6 +20,8 @@ import (
 	"time"
 
 	"hibernator/internal/array"
+	"hibernator/internal/chaos"
+	"hibernator/internal/cliutil"
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/fault"
 	"hibernator/internal/hibernator"
@@ -54,6 +57,7 @@ func main() {
 		retries    = flag.Int("retries", 2, "same-disk retries per transient error (used once faults are armed)")
 		opDeadline = flag.Duration("op-deadline", 250*time.Millisecond, "per-attempt deadline once faults are armed (0 disables)")
 
+		reproFile   = flag.String("repro", "", "replay a hibchaos repro file and re-judge it (all other flags ignored)")
 		check       = flag.Bool("check", false, "arm the invariant checker (internal/invariant); violations print to stderr and exit non-zero")
 		metricsOut  = flag.String("metrics-out", "", "write per-interval metrics to this file (JSONL; a .csv suffix selects CSV)")
 		traceOut    = flag.String("trace-out", "", "write the policy decision trace to this file (JSONL; a .csv suffix selects CSV)")
@@ -62,40 +66,22 @@ func main() {
 	)
 	flag.Parse()
 
+	if *reproFile != "" {
+		os.Exit(runRepro(*reproFile))
+	}
+
 	// Validate numeric flags up front: one clear line and a non-zero exit
 	// beats a panic (or a silently absurd run) from deep inside the model.
-	if *duration <= 0 {
-		fatalf("-duration must be positive, got %g", *duration)
-	}
-	if *rate <= 0 {
-		fatalf("-rate must be positive, got %g", *rate)
-	}
-	if *groups <= 0 || *groupDisks <= 0 {
-		fatalf("-groups and -group-disks must be positive, got %d and %d", *groups, *groupDisks)
-	}
-	if *levels < 1 {
-		fatalf("-levels must be >= 1, got %d", *levels)
-	}
-	if *cacheMB < 0 {
-		fatalf("-cache-mb must be >= 0, got %d", *cacheMB)
-	}
-	if *failAt < 0 || *epoch < 0 || *goal < 0 {
-		fatalf("-fail-at, -epoch and -goal must be >= 0")
-	}
-	if *faultRate < 0 || *faultRate >= 1 {
-		fatalf("-fault-rate must be in [0,1), got %g", *faultRate)
-	}
-	if *spinFail < 0 || *spinFail >= 1 {
-		fatalf("-spin-fail-rate must be in [0,1), got %g", *spinFail)
-	}
-	if *retries < 0 {
-		fatalf("-retries must be >= 0, got %d", *retries)
-	}
-	if *opDeadline < 0 {
-		fatalf("-op-deadline must be >= 0, got %v", *opDeadline)
-	}
-	if *sampleEvery < 0 {
-		fatalf("-sample-every must be >= 0, got %g", *sampleEvery)
+	// The helpers reject NaN and infinities too — `*duration <= 0` alone
+	// would wave NaN straight through.
+	if err := validateFlags(simFlags{
+		duration: *duration, rate: *rate, failAt: *failAt, epoch: *epoch,
+		faultRate: *faultRate, spinFail: *spinFail, sampleEvery: *sampleEvery,
+		goal: *goal, opDeadline: *opDeadline,
+		groups: *groups, groupDisks: *groupDisks, levels: *levels, retries: *retries,
+		cacheMB: *cacheMB,
+	}); err != nil {
+		fatalf("%v", err)
 	}
 	servePprof(*pprofAddr)
 
@@ -305,6 +291,60 @@ func main() {
 			fatalf("invariant checker found %d violation(s)", checker.Count())
 		}
 	}
+}
+
+// simFlags carries every numeric flag through validation, so the rules
+// are table-testable without spawning a process.
+type simFlags struct {
+	duration, rate, failAt, epoch, faultRate, spinFail, sampleEvery float64
+	goal, opDeadline                                                time.Duration
+	groups, groupDisks, levels, retries                             int
+	cacheMB                                                         int64
+}
+
+// validateFlags applies the numeric-flag rules. Table-tested in
+// main_test.go.
+func validateFlags(f simFlags) error {
+	return cliutil.FirstError(
+		cliutil.Positive("-duration", f.duration),
+		cliutil.Positive("-rate", f.rate),
+		cliutil.PositiveInt("-groups", f.groups),
+		cliutil.PositiveInt("-group-disks", f.groupDisks),
+		cliutil.PositiveInt("-levels", f.levels),
+		cliutil.NonNegativeInt64("-cache-mb", f.cacheMB),
+		cliutil.NonNegative("-fail-at", f.failAt),
+		cliutil.NonNegative("-epoch", f.epoch),
+		cliutil.NonNegative("-goal", f.goal.Seconds()),
+		cliutil.Prob("-fault-rate", f.faultRate),
+		cliutil.Prob("-spin-fail-rate", f.spinFail),
+		cliutil.NonNegativeInt("-retries", f.retries),
+		cliutil.NonNegative("-op-deadline", f.opDeadline.Seconds()),
+		cliutil.NonNegative("-sample-every", f.sampleEvery),
+	)
+}
+
+// runRepro replays a hibchaos reproducer: it loads the scenario, runs the
+// full chaos oracle on it (armed run, repeat run, unarmed run) and reports
+// the verdict. Exit status 0 means the scenario no longer fails — i.e. the
+// bug it reproduced is fixed — and 1 means it still does.
+func runRepro(path string) int {
+	sc, err := chaos.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hibsim: %v\n", err)
+		return 1
+	}
+	fmt.Printf("repro           %s\n", path)
+	fmt.Printf("scenario        %s\n", sc.String())
+	start := time.Now()
+	fail := chaos.Execute(sc)
+	fmt.Printf("judged          %d runs in %v\n", chaos.RunsPerExecute, time.Since(start).Round(time.Millisecond))
+	if fail != nil {
+		fmt.Printf("verdict         FAIL (%s)\n", fail.Kind)
+		fmt.Printf("detail          %s\n", fail.Detail)
+		return 1
+	}
+	fmt.Printf("verdict         ok (scenario no longer fails)\n")
+	return 0
 }
 
 // servePprof exposes net/http/pprof on addr in the background; empty addr

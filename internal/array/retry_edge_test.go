@@ -1,0 +1,122 @@
+package array
+
+import (
+	"testing"
+
+	"hibernator/internal/raid"
+)
+
+// Edge cases around the retry policy that the chaos generator exercises
+// randomly; these pin them deterministically.
+
+// TestZeroOpDeadlineMeansNoTimeout: OpDeadline 0 with retries armed must
+// mean "no per-attempt deadline", not "time out instantly". A fail-slow
+// disk's op is allowed to take arbitrarily long and still completes.
+func TestZeroOpDeadlineMeansNoTimeout(t *testing.T) {
+	pol := RetryPolicy{MaxRetries: 1, Backoff: 0.01, OpDeadline: 0}
+	e, a := retryArray(t, raid.RAID1, 2, 0, pol)
+	a.Groups()[0].Disks()[0].SetFailSlow(0, 0, 1000) // 1000x slower from t=0
+
+	completions := 0
+	doneAt := -1.0
+	a.Submit(0, 4096, false, func(float64) { completions++; doneAt = e.Now() })
+	e.RunAll()
+
+	if completions != 1 {
+		t.Fatalf("completions=%d, want 1", completions)
+	}
+	fs := a.FaultStats()
+	if fs.Timeouts != 0 {
+		t.Fatalf("timeouts=%d with a zero deadline, want 0", fs.Timeouts)
+	}
+	if fs.Fallbacks != 0 {
+		t.Fatalf("fallbacks=%d, want 0 (the slow op must be waited out)", fs.Fallbacks)
+	}
+	// The op really did run at the crippled speed.
+	if doneAt < 0.01 {
+		t.Fatalf("completed at %v, faster than a 1000x-degraded op plausibly can", doneAt)
+	}
+}
+
+// TestRetriesExhaustedDuringRebuild: a member that keeps erroring while
+// its group is mid-rebuild exhausts its retries and tries the redundancy
+// fallback — which cannot help, because the failed member's data is not
+// back until the rebuild finishes. The op is correctly accounted as lost
+// (degraded + erroring = data unavailable), and conservation must hold:
+// exactly one completion, exactly one lost IO, nothing in flight.
+func TestRetriesExhaustedDuringRebuild(t *testing.T) {
+	pol := RetryPolicy{MaxRetries: 2, Backoff: 0.001, AutoRebuild: true}
+	e, a := retryArray(t, raid.RAID5, 4, 1, pol)
+	g := a.Groups()[0]
+
+	// Kill disk 0: auto-rebuild onto the spare starts immediately.
+	if err := a.FailDisk(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Rebuilding() {
+		t.Fatal("auto-rebuild did not start")
+	}
+	// Disk 2 errors on every attempt; row 0 strip 2 lands on it.
+	g.Disks()[2].SetTransientErrorProb(1)
+
+	completions := 0
+	target := int64(2) * (64 << 10)
+	a.Submit(target, 4096, false, func(float64) { completions++ })
+	e.RunAll()
+
+	if completions != 1 {
+		t.Fatalf("completions=%d, want exactly 1", completions)
+	}
+	fs := a.FaultStats()
+	if fs.Retries != uint64(pol.MaxRetries) {
+		t.Fatalf("retries=%d, want the full budget %d", fs.Retries, pol.MaxRetries)
+	}
+	if a.LostIOs() != 1 {
+		t.Fatalf("lost IOs = %d, want exactly 1 (erroring member in a degraded group)", a.LostIOs())
+	}
+	if a.InFlight() != 0 {
+		t.Fatalf("%d ops still in flight after RunAll", a.InFlight())
+	}
+	if !g.Healthy() {
+		t.Fatal("group must finish the rebuild and return to healthy")
+	}
+}
+
+// TestBackoffBeyondRunHorizon: a backoff that schedules the retry past
+// the simulation horizon leaves the op in flight at cutoff. The books
+// must still balance: no double completion, no phantom completion, and
+// the retry fires (once) if the engine later drains fully.
+func TestBackoffBeyondRunHorizon(t *testing.T) {
+	const horizon = 1.0
+	pol := RetryPolicy{MaxRetries: 1, Backoff: 10 * horizon}
+	e, a := retryArray(t, raid.RAID1, 2, 0, pol)
+	a.Groups()[0].Disks()[0].SetTransientErrorProb(1)
+
+	completions := 0
+	a.Submit(0, 4096, false, func(float64) { completions++ })
+	e.Run(horizon)
+
+	if completions != 0 {
+		t.Fatalf("completions=%d at the horizon, want 0 (retry is %gs out)", completions, pol.Backoff)
+	}
+	if a.InFlight() != 1 {
+		t.Fatalf("in-flight=%d at the horizon, want 1", a.InFlight())
+	}
+	if a.LostIOs() != 0 {
+		t.Fatalf("an op parked in backoff is not lost, got %d", a.LostIOs())
+	}
+
+	// Draining the queue past the horizon serves it exactly once (the
+	// mirror picks it up after the retry errors again).
+	e.RunAll()
+	if completions != 1 {
+		t.Fatalf("completions=%d after draining, want 1", completions)
+	}
+	if a.InFlight() != 0 {
+		t.Fatalf("in-flight=%d after draining, want 0", a.InFlight())
+	}
+	fs := a.FaultStats()
+	if fs.Retries != 1 || fs.Fallbacks != 1 {
+		t.Fatalf("retries=%d fallbacks=%d, want 1/1", fs.Retries, fs.Fallbacks)
+	}
+}

@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The generator's contract: every sampled scenario is valid, and sampling
+// is a pure function of (seed, index).
+
+func TestGenerateAlwaysValid(t *testing.T) {
+	for _, seed := range []int64{1, 7, -3, 1 << 40} {
+		for i := 0; i < 300; i++ {
+			s := Generate(seed, i)
+			if err := s.Validate(); err != nil {
+				t.Fatalf("Generate(%d, %d) invalid: %v\n%s", seed, i, err, s.String())
+			}
+			if s.Scheme == "maid" && s.SpareDisks < 1 {
+				t.Fatalf("Generate(%d, %d): maid without spares", seed, i)
+			}
+			for j, ev := range s.Events {
+				if ev.Disk < 0 || ev.Disk >= s.TotalDisks() {
+					t.Fatalf("Generate(%d, %d): event %d targets disk %d of %d", seed, i, j, ev.Disk, s.TotalDisks())
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		a := Generate(42, i)
+		b := Generate(42, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Generate(42, %d) not deterministic:\n%s\n%s", i, a.String(), b.String())
+		}
+	}
+}
+
+func TestGenerateIndicesDiffer(t *testing.T) {
+	// Neighboring indices must not collapse to the same scenario (a seed
+	// derivation bug would make the whole soak re-test one configuration).
+	distinct := map[string]bool{}
+	for i := 0; i < 40; i++ {
+		s := Generate(9, i)
+		distinct[s.String()] = true
+	}
+	if len(distinct) < 35 {
+		t.Fatalf("only %d distinct scenarios in 40 indices", len(distinct))
+	}
+}
+
+func TestSnapQuantizesToMilliseconds(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, 0}, {1.23456, 1.234}, {59.9999, 59.999}, {100, 100},
+	} {
+		if got := snap(tc.in); got != tc.want {
+			t.Errorf("snap(%g) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+}

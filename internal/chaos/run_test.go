@@ -1,0 +1,85 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyScenario is a cheap, known-clean configuration used as the base of
+// the oracle tests.
+func tinyScenario() Scenario {
+	return Scenario{
+		Seed: 99, Duration: 60,
+		Scheme: "base", Family: "enterprise", Levels: 1,
+		Groups: 1, GroupDisks: 2, RAID: "raid0",
+		Workload: "oltp", Rate: 10,
+	}
+}
+
+func TestExecuteCleanScenario(t *testing.T) {
+	s := tinyScenario()
+	if fail := Execute(&s); fail != nil {
+		t.Fatalf("clean scenario failed: %v", fail)
+	}
+}
+
+func TestExecuteRejectsInvalidScenario(t *testing.T) {
+	s := tinyScenario()
+	s.Duration = -1
+	fail := Execute(&s)
+	if fail == nil || fail.Kind != FailError {
+		t.Fatalf("want %s failure, got %v", FailError, fail)
+	}
+}
+
+func TestExecuteCatchesInjectedEnergySkew(t *testing.T) {
+	s := tinyScenario()
+	s.BugEnergySkew, s.BugSkewAt, s.BugSkewDisk = 12345, 30, 0
+	fail := Execute(&s)
+	if fail == nil {
+		t.Fatal("injected energy skew not caught")
+	}
+	if fail.Kind != FailInvariant {
+		t.Fatalf("want %s failure, got %s: %s", FailInvariant, fail.Kind, fail.Detail)
+	}
+	if !strings.Contains(fail.Detail, "disk-energy") {
+		t.Fatalf("detail does not name the disk-energy rule: %s", fail.Detail)
+	}
+	// The verdict itself must be deterministic — the soak report depends
+	// on it.
+	again := Execute(&s)
+	if again == nil || *again != *fail {
+		t.Fatalf("verdict not deterministic:\n%v\nvs\n%v", fail, again)
+	}
+}
+
+func TestExecuteWithFaultsAndRetries(t *testing.T) {
+	// A fail-stop on a RAID5 group with the retry policy armed: must pass
+	// all oracles (this is the PR 2/PR 3 machinery under the PR 4 checker).
+	s := Scenario{
+		Seed: 4, Duration: 90,
+		Scheme: "hibernator", Family: "enterprise", Levels: 3,
+		Groups: 2, GroupDisks: 3, RAID: "raid5",
+		Workload: "oltp", Rate: 20,
+	}
+	s.Retry.MaxRetries = 2
+	s.Retry.Backoff = 0.01
+	s.Retry.BackoffFactor = 2
+	s.Retry.OpDeadline = 0.25
+	s.Retry.AutoRebuild = true
+	s.Events = append(s.Events, mustParseEvent(t, "30,1,failstop"))
+	if fail := Execute(&s); fail != nil {
+		t.Fatalf("fault scenario failed oracles: %v", fail)
+	}
+}
+
+func TestFingerprintDiffNamesFields(t *testing.T) {
+	a := Fingerprint{Requests: 10, Energy: 5}
+	b := Fingerprint{Requests: 11, Energy: 5}
+	if d := a.diff(b); !strings.Contains(d, "requests 10 != 11") {
+		t.Fatalf("diff = %q", d)
+	}
+	if d := a.diff(a); d != "fingerprints agree" {
+		t.Fatalf("self-diff = %q", d)
+	}
+}

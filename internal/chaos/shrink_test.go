@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The acceptance bar from the issue: an injected PR 4-style energy-ledger
+// skew must shrink to at most 2 fault events and at most 4 disks, and the
+// shrunk scenario must still fail deterministically.
+
+func TestShrinkInjectedBugToMinimal(t *testing.T) {
+	for _, idx := range []int{0, 1, 2} {
+		s := Generate(1, idx)
+		armBug(&s)
+		res, ok := Shrink(s, DefaultShrinkBudget)
+		if !ok {
+			t.Fatalf("index %d: scenario with injected bug did not fail", idx)
+		}
+		m := res.Scenario
+		if len(m.Events) > 2 {
+			t.Errorf("index %d: shrunk to %d fault events, want <= 2", idx, len(m.Events))
+		}
+		if m.TotalDisks() > 4 {
+			t.Errorf("index %d: shrunk to %d disks, want <= 4", idx, m.TotalDisks())
+		}
+		if m.BugEnergySkew == 0 {
+			t.Errorf("index %d: shrinking dropped the bug hook but still fails?", idx)
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("index %d: shrunk scenario invalid: %v", idx, err)
+		}
+		if fail := Execute(&m); fail == nil {
+			t.Errorf("index %d: shrunk scenario no longer fails", idx)
+		}
+	}
+}
+
+func TestShrinkDeterministic(t *testing.T) {
+	s := Generate(2, 5)
+	armBug(&s)
+	a, okA := Shrink(s, DefaultShrinkBudget)
+	b, okB := Shrink(s, DefaultShrinkBudget)
+	if okA != okB || !reflect.DeepEqual(a, b) {
+		t.Fatalf("Shrink not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+func TestShrinkPassingScenarioRefuses(t *testing.T) {
+	s := tinyScenario()
+	if _, ok := Shrink(s, 10); ok {
+		t.Fatal("Shrink claimed a passing scenario fails")
+	}
+}
+
+func TestShrinkRespectsBudget(t *testing.T) {
+	s := Generate(1, 0)
+	armBug(&s)
+	res, ok := Shrink(s, 5)
+	if !ok {
+		t.Fatal("scenario did not fail")
+	}
+	if res.Runs > 5 {
+		t.Fatalf("budget 5 exceeded: %d runs", res.Runs)
+	}
+}
+
+func TestDropOutOfRangeEvents(t *testing.T) {
+	s := tinyScenario()
+	s.Events = append(s.Events,
+		mustParseEvent(t, "1,0,failstop"),
+		mustParseEvent(t, "2,7,failstop"),
+	)
+	dropOutOfRangeEvents(&s) // 2 disks: event on disk 7 must go
+	if len(s.Events) != 1 || s.Events[0].Disk != 0 {
+		t.Fatalf("kept %+v", s.Events)
+	}
+}

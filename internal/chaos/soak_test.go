@@ -1,0 +1,114 @@
+package chaos
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hibernator/internal/fault"
+)
+
+// mustParseEvent parses a fault-CSV line or fails the test.
+func mustParseEvent(t *testing.T, line string) fault.Event {
+	t.Helper()
+	ev, err := fault.ParseEvent(line)
+	if err != nil {
+		t.Fatalf("ParseEvent(%q): %v", line, err)
+	}
+	return ev
+}
+
+func soakReportString(t *testing.T, opts SoakOptions) string {
+	t.Helper()
+	rep, err := Soak(opts)
+	if err != nil {
+		t.Fatalf("Soak: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.String()
+}
+
+// The issue's acceptance criterion: for a fixed seed and n, the soak
+// report is byte-identical across -par widths (and across repeat runs).
+func TestSoakReportIndependentOfParallelism(t *testing.T) {
+	base := SoakOptions{Seed: 11, N: 10}
+	seq := base
+	seq.Workers = 1
+	wide := base
+	wide.Workers = 8
+	a := soakReportString(t, seq)
+	b := soakReportString(t, wide)
+	if a != b {
+		t.Fatalf("report differs between -par 1 and -par 8:\n%s\nvs\n%s", a, b)
+	}
+	if c := soakReportString(t, wide); b != c {
+		t.Fatalf("report differs across repeat runs:\n%s\nvs\n%s", b, c)
+	}
+}
+
+// The injected-bug self test, end to end: the soak must catch the skew in
+// every scenario, shrink each to the acceptance bounds, and write repro
+// files that still fail when replayed from disk (the hibsim -repro path).
+func TestSoakFindsAndShrinksInjectedBug(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Soak(SoakOptions{Seed: 1, N: 3, Workers: 4, InjectBug: true, OutDir: dir})
+	if err != nil {
+		t.Fatalf("Soak: %v", err)
+	}
+	if len(rep.Failures) != 3 {
+		t.Fatalf("injected bug caught in %d/3 scenarios", len(rep.Failures))
+	}
+	for _, f := range rep.Failures {
+		if f.Failure.Kind != FailInvariant || !strings.Contains(f.Failure.Detail, "disk-energy") {
+			t.Errorf("scenario %d: want disk-energy invariant failure, got %s: %s",
+				f.Index, f.Failure.Kind, f.Failure.Detail)
+		}
+		m := f.Shrunk.Scenario
+		if len(m.Events) > 2 || m.TotalDisks() > 4 {
+			t.Errorf("scenario %d: shrunk to %d events / %d disks, want <= 2 / <= 4",
+				f.Index, len(m.Events), m.TotalDisks())
+		}
+		// Replay from the file, exactly as `hibsim -repro` does.
+		got, err := LoadRepro(f.ReproPath)
+		if err != nil {
+			t.Fatalf("scenario %d: %v", f.Index, err)
+		}
+		fail := Execute(got)
+		if fail == nil {
+			t.Errorf("scenario %d: repro file no longer fails", f.Index)
+		} else if *fail != f.Shrunk.Failure {
+			t.Errorf("scenario %d: replay verdict %v, soak saw %v", f.Index, fail, f.Shrunk.Failure)
+		}
+	}
+}
+
+func TestSoakRejectsNegativeN(t *testing.T) {
+	if _, err := Soak(SoakOptions{N: -1}); err == nil {
+		t.Fatal("negative N accepted")
+	}
+}
+
+func TestSoakWritesOneReproPerFailure(t *testing.T) {
+	dir := t.TempDir()
+	rep, err := Soak(SoakOptions{Seed: 2, N: 2, InjectBug: true, OutDir: dir})
+	if err != nil {
+		t.Fatalf("Soak: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != len(rep.Failures) {
+		t.Fatalf("%d repro files for %d failures", len(ents), len(rep.Failures))
+	}
+	for _, f := range rep.Failures {
+		if filepath.Dir(f.ReproPath) != dir {
+			t.Errorf("repro path %s outside %s", f.ReproPath, dir)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -23,6 +24,15 @@ import (
 //	t,d,spinfail,prob[,retries]     spin-up failures with bounded retries
 //
 // Times are simulated seconds; disks are global disk IDs.
+//
+// Parsing is strict: times must be finite and non-negative, disk IDs
+// non-negative, every present argument must parse, and trailing extra
+// arguments are rejected. Malformed input is a structured error carrying
+// the line number — never a panic and never a silently-absurd schedule.
+
+// maxLineBytes bounds one schedule line; anything longer is malformed
+// input, reported as an error instead of a scanner blow-up.
+const maxLineBytes = 64 << 10
 
 // Load reads a schedule file (see the package file-format comment).
 func Load(path string) (*Schedule, error) {
@@ -42,6 +52,7 @@ func Load(path string) (*Schedule, error) {
 func Parse(r io.Reader) (*Schedule, error) {
 	s := &Schedule{}
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), maxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -49,19 +60,33 @@ func Parse(r io.Reader) (*Schedule, error) {
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		ev, err := parseLine(line)
+		ev, err := ParseEvent(line)
 		if err != nil {
 			return nil, fmt.Errorf("line %d: %w", lineNo, err)
 		}
 		s.Events = append(s.Events, ev)
 	}
 	if err := sc.Err(); err != nil {
+		if err == bufio.ErrTooLong {
+			return nil, fmt.Errorf("line %d: line exceeds %d bytes", lineNo+1, maxLineBytes)
+		}
 		return nil, err
 	}
 	return s, nil
 }
 
-func parseLine(line string) (Event, error) {
+// finite parses a float and rejects NaN and infinities.
+func finite(s, what string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("bad %s %q", what, s)
+	}
+	return v, nil
+}
+
+// ParseEvent parses one schedule record ("time,disk,kind[,args...]", see
+// the package file-format comment). It is the inverse of Event.Format.
+func ParseEvent(line string) (Event, error) {
 	var ev Event
 	fields := strings.Split(line, ",")
 	for i := range fields {
@@ -70,52 +95,80 @@ func parseLine(line string) (Event, error) {
 	if len(fields) < 3 {
 		return ev, fmt.Errorf("want time,disk,kind[,args], got %q", line)
 	}
-	t, err := strconv.ParseFloat(fields[0], 64)
+	t, err := finite(fields[0], "time")
 	if err != nil {
-		return ev, fmt.Errorf("bad time %q", fields[0])
+		return ev, err
+	}
+	if t < 0 {
+		return ev, fmt.Errorf("negative time %q", fields[0])
 	}
 	disk, err := strconv.Atoi(fields[1])
-	if err != nil {
+	if err != nil || disk < 0 {
 		return ev, fmt.Errorf("bad disk %q", fields[1])
 	}
 	ev.Time, ev.Disk = t, disk
 
 	args := fields[3:]
-	num := func(i int, name string) (float64, error) {
-		if i >= len(args) {
-			return 0, fmt.Errorf("%s: missing %s", fields[2], name)
+	// argRange enforces the kind's argument count before parsing: missing
+	// required arguments and unexpected trailing ones are both errors.
+	argRange := func(min, max int) error {
+		if len(args) < min {
+			return fmt.Errorf("%s: want at least %d argument(s), got %d", fields[2], min, len(args))
 		}
-		v, err := strconv.ParseFloat(args[i], 64)
+		if len(args) > max {
+			return fmt.Errorf("%s: want at most %d argument(s), got %d", fields[2], max, len(args))
+		}
+		return nil
+	}
+	num := func(i int, name string) (float64, error) {
+		v, err := finite(args[i], name)
 		if err != nil {
-			return 0, fmt.Errorf("%s: bad %s %q", fields[2], name, args[i])
+			return 0, fmt.Errorf("%s: %w", fields[2], err)
 		}
 		return v, nil
 	}
-	optional := func(i int) float64 {
+	// optional parses argument i when present; absent arguments default to
+	// zero, but a present-and-malformed one is an error, not a silent zero.
+	optional := func(i int, name string) (float64, error) {
 		if i >= len(args) {
-			return 0
+			return 0, nil
 		}
-		v, _ := strconv.ParseFloat(args[i], 64)
-		return v
+		return num(i, name)
 	}
 
 	switch fields[2] {
 	case "failstop":
 		ev.Kind = FailStop
+		if err := argRange(0, 0); err != nil {
+			return ev, err
+		}
 	case "failslow":
 		ev.Kind = FailSlow
+		if err := argRange(1, 2); err != nil {
+			return ev, err
+		}
 		if ev.Factor, err = num(0, "factor"); err != nil {
 			return ev, err
 		}
-		ev.Ramp = optional(1)
+		if ev.Ramp, err = optional(1, "ramp"); err != nil {
+			return ev, err
+		}
 	case "transient":
 		ev.Kind = TransientBurst
+		if err := argRange(1, 2); err != nil {
+			return ev, err
+		}
 		if ev.Prob, err = num(0, "prob"); err != nil {
 			return ev, err
 		}
-		ev.Duration = optional(1)
+		if ev.Duration, err = optional(1, "duration"); err != nil {
+			return ev, err
+		}
 	case "latent":
 		ev.Kind = Latent
+		if err := argRange(2, 2); err != nil {
+			return ev, err
+		}
 		lo, err := num(0, "lo")
 		if err != nil {
 			return ev, err
@@ -127,12 +180,39 @@ func parseLine(line string) (Event, error) {
 		ev.Lo, ev.Hi = int64(lo), int64(hi)
 	case "spinfail":
 		ev.Kind = SpinUpFail
+		if err := argRange(1, 2); err != nil {
+			return ev, err
+		}
 		if ev.Prob, err = num(0, "prob"); err != nil {
 			return ev, err
 		}
-		ev.Retries = int(optional(1))
+		r, err := optional(1, "retries")
+		if err != nil {
+			return ev, err
+		}
+		ev.Retries = int(r)
 	default:
 		return ev, fmt.Errorf("unknown fault kind %q", fields[2])
 	}
 	return ev, nil
+}
+
+// Format renders the event as one schedule line, the inverse of
+// ParseEvent: Format then ParseEvent round-trips exactly.
+func (ev Event) Format() string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	head := fmt.Sprintf("%s,%d,%s", g(ev.Time), ev.Disk, ev.Kind)
+	switch ev.Kind {
+	case FailStop:
+		return head
+	case FailSlow:
+		return fmt.Sprintf("%s,%s,%s", head, g(ev.Factor), g(ev.Ramp))
+	case TransientBurst:
+		return fmt.Sprintf("%s,%s,%s", head, g(ev.Prob), g(ev.Duration))
+	case Latent:
+		return fmt.Sprintf("%s,%d,%d", head, ev.Lo, ev.Hi)
+	case SpinUpFail:
+		return fmt.Sprintf("%s,%s,%d", head, g(ev.Prob), ev.Retries)
+	}
+	return head
 }

@@ -13,10 +13,14 @@ package fault
 
 import (
 	"fmt"
+	"math"
 
 	"hibernator/internal/array"
 	"hibernator/internal/simevent"
 )
+
+// inUnit reports whether p is a probability: in [0,1] and not NaN.
+func inUnit(p float64) bool { return p >= 0 && p <= 1 }
 
 // Kind enumerates the scripted fault types.
 type Kind int
@@ -118,15 +122,15 @@ func (s *Schedule) Validate(arr *array.Array) error {
 	if s == nil {
 		return nil
 	}
-	if s.Rates.TransientProb < 0 || s.Rates.TransientProb > 1 {
+	if !inUnit(s.Rates.TransientProb) {
 		return fmt.Errorf("fault: ambient transient probability %v outside [0,1]", s.Rates.TransientProb)
 	}
-	if s.Rates.SpinUpFailProb < 0 || s.Rates.SpinUpFailProb > 1 {
+	if !inUnit(s.Rates.SpinUpFailProb) {
 		return fmt.Errorf("fault: ambient spin-up failure probability %v outside [0,1]", s.Rates.SpinUpFailProb)
 	}
 	for i, ev := range s.Events {
-		if ev.Time < 0 {
-			return fmt.Errorf("fault: event %d at negative time %v", i, ev.Time)
+		if ev.Time < 0 || math.IsNaN(ev.Time) || math.IsInf(ev.Time, 0) {
+			return fmt.Errorf("fault: event %d at invalid time %v", i, ev.Time)
 		}
 		if arr.DiskByID(ev.Disk) == nil {
 			return fmt.Errorf("fault: event %d targets unknown disk %d", i, ev.Disk)
@@ -135,25 +139,25 @@ func (s *Schedule) Validate(arr *array.Array) error {
 		case FailStop:
 			// no parameters
 		case FailSlow:
-			if ev.Factor <= 1 {
-				return fmt.Errorf("fault: event %d fail-slow factor %v must exceed 1", i, ev.Factor)
+			if !(ev.Factor > 1) || math.IsInf(ev.Factor, 0) {
+				return fmt.Errorf("fault: event %d fail-slow factor %v must exceed 1 and be finite", i, ev.Factor)
 			}
-			if ev.Ramp < 0 {
-				return fmt.Errorf("fault: event %d negative ramp %v", i, ev.Ramp)
+			if ev.Ramp < 0 || math.IsNaN(ev.Ramp) || math.IsInf(ev.Ramp, 0) {
+				return fmt.Errorf("fault: event %d invalid ramp %v", i, ev.Ramp)
 			}
 		case TransientBurst:
-			if ev.Prob < 0 || ev.Prob > 1 {
+			if !inUnit(ev.Prob) {
 				return fmt.Errorf("fault: event %d probability %v outside [0,1]", i, ev.Prob)
 			}
-			if ev.Duration < 0 {
-				return fmt.Errorf("fault: event %d negative duration %v", i, ev.Duration)
+			if ev.Duration < 0 || math.IsNaN(ev.Duration) || math.IsInf(ev.Duration, 0) {
+				return fmt.Errorf("fault: event %d invalid duration %v", i, ev.Duration)
 			}
 		case Latent:
 			if ev.Lo < 0 || ev.Hi <= ev.Lo {
 				return fmt.Errorf("fault: event %d invalid latent range [%d,%d)", i, ev.Lo, ev.Hi)
 			}
 		case SpinUpFail:
-			if ev.Prob < 0 || ev.Prob > 1 {
+			if !inUnit(ev.Prob) {
 				return fmt.Errorf("fault: event %d probability %v outside [0,1]", i, ev.Prob)
 			}
 			if ev.Retries < 0 {

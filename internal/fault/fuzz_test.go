@@ -1,0 +1,82 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseEvent holds the fault-CSV line parser to two properties: no
+// panic on any input, and anything it accepts round-trips exactly through
+// Event.Format (the repro-file writer depends on that inverse).
+func FuzzParseEvent(f *testing.F) {
+	// Valid anchors, one per kind and optional-argument arity.
+	f.Add("10,0,failstop")
+	f.Add("10,1,failslow,4")
+	f.Add("10,1,failslow,4,30")
+	f.Add("5.5,2,transient,0.2")
+	f.Add("5.5,2,transient,0.2,60")
+	f.Add("1,3,latent,1000,2000")
+	f.Add("7,0,spinfail,0.5")
+	f.Add("7,0,spinfail,0.5,2")
+	// Nasty corpus: NaN/Inf fields, negatives, overflow, missing and
+	// extra arguments, whitespace, empty fields, huge numbers.
+	f.Add("NaN,0,failstop")
+	f.Add("+Inf,0,failstop")
+	f.Add("-1,0,failstop")
+	f.Add("10,-1,failstop")
+	f.Add("10,0,failslow,NaN")
+	f.Add("10,0,failslow,0.5")
+	f.Add("10,0,transient,1.5")
+	f.Add("10,0,latent,5,-5")
+	f.Add("10,0,latent,9223372036854775808,1")
+	f.Add("10,0,failstop,extra")
+	f.Add("10,0,spinfail,0.5,2,9")
+	f.Add("10,0,")
+	f.Add(",,,")
+	f.Add("10, 0 , failstop ")
+	f.Add("1e309,0,failstop")
+
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, err := ParseEvent(line)
+		if err != nil {
+			return
+		}
+		out := ev.Format()
+		ev2, err := ParseEvent(out)
+		if err != nil {
+			t.Fatalf("Format output %q does not re-parse: %v (from %q)", out, err, line)
+		}
+		if ev2 != ev {
+			t.Fatalf("round trip changed the event:\n%+v\nvs\n%+v (line %q)", ev, ev2, line)
+		}
+	})
+}
+
+// FuzzParse feeds whole CSV schedules: never panic, and errors must carry
+// a line number so hand-written schedules are debuggable.
+func FuzzParse(f *testing.F) {
+	f.Add("# schedule\n10,0,failstop\n20,1,failslow,4,30\n")
+	f.Add("10,0,failstop\r\n")
+	f.Add("\n\n\n")
+	f.Add("10,0,failstop\nNaN,1,failstop\n")
+	f.Add("10,0,latent,1,2\n10,0,spinfail,2\n")
+	f.Add(strings.Repeat("1,0,failstop\n", 100))
+
+	f.Fuzz(func(t *testing.T, in string) {
+		sched, err := Parse(strings.NewReader(in))
+		if err != nil {
+			if !strings.Contains(err.Error(), "line") {
+				t.Fatalf("error without a line number: %v", err)
+			}
+			return
+		}
+		// Parse is the syntax layer; each accepted event must still
+		// round-trip through its canonical rendering.
+		for _, ev := range sched.Events {
+			ev2, err := ParseEvent(ev.Format())
+			if err != nil || ev2 != ev {
+				t.Fatalf("event %+v does not round-trip: %+v, %v", ev, ev2, err)
+			}
+		}
+	})
+}

@@ -119,6 +119,7 @@ func (p *PDC) reconcentrate() {
 	if len(ranked) < capacity {
 		capacity = len(ranked)
 	}
+	faultAware := env.Array.FaultAware()
 	// Only data carrying real load is worth a 2x-extent-size transfer.
 	// Demand a sustained access rate (>= ~2 accesses/epoch) so the Zipf
 	// tail's one-hit wonders don't churn the full budget forever — the
@@ -135,12 +136,16 @@ func (p *PDC) reconcentrate() {
 		if loc.Group < k || env.Array.Migrating(e) {
 			continue
 		}
-		target := p.pickHotGroup(k)
+		target := p.pickHotGroup(k, faultAware)
 		if target < 0 {
-			// Hot groups full: swap with their coldest extent.
+			// Hot groups full: swap with their coldest extent. Both swap
+			// endpoints receive data, so both must be legal targets.
 			victim := p.coldestIn(k)
 			if victim < 0 || env.Array.Migrating(victim) {
 				break
+			}
+			if faultAware && (!p.legalTarget(env.Array.ExtentLocation(victim).Group) || !p.legalTarget(loc.Group)) {
+				continue
 			}
 			if err := env.Array.SwapExtents(e, victim, true, nil); err != nil {
 				break
@@ -155,10 +160,24 @@ func (p *PDC) reconcentrate() {
 	}
 }
 
+// legalTarget reports whether group gi may receive migrated data. In a
+// fault-aware run a degraded or rebuilding group must not take on new
+// extents: every write there pays reconstruction amplification, and once
+// the group loses another member the freshly-moved data goes with it.
+// (The invariant checker's migrate-legality rule enforces exactly this.)
+func (p *PDC) legalTarget(gi int) bool {
+	g := p.env.Array.Groups()[gi]
+	return !g.Degraded() && !g.Rebuilding()
+}
+
 // pickHotGroup returns the hot group with the most free slots, or -1.
-func (p *PDC) pickHotGroup(k int) int {
+// Fault-aware runs skip degraded and rebuilding groups.
+func (p *PDC) pickHotGroup(k int, faultAware bool) int {
 	best, bestFree := -1, 0
 	for gi := 0; gi < k; gi++ {
+		if faultAware && !p.legalTarget(gi) {
+			continue
+		}
 		if free := p.env.Array.Groups()[gi].FreeSlots(); free > bestFree {
 			best, bestFree = gi, free
 		}

@@ -1,0 +1,60 @@
+package policy
+
+import (
+	"testing"
+
+	"hibernator/internal/array"
+	"hibernator/internal/fault"
+	"hibernator/internal/invariant"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+// TestPDCDoesNotMigrateOntoDegradedGroup pins the chaos-soak finding from
+// this PR (hibchaos seed=1 n=5000: 106 failing scenarios, all PDC): after a member of a
+// hot group fail-stops, PDC's reconcentration kept migrating extents INTO
+// the degraded group. Every write there pays reconstruction amplification
+// and one more failure loses the freshly-moved data, so the invariant
+// checker's migrate-legality rule forbids it — this run must stay clean.
+func TestPDCDoesNotMigrateOntoDegradedGroup(t *testing.T) {
+	const dur = 600.0
+	cfg := sim.Config{
+		Spec:               singleSpeedConfig(11).Spec,
+		Groups:             3,
+		GroupDisks:         3,
+		Level:              raid.RAID5,
+		ExtentBytes:        64 << 20,
+		Seed:               11,
+		ExpectedRotLatency: true,
+		// Arm the fault machinery (FaultAware) without auto-rebuild, so
+		// group 0 stays degraded for the rest of the run.
+		Retry:  array.RetryPolicy{MaxRetries: 1, Backoff: 0.01, OpDeadline: 0.25},
+		Faults: &fault.Schedule{Events: []fault.Event{{Time: 10, Disk: 0, Kind: fault.FailStop}}},
+	}
+	chk := invariant.New()
+	cfg.Invariants = chk
+
+	pdc := NewPDC()
+	pdc.Epoch = 60 // several reconcentrations after the failure
+	g, err := trace.NewOLTP(trace.OLTPConfig{
+		Seed: 12, VolumeBytes: 10 << 30, Duration: dur, MaxRate: 25,
+		Regions: 16, ZipfS: 2.0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(cfg, g, pdc, dur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faults.DiskFailures != 1 {
+		t.Fatalf("disk failures = %d, want 1", res.Faults.DiskFailures)
+	}
+	if !chk.Ok() {
+		for _, v := range chk.Violations()[:min(3, chk.Count())] {
+			t.Errorf("invariant: %s", v.String())
+		}
+		t.Fatalf("PDC migrated onto the degraded group: %d violation(s)", chk.Count())
+	}
+}

@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -32,6 +34,10 @@ func WriteCSV(w io.Writer, src Source) (int, error) {
 	return n, bw.Flush()
 }
 
+// maxCSVLine bounds one trace line; a longer line is a structured error,
+// not a bufio.ErrTooLong panic-by-proxy somewhere downstream.
+const maxCSVLine = 1 << 20
+
 // CSVSource parses the WriteCSV format lazily.
 type CSVSource struct {
 	sc       *bufio.Scanner
@@ -43,10 +49,10 @@ type CSVSource struct {
 // NewCSVSource wraps a reader; the header line is required.
 func NewCSVSource(r io.Reader) (*CSVSource, error) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	sc.Buffer(make([]byte, 0, 64*1024), maxCSVLine)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
-			return nil, err
+			return nil, scanErr(1, err)
 		}
 		return nil, fmt.Errorf("trace: empty CSV")
 	}
@@ -56,12 +62,27 @@ func NewCSVSource(r io.Reader) (*CSVSource, error) {
 	return &CSVSource{sc: sc, line: 1}, nil
 }
 
+// scanErr wraps a bufio.Scanner error with the line it happened on,
+// translating ErrTooLong into something actionable.
+func scanErr(line int, err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("trace: line %d: line exceeds %d bytes", line, maxCSVLine)
+	}
+	return fmt.Errorf("trace: line %d: %w", line, err)
+}
+
 // Next implements Source. Malformed lines terminate the stream; Err
-// reports the cause.
+// reports the cause. Every rejection carries the line number: NaN or
+// infinite times (which would sail through plain range comparisons),
+// negative times and offsets, non-positive sizes, and over-long lines
+// are all structured errors, never panics downstream.
 func (c *CSVSource) Next() (Request, bool) {
-	if c.err != nil || !c.sc.Scan() {
-		if c.err == nil {
-			c.err = c.sc.Err()
+	if c.err != nil {
+		return Request{}, false
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			c.err = scanErr(c.line+1, err)
 		}
 		return Request{}, false
 	}
@@ -71,11 +92,31 @@ func (c *CSVSource) Next() (Request, bool) {
 		c.err = fmt.Errorf("trace: line %d: want 4 fields, got %d", c.line, len(fields))
 		return Request{}, false
 	}
-	t, err1 := strconv.ParseFloat(fields[0], 64)
-	off, err2 := strconv.ParseInt(fields[1], 10, 64)
-	size, err3 := strconv.ParseInt(fields[2], 10, 64)
-	if err1 != nil || err2 != nil || err3 != nil {
-		c.err = fmt.Errorf("trace: line %d: bad numeric field", c.line)
+	t, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		c.err = fmt.Errorf("trace: line %d: bad time %q", c.line, fields[0])
+		return Request{}, false
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) || t < 0 {
+		c.err = fmt.Errorf("trace: line %d: time must be finite and >= 0, got %q", c.line, fields[0])
+		return Request{}, false
+	}
+	off, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		c.err = fmt.Errorf("trace: line %d: bad offset %q", c.line, fields[1])
+		return Request{}, false
+	}
+	if off < 0 {
+		c.err = fmt.Errorf("trace: line %d: offset must be >= 0, got %d", c.line, off)
+		return Request{}, false
+	}
+	size, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		c.err = fmt.Errorf("trace: line %d: bad size %q", c.line, fields[2])
+		return Request{}, false
+	}
+	if size <= 0 {
+		c.err = fmt.Errorf("trace: line %d: size must be positive, got %d", c.line, size)
 		return Request{}, false
 	}
 	var write bool

@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzCSVSource drains arbitrary CSV input through the trace parser: it
+// must never panic, and every request it does emit must satisfy the
+// stream invariants the simulator relies on (finite non-negative and
+// non-decreasing times, non-negative offsets, positive sizes).
+func FuzzCSVSource(f *testing.F) {
+	f.Add("time,offset,size,rw\n0.5,0,4096,R\n1.0,8192,512,W\n")
+	// Nasty corpus: NaN/Inf/negative times, backwards time, negative
+	// offsets, zero and negative sizes, wrong field counts, junk rw
+	// flags, missing header, empty input.
+	f.Add("")
+	f.Add("time,offset,size,rw\n")
+	f.Add("time,offset,size,rw\nNaN,0,1,R\n")
+	f.Add("time,offset,size,rw\n+Inf,0,1,R\n")
+	f.Add("time,offset,size,rw\n-1,0,1,R\n")
+	f.Add("time,offset,size,rw\n2,0,1,R\n1,0,1,R\n")
+	f.Add("time,offset,size,rw\n1,-5,1,R\n")
+	f.Add("time,offset,size,rw\n1,0,0,R\n")
+	f.Add("time,offset,size,rw\n1,0,-1,W\n")
+	f.Add("time,offset,size,rw\n1,0,1\n")
+	f.Add("time,offset,size,rw\n1,0,1,X\n")
+	f.Add("time,offset,size,rw\n1,0,1,R,extra\n")
+	f.Add("wrong,header\n1,0,1,R\n")
+	f.Add("time,offset,size,rw\n1e309,0,1,R\n")
+
+	f.Fuzz(func(t *testing.T, in string) {
+		src, err := NewCSVSource(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		last := 0.0
+		for i := 0; i < 1<<16; i++ {
+			r, ok := src.Next()
+			if !ok {
+				break
+			}
+			if math.IsNaN(r.Time) || math.IsInf(r.Time, 0) || r.Time < 0 {
+				t.Fatalf("emitted bad time %v", r.Time)
+			}
+			if r.Time < last {
+				t.Fatalf("emitted backwards time %v after %v", r.Time, last)
+			}
+			last = r.Time
+			if r.Off < 0 {
+				t.Fatalf("emitted negative offset %d", r.Off)
+			}
+			if r.Size <= 0 {
+				t.Fatalf("emitted non-positive size %d", r.Size)
+			}
+		}
+	})
+}
+
+// TestCSVSourceStructuredErrors pins the hardened rejections satellite 1
+// asks for: each bad line is a line-numbered error, never a panic and
+// never a silently-accepted request.
+func TestCSVSourceStructuredErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"nan time", "1,0,4096,R\nNaN,0,4096,R\n", "line 3: time must be finite"},
+		{"inf time", "Inf,0,4096,R\n", "line 2: time must be finite"},
+		{"negative time", "-0.5,0,4096,R\n", "line 2: time must be finite and >= 0"},
+		{"negative offset", "1,-4096,512,R\n", "line 2: offset must be >= 0"},
+		{"zero size", "1,0,0,R\n", "line 2: size must be positive"},
+		{"negative size", "1,0,-512,W\n", "line 2: size must be positive"},
+		{"bad time text", "soon,0,512,R\n", `line 2: bad time "soon"`},
+		{"bad offset text", "1,here,512,R\n", `line 2: bad offset "here"`},
+		{"bad size text", "1,0,big,R\n", `line 2: bad size "big"`},
+		{"bad rw", "1,0,512,Z\n", `line 2: rw field "Z"`},
+		{"field count", "1,0,512\n", "line 2: want 4 fields, got 3"},
+		{"backwards", "2,0,512,R\n1,0,512,R\n", "line 3: time went backwards"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := NewCSVSource(strings.NewReader("time,offset,size,rw\n" + tc.in))
+			if err != nil {
+				t.Fatalf("header rejected: %v", err)
+			}
+			for {
+				if _, ok := src.Next(); !ok {
+					break
+				}
+			}
+			if src.Err() == nil {
+				t.Fatal("bad input fully accepted")
+			}
+			if !strings.Contains(src.Err().Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", src.Err(), tc.want)
+			}
+		})
+	}
+}
+
+func TestCSVSourceRejectsOverlongLine(t *testing.T) {
+	in := "time,offset,size,rw\n1,0," + strings.Repeat("9", maxCSVLine+10) + ",R\n"
+	src, err := NewCSVSource(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("header rejected: %v", err)
+	}
+	for {
+		if _, ok := src.Next(); !ok {
+			break
+		}
+	}
+	if err := src.Err(); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want over-long line error, got %v", err)
+	}
+}
