@@ -32,6 +32,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "master seed; scenario i derives from (seed, i)")
 		n         = flag.Int("n", 200, "number of scenarios to generate and judge")
 		par       = flag.Int("par", 0, "worker pool width (0 = GOMAXPROCS, 1 = sequential)")
+		workers   = flag.Int("workers", 0, "force every scenario's intra-run engine width (0 = keep the per-scenario sampled value)")
 		budget    = flag.Int("budget", chaos.DefaultShrinkBudget, "max oracle executions spent shrinking each failure (1 execution = 3 simulation runs)")
 		out       = flag.String("out", "", "directory for repro files (one per failure)")
 		injectBug = flag.Bool("inject-bug", false, "deliberately skew one disk's energy ledger in every scenario (self-test: the soak must catch and shrink it)")
@@ -39,13 +40,13 @@ func main() {
 	)
 	flag.Parse()
 
-	if err := validateFlags(*n, *par, *budget); err != nil {
+	if err := validateFlags(*n, *par, *budget, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "hibchaos: %v\n", err)
 		os.Exit(2)
 	}
 
 	opts := chaos.SoakOptions{
-		Seed: *seed, N: *n, Workers: *par,
+		Seed: *seed, N: *n, Workers: *par, SimWorkers: *workers,
 		ShrinkBudget: *budget, OutDir: *out, InjectBug: *injectBug,
 	}
 	if *verbose {
@@ -71,10 +72,11 @@ func main() {
 
 // validateFlags applies the numeric-flag rules; one line, exit 2, never a
 // silently absurd soak. Table-tested in main_test.go.
-func validateFlags(n, par, budget int) error {
+func validateFlags(n, par, budget, workers int) error {
 	return cliutil.FirstError(
 		cliutil.NonNegativeInt("-n", n),
 		cliutil.NonNegativeInt("-par", par),
 		cliutil.PositiveInt("-budget", budget),
+		cliutil.NonNegativeInt("-workers", workers),
 	)
 }

@@ -6,6 +6,7 @@
 //	hibexp                      # run everything at default scale
 //	hibexp -run F1,F2 -scale 0.2
 //	hibexp -par 8               # fan out across 8 workers
+//	hibexp -workers 4           # partitioned engine inside each run
 //	hibexp -list
 //	hibexp -csv out/            # also write one CSV per table
 //	hibexp -metrics-dir obs/    # dump per-run metrics + trace streams
@@ -39,6 +40,7 @@ func main() {
 		scale       = flag.Float64("scale", 1.0, "duration scale factor (1.0 = full multi-hour runs)")
 		seed        = flag.Int64("seed", 1, "master random seed")
 		par         = flag.Int("par", 0, "worker pool width for experiments and their inner fan-outs (0 = GOMAXPROCS, 1 = sequential)")
+		workers     = flag.Int("workers", 1, "intra-run parallelism: worker goroutines per simulation for the group-partitioned engine (1 = sequential; output is identical for any value)")
 		csvDir      = flag.String("csv", "", "directory to also write per-table CSV files into")
 		list        = flag.Bool("list", false, "list experiments and exit")
 		verbose     = flag.Bool("v", false, "print progress while running")
@@ -52,7 +54,7 @@ func main() {
 	// Validate up front: a bad flag should be one clear line and a
 	// non-zero exit, not a silent clamp deep inside an experiment. The
 	// cliutil helpers also reject NaN, which `*scale <= 0` alone passes.
-	if err := validateFlags(*scale, *sampleEvery, *par); err != nil {
+	if err := validateFlags(*scale, *sampleEvery, *par, *workers); err != nil {
 		fmt.Fprintf(os.Stderr, "hibexp: %v\n", err)
 		os.Exit(2)
 	}
@@ -81,7 +83,7 @@ func main() {
 	}
 
 	opts := experiments.Opts{
-		Scale: *scale, Seed: *seed, Workers: *par,
+		Scale: *scale, Seed: *seed, Workers: *par, SimWorkers: *workers,
 		MetricsDir: *metricsDir, SampleEvery: *sampleEvery,
 		Check: *check,
 	}
@@ -158,10 +160,11 @@ func main() {
 
 // validateFlags applies the numeric-flag rules. Table-tested in
 // main_test.go.
-func validateFlags(scale, sampleEvery float64, par int) error {
+func validateFlags(scale, sampleEvery float64, par, workers int) error {
 	return cliutil.FirstError(
 		cliutil.Positive("-scale", scale),
 		cliutil.NonNegativeInt("-par", par),
+		cliutil.PositiveInt("-workers", workers),
 		cliutil.NonNegative("-sample-every", sampleEvery),
 	)
 }

@@ -9,24 +9,27 @@ func TestValidateFlags(t *testing.T) {
 	cases := []struct {
 		name               string
 		scale, sampleEvery float64
-		par                int
+		par, workers       int
 		ok                 bool
 	}{
-		{"defaults", 1, 0, 0, true},
-		{"small scale", 0.05, 0.5, 8, true},
-		{"zero scale", 0, 0, 0, false},
-		{"negative scale", -1, 0, 0, false},
-		{"nan scale", math.NaN(), 0, 0, false},
-		{"inf scale", math.Inf(1), 0, 0, false},
-		{"negative par", 1, 0, -1, false},
-		{"negative sample-every", 1, -0.5, 0, false},
-		{"nan sample-every", 1, math.NaN(), 0, false},
+		{"defaults", 1, 0, 0, 1, true},
+		{"small scale", 0.05, 0.5, 8, 1, true},
+		{"zero scale", 0, 0, 0, 1, false},
+		{"negative scale", -1, 0, 0, 1, false},
+		{"nan scale", math.NaN(), 0, 0, 1, false},
+		{"inf scale", math.Inf(1), 0, 0, 1, false},
+		{"negative par", 1, 0, -1, 1, false},
+		{"negative sample-every", 1, -0.5, 0, 1, false},
+		{"nan sample-every", 1, math.NaN(), 0, 1, false},
+		{"parallel workers", 1, 0, 0, 8, true},
+		{"zero workers", 1, 0, 0, 0, false},
+		{"negative workers", 1, 0, 0, -4, false},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			err := validateFlags(tc.scale, tc.sampleEvery, tc.par)
+			err := validateFlags(tc.scale, tc.sampleEvery, tc.par, tc.workers)
 			if (err == nil) != tc.ok {
-				t.Fatalf("validateFlags(%g, %g, %d) = %v, want ok=%t", tc.scale, tc.sampleEvery, tc.par, err, tc.ok)
+				t.Fatalf("validateFlags(%g, %g, %d, %d) = %v, want ok=%t", tc.scale, tc.sampleEvery, tc.par, tc.workers, err, tc.ok)
 			}
 		})
 	}

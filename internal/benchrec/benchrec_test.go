@@ -1,0 +1,85 @@
+package benchrec
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleEngine() EngineBench {
+	return EngineBench{
+		ScheduleFireNs:   33.4,
+		ScheduleCancelNs: 25.4,
+		ChurnNs:          30.0,
+		Depth10kNs:       45.2,
+		AllocsPerEvent:   0,
+		EventsPerSec:     1e9 / 33.4,
+	}
+}
+
+// TestRecordRoundTrip writes a record and loads it back unchanged.
+func TestRecordRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_9999.json")
+	rec := NewRecord(9999, sampleEngine(), CollectE2E(0.05, 12.5))
+	if err := rec.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *rec {
+		t.Fatalf("round trip changed the record:\n  wrote %+v\n  read  %+v", rec, got)
+	}
+	if got.E2E.Command != "hibexp -run all -scale 0.05" {
+		t.Fatalf("e2e command = %q", got.E2E.Command)
+	}
+}
+
+// TestLoadRejectsWrongSchema guards against silently comparing records of
+// a different format generation.
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	rec := NewRecord(1, sampleEngine(), E2EBench{})
+	rec.Schema = "hibernator-bench/0"
+	if err := rec.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("Load accepted wrong schema (err=%v)", err)
+	}
+}
+
+// TestSmokeGate exercises every branch of the CI gate.
+func TestSmokeGate(t *testing.T) {
+	base := sampleEngine()
+
+	if err := Smoke(base, base); err != nil {
+		t.Fatalf("identical measurement failed the gate: %v", err)
+	}
+
+	slower := base
+	slower.ScheduleFireNs = base.ScheduleFireNs * 1.9
+	if err := Smoke(slower, base); err != nil {
+		t.Fatalf("within-tolerance slowdown failed the gate: %v", err)
+	}
+
+	regressed := base
+	regressed.ChurnNs = base.ChurnNs*SmokeTolerance + 1
+	if err := Smoke(regressed, base); err == nil {
+		t.Fatal("churn regression beyond tolerance passed the gate")
+	}
+
+	allocs := base
+	allocs.AllocsPerEvent = 0.5
+	if err := Smoke(allocs, base); err == nil || !strings.Contains(err.Error(), "allocs") {
+		t.Fatalf("allocating measurement passed the gate (err=%v)", err)
+	}
+
+	// A zero baseline field (older record) must not divide the gate into
+	// a false failure.
+	sparse := EngineBench{}
+	if err := Smoke(base, sparse); err != nil {
+		t.Fatalf("zero baseline tripped the gate: %v", err)
+	}
+}

@@ -91,6 +91,11 @@ func Generate(seed int64, index int) Scenario {
 	for i, n := 0, rng.Intn(5); i < n; i++ {
 		s.Events = append(s.Events, randomEvent(rng, &s))
 	}
+
+	// Intra-run parallelism: soak the group-partitioned engine across its
+	// worker widths. The workers-metamorphic oracle in Execute holds every
+	// Workers>1 scenario byte-identical to its sequential twin.
+	s.Workers = choice(rng, []int{1, 2, 4, 8})
 	return s
 }
 

@@ -41,6 +41,7 @@ func WriteRepro(w io.Writer, s *Scenario) error {
 	fmt.Fprintf(bw, "cache-mb %d\n", s.CacheMB)
 	fmt.Fprintf(bw, "goal-ms %s\n", g(s.RespGoalMs))
 	fmt.Fprintf(bw, "epoch-frac %s\n", g(s.EpochFrac))
+	fmt.Fprintf(bw, "workers %d\n", s.Workers)
 	fmt.Fprintf(bw, "workload %s\n", s.Workload)
 	fmt.Fprintf(bw, "rate %s\n", g(s.Rate))
 	fmt.Fprintf(bw, "retry.max-retries %d\n", s.Retry.MaxRetries)
@@ -193,6 +194,8 @@ func (s *Scenario) setField(key, val string) error {
 		return pFloat(&s.RespGoalMs)
 	case "epoch-frac":
 		return pFloat(&s.EpochFrac)
+	case "workers":
+		return pInt(&s.Workers)
 	case "workload":
 		return pString(&s.Workload)
 	case "rate":

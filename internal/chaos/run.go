@@ -74,11 +74,12 @@ func (f Fingerprint) diff(g Fingerprint) string {
 
 // Failure kinds, in the order the oracles run.
 const (
-	FailError     = "error"           // sim.Run rejected the scenario
-	FailPanic     = "panic"           // the simulation panicked
-	FailInvariant = "invariant"       // the armed checker found violations
-	FailRepeat    = "repeat-mismatch" // an identical rerun diverged
-	FailArmed     = "armed-mismatch"  // arming the checker changed the run
+	FailError     = "error"            // sim.Run rejected the scenario
+	FailPanic     = "panic"            // the simulation panicked
+	FailInvariant = "invariant"        // the armed checker found violations
+	FailRepeat    = "repeat-mismatch"  // an identical rerun diverged
+	FailArmed     = "armed-mismatch"   // arming the checker changed the run
+	FailWorkers   = "workers-mismatch" // parallel run diverged from sequential
 )
 
 // Failure describes one oracle verdict against a scenario. Detail is
@@ -173,15 +174,26 @@ func violationDetail(chk *invariant.Checker) string {
 }
 
 // RunsPerExecute is the number of simulation runs one Execute call costs:
-// armed, armed repeat, unarmed.
-const RunsPerExecute = 3
+// armed, armed repeat, unarmed — plus a sequential unarmed twin when the
+// scenario runs the parallel engine.
+func (s *Scenario) RunsPerExecute() int {
+	if s.Workers > 1 {
+		return 4
+	}
+	return 3
+}
 
 // Execute judges one scenario against all oracles, in deterministic order:
 //
 //  1. an armed run must neither error, panic, nor violate any invariant;
 //  2. repeating the armed run must reproduce its fingerprint exactly;
 //  3. an unarmed run must produce the identical fingerprint (the checker
-//     observes, it must not perturb).
+//     observes, it must not perturb);
+//  4. for Workers > 1, a sequential (workers=1) unarmed run must produce
+//     the identical fingerprint — the metamorphic contract of the
+//     group-partitioned engine. (Armed runs are always sequential, so
+//     oracle 3 already crosses the engines; this one attributes a
+//     divergence to the parallel path by name.)
 //
 // A nil return means the scenario passed. Execute is a pure function of
 // the scenario — the soak and the shrinker both rely on that.
@@ -213,8 +225,21 @@ func Execute(s *Scenario) *Failure {
 	if fail != nil {
 		return &Failure{Kind: FailArmed, Detail: "unarmed run failed where armed passed: " + fail.Error()}
 	}
-	if fpC := fingerprintOf(resC); fpA != fpC {
+	fpC := fingerprintOf(resC)
+	if fpA != fpC {
 		return &Failure{Kind: FailArmed, Detail: fpA.diff(fpC)}
+	}
+
+	if s.Workers > 1 {
+		seq := *s
+		seq.Workers = 1
+		resD, _, fail := seq.runOnce(false)
+		if fail != nil {
+			return &Failure{Kind: FailWorkers, Detail: "workers=1 rerun failed where parallel passed: " + fail.Error()}
+		}
+		if fpD := fingerprintOf(resD); fpC != fpD {
+			return &Failure{Kind: FailWorkers, Detail: fmt.Sprintf("workers=%d vs 1: %s", s.Workers, fpC.diff(fpD))}
+		}
 	}
 	return nil
 }

@@ -53,6 +53,13 @@ type Scenario struct {
 	RespGoalMs float64 // 0 = no goal
 	EpochFrac  float64 // hibernator/pdc epoch as a fraction of Duration (0 = 0.25)
 
+	// Workers is the intra-run parallelism degree (sim.Config.Workers).
+	// 0 and 1 both mean the sequential engine — 0 keeps pre-parallelism
+	// repro files replaying exactly. Values above 1 engage the
+	// group-partitioned engine, whose output the workers-metamorphic
+	// oracle holds byte-identical to the sequential run.
+	Workers int
+
 	Workload string  // oltp | cello
 	Rate     float64 // oltp: mean req/s; cello: day-peak burst rate
 
@@ -83,6 +90,9 @@ func (s *Scenario) String() string {
 		s.Groups, s.GroupDisks, s.RAID, s.SpareDisks, s.CacheMB)
 	if s.RespGoalMs > 0 {
 		fmt.Fprintf(&b, " goal=%gms", s.RespGoalMs)
+	}
+	if s.Workers > 1 {
+		fmt.Fprintf(&b, " workers=%d", s.Workers)
 	}
 	fmt.Fprintf(&b, " %s rate=%g", s.Workload, s.Rate)
 	if s.Retry != (array.RetryPolicy{}) {
@@ -170,6 +180,9 @@ func (s *Scenario) Validate() error {
 	if s.EpochFrac < 0 || s.EpochFrac > 1 || math.IsNaN(s.EpochFrac) {
 		return fmt.Errorf("chaos: epoch fraction %g outside [0,1]", s.EpochFrac)
 	}
+	if s.Workers < 0 || s.Workers > 64 {
+		return fmt.Errorf("chaos: workers %d outside [0,64]", s.Workers)
+	}
 	switch s.Workload {
 	case "oltp", "cello":
 	default:
@@ -232,6 +245,7 @@ func (s *Scenario) simConfig() (sim.Config, error) {
 		RespGoal:           s.RespGoalMs / 1000,
 		Seed:               s.Seed,
 		ExpectedRotLatency: true,
+		Workers:            s.Workers,
 	}
 	if len(s.Events) > 0 || s.Rates.TransientProb > 0 || s.Rates.SpinUpFailProb > 0 {
 		cfg.Faults = &fault.Schedule{

@@ -20,6 +20,11 @@ type SoakOptions struct {
 	// any width for fixed Seed and N.
 	Workers int
 
+	// SimWorkers, when above 0, forces every scenario's intra-run engine
+	// width instead of the generator's per-scenario sample — pinning a
+	// soak to the sequential engine (1) or to a fixed parallel width.
+	SimWorkers int
+
 	// ShrinkBudget caps the Execute calls spent minimizing each failure
 	// (0 = DefaultShrinkBudget). One Execute is three simulation runs.
 	ShrinkBudget int
@@ -80,6 +85,9 @@ func Soak(opts SoakOptions) (*SoakReport, error) {
 	verdicts, err := runner.Map(context.Background(), opts.Workers, opts.N,
 		func(_ context.Context, i int) (verdict, error) {
 			sc := Generate(opts.Seed, i)
+			if opts.SimWorkers > 0 {
+				sc.Workers = opts.SimWorkers
+			}
 			if opts.InjectBug {
 				armBug(&sc)
 			}

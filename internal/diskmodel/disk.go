@@ -117,6 +117,12 @@ type Observer interface {
 type Disk struct {
 	spec   *Spec
 	engine *simevent.Engine
+	// states is the engine spin/shift transition events fire on. It is
+	// the same engine as `engine` in a sequential run; the partitioned
+	// runner points it at the disk group's partition engine, whose clock
+	// may run ahead of the global engine between barriers (see
+	// internal/sim/parallel.go). I/O completions always stay on `engine`.
+	states *simevent.Engine
 	cfg    Config
 	rng    *rand.Rand
 
@@ -217,6 +223,7 @@ func New(engine *simevent.Engine, spec *Spec, cfg Config) *Disk {
 	d := &Disk{
 		spec:        spec,
 		engine:      engine,
+		states:      engine,
 		cfg:         cfg,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		state:       Idle,
@@ -226,6 +233,27 @@ func New(engine *simevent.Engine, spec *Spec, cfg Config) *Disk {
 	}
 	d.account = stats.NewStateAccount(engine.Now(), Idle.String(), spec.IdlePower[d.level])
 	return d
+}
+
+// SetStateEngine moves the disk's spin/shift transition events onto a
+// dedicated engine (a partition of the global calendar). It must be called
+// before any activity — the partitioned runner does so at construction
+// time. Passing the disk's main engine restores sequential behavior.
+func (d *Disk) SetStateEngine(e *simevent.Engine) { d.states = e }
+
+// now returns the disk's notion of current time: the later of the global
+// clock and the transition clock. Between barriers a partition's clock
+// runs ahead of the global engine (and during merged stepping the global
+// clock can lead the partition), so the disk always stamps accounting and
+// schedules follow-ups off the frontmost of the two.
+func (d *Disk) now() float64 {
+	t := d.engine.Now()
+	if d.states != d.engine {
+		if st := d.states.Now(); st > t {
+			t = st
+		}
+	}
+	return t
 }
 
 // ID returns the configured disk identifier.
@@ -259,7 +287,7 @@ func (d *Disk) IdleFor() float64 {
 	if d.state != Idle {
 		return 0
 	}
-	return d.engine.Now() - d.idleSince
+	return d.now() - d.idleSince
 }
 
 // Account exposes the energy/state ledger.
@@ -320,12 +348,12 @@ func (d *Disk) Submit(r *Request) {
 		panic("diskmodel: request without completion callback")
 	}
 	if d.state == Failed {
-		r.Arrive = d.engine.Now()
+		r.Arrive = d.now()
 		r.Failed = true
-		d.engine.Schedule(0, func() { r.Done(r, d.engine.Now()) })
+		d.engine.At(r.Arrive, func() { r.Done(r, d.engine.Now()) })
 		return
 	}
-	r.Arrive = d.engine.Now()
+	r.Arrive = d.now()
 	if r.Background {
 		d.bg.push(r)
 	} else {
@@ -381,7 +409,7 @@ func (d *Disk) Standby() bool {
 	}
 	d.spinDowns++
 	d.setState(SpinningDown, d.spec.SpinDownEnergy/d.spec.SpinDownTime)
-	d.engine.Schedule(d.spec.SpinDownTime, func() {
+	d.states.At(d.now()+d.spec.SpinDownTime, func() {
 		if d.state == Failed {
 			return
 		}
@@ -413,7 +441,7 @@ func (d *Disk) spinUpAttempt(attempt int) {
 	d.spinUps++
 	d.level = d.targetLevel
 	d.setState(SpinningUp, d.spec.SpinUpEnergy/d.spec.SpinUpTime)
-	d.engine.Schedule(d.spec.SpinUpTime, func() {
+	d.states.At(d.now()+d.spec.SpinUpTime, func() {
 		if d.state == Failed {
 			return
 		}
@@ -441,7 +469,7 @@ func (d *Disk) beginShift() {
 	d.levelShifts++
 	d.setState(ShiftingSpeed, d.spec.IdlePower[hi])
 	d.account.AddEnergy(ShiftingSpeed.String(), joules)
-	d.engine.Schedule(dur, func() {
+	d.states.At(d.now()+dur, func() {
 		if d.state == Failed {
 			return
 		}
@@ -454,7 +482,7 @@ func (d *Disk) beginShift() {
 // pending work or follow-up transition.
 func (d *Disk) becomeIdleThenWork() {
 	d.setState(Idle, d.spec.IdlePower[d.level])
-	d.idleSince = d.engine.Now()
+	d.idleSince = d.now()
 	if d.targetLevel != d.level {
 		d.beginShift()
 		return
@@ -480,17 +508,17 @@ func (d *Disk) startNext() {
 	if r == nil {
 		return
 	}
-	now := d.engine.Now()
+	now := d.now()
 	r.Start = now
 	d.current = r
 	svc, pos, seq := d.serviceTime(r)
 	d.curPos, d.curSeq = pos, seq
 	d.setState(Busy, d.spec.ActivePower[d.level])
-	d.inflight = d.engine.Schedule(svc, func() { d.complete(r, svc) })
+	d.inflight = d.engine.At(now+svc, func() { d.complete(r, svc) })
 }
 
 func (d *Disk) complete(r *Request, svc float64) {
-	now := d.engine.Now()
+	now := d.now()
 	d.current = nil
 	d.inflight = simevent.Event{}
 	d.completed++
@@ -570,9 +598,10 @@ func (d *Disk) serviceTime(r *Request) (svc, pos float64, sequential bool) {
 func (d *Disk) setState(s State, power float64) {
 	from := d.state
 	d.state = s
-	d.account.Transition(d.engine.Now(), s.String(), power)
+	now := d.now()
+	d.account.Transition(now, s.String(), power)
 	if d.observer != nil {
-		d.observer.DiskTransition(d, d.engine.Now(), from, s, power)
+		d.observer.DiskTransition(d, now, from, s, power)
 	}
 }
 
@@ -598,17 +627,18 @@ func (d *Disk) Fail() {
 		doomed = append(doomed, r)
 	}
 	d.setState(Failed, 0)
+	at := d.now()
 	for _, r := range doomed {
 		r := r
 		r.Failed = true
-		d.engine.Schedule(0, func() { r.Done(r, d.engine.Now()) })
+		d.engine.At(at, func() { r.Done(r, d.engine.Now()) })
 	}
 }
 
 // CloseAccounting finalizes the energy ledger at the current simulated
 // time. Call once at the end of a run.
 func (d *Disk) CloseAccounting() {
-	d.account.Close(d.engine.Now())
+	d.account.Close(d.now())
 }
 
 // Energy returns total joules consumed up to the last accounting close or

@@ -126,7 +126,7 @@ func (d *Disk) SlowFactor() float64 {
 	if fs == nil || !fs.slowSet {
 		return 1
 	}
-	now := d.engine.Now()
+	now := d.now()
 	if now < fs.slowStart {
 		return 1
 	}

@@ -45,6 +45,12 @@ func ResetCheckViolations() {
 // scheme. Each run gets its own Checker; the shared tally is mutex-guarded
 // for concurrent runs under Opts.Workers.
 func (o *Opts) audit(cfg *sim.Config, name string) (collect func()) {
+	// Every simulation run in the suite arms this hook, so it doubles as
+	// the one place the per-run Opts settings land on the config: the
+	// intra-run worker count rides along here. (With Check set the run
+	// falls back to the sequential engine anyway — the checker needs one
+	// serialized event stream.)
+	cfg.Workers = o.SimWorkers
 	if !o.Check {
 		return func() {}
 	}

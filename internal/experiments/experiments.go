@@ -49,6 +49,12 @@ type Opts struct {
 	// simulation run. Violations accumulate in the process-wide tally read
 	// by CheckViolations. Checking does not change any table output byte.
 	Check bool
+	// SimWorkers is the intra-run parallelism degree passed to every
+	// simulation run (sim.Config.Workers): 1 = the sequential engine,
+	// N > 1 = the group-partitioned engine. Results are byte-identical
+	// for any value; only wall clock changes. Distinct from Workers,
+	// which fans independent runs out across goroutines.
+	SimWorkers int
 }
 
 func (o *Opts) norm() {
@@ -60,6 +66,9 @@ func (o *Opts) norm() {
 	}
 	if o.Seed == 0 {
 		o.Seed = 1
+	}
+	if o.SimWorkers < 1 {
+		o.SimWorkers = 1
 	}
 }
 

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"math"
+	"sync"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/simevent"
+)
+
+// This file is the intra-run parallel path: the engine partitioned by disk
+// group with a deterministic epoch-barrier merge.
+//
+// Partitioning rule. Each group's spin/shift transition events live on a
+// dedicated partition engine (array.Config.StateEngines); everything else —
+// I/O completions, arrivals, tickers, cache destage, policy timers, fault
+// injections — stays on the global engine. A partition whose disks are all
+// quiescent (not Busy, empty queues) is "cold": its pending transitions
+// touch only disk-local state and can schedule only further transitions on
+// the same partition, because a spin-up or shift that completes over an
+// empty queue dispatches no work. Cold partitions therefore advance
+// concurrently on worker goroutines, each strictly below the next global
+// event time, with no locks and no shared state.
+//
+// Barrier rule. Global events are the barriers. When every partition with
+// work strictly before the next global event at time T is cold, those
+// windows run in parallel up to (not including) T; then the coordinator
+// fires the single globally earliest event by (time, seq) and re-evaluates.
+// If any partition with sub-T work is hot (some disk busy or queued, so a
+// completing transition may dispatch I/O and mint new global events),
+// nothing runs in parallel that round: the coordinator single-steps the
+// merged calendars, which re-tightens T naturally as new events appear.
+//
+// Why the output is byte-identical. All engines of a partitioned run share
+// one sequence counter (simevent.ShareSeq), so (time, seq) is a total
+// order across engines — and it is *the sequential run's order*: the
+// coordinator makes every schedule call in the same order the sequential
+// run would, so events receive the same sequence numbers, and the merge
+// always fires the minimal (time, seq). Cross-engine same-instant ties —
+// e.g. an op-deadline timer on the global engine against a shift
+// completion on a partition — therefore resolve exactly as the sequential
+// engine resolves them. Cold windows are the one place events fire off the
+// coordinator; they assign provisional sequence numbers and log their
+// schedule calls, and simevent.EndWindows renumbers them at the barrier in
+// merged parent-fire order — again the sequential assignment. Window
+// events themselves commute with everything outside their group (disjoint
+// state, no global schedules), so running them concurrently is safe. The
+// golden tests and the chaos metamorphic oracle (workers=N vs workers=1)
+// enforce all of this end to end.
+
+// runEngines drives the run's event loop(s) to `duration`. With no
+// partitions and no context it is exactly the legacy engine.Run call.
+// seqSrc is the sequence counter shared by global and parts (nil when
+// parts is nil).
+func runEngines(cfg *Config, global *simevent.Engine, parts []*simevent.Engine, seqSrc *uint64, arr *array.Array, duration float64) error {
+	if parts == nil {
+		if cfg.Context == nil {
+			global.Run(duration)
+			return nil
+		}
+		return runSequentialCtx(cfg, global, duration)
+	}
+	return runPartitioned(cfg, global, parts, seqSrc, arr, duration)
+}
+
+// ctxCheckEvery is how many events fire between cancellation polls; small
+// enough to cancel promptly, large enough to keep ctx.Err() off the per-
+// event hot path.
+const ctxCheckEvery = 256
+
+// runSequentialCtx is engine.Run(duration) with periodic cancellation
+// checks. Event order is identical: it steps the same calendar the same
+// way and only adds a poll every ctxCheckEvery events.
+func runSequentialCtx(cfg *Config, e *simevent.Engine, duration float64) error {
+	n := 0
+	for {
+		at, ok := e.NextAt()
+		if !ok || at > duration {
+			break
+		}
+		e.Step()
+		if n++; n == ctxCheckEvery {
+			n = 0
+			if err := cfg.Context.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	e.Run(duration) // nothing left at or below duration; advances the clock
+	return cfg.Context.Err()
+}
+
+// windowPool runs cold-partition windows on a fixed set of worker
+// goroutines. Jobs are (engine, horizon) pairs; the coordinator submits a
+// batch and waits for the full batch before touching any shared state, so
+// workers never run concurrently with global-event execution.
+type windowPool struct {
+	jobs chan windowJob
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+type windowJob struct {
+	e       *simevent.Engine
+	horizon float64
+}
+
+// newWindowPool starts `workers` goroutines; both channels hold a full
+// batch (`maxJobs`, one window per group) so the coordinator can submit a
+// whole batch and workers can report every completion without either side
+// blocking — a smaller completion buffer could deadlock a large all-cold
+// batch against a small pool.
+func newWindowPool(workers, maxJobs int) *windowPool {
+	if maxJobs < workers {
+		maxJobs = workers
+	}
+	p := &windowPool{
+		jobs: make(chan windowJob, maxJobs),
+		done: make(chan struct{}, maxJobs),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for j := range p.jobs {
+				j.e.RunBefore(j.horizon)
+				p.done <- struct{}{}
+			}
+		}()
+	}
+	return p
+}
+
+// close shuts the workers down and waits for them to exit — the no-leak
+// guarantee the cancellation tests assert.
+func (p *windowPool) close() {
+	close(p.jobs)
+	p.wg.Wait()
+}
+
+// runPartitioned is the coordinator loop described at the top of the file.
+func runPartitioned(cfg *Config, global *simevent.Engine, parts []*simevent.Engine, seqSrc *uint64, arr *array.Array, duration float64) error {
+	ctx := cfg.Context
+	// Partition membership is fixed at construction: these are the disks
+	// whose transitions live on parts[gi]. Rebuilds swap spares into
+	// groups, but spares transition on the global engine, so the original
+	// members remain exactly the disks each window may touch.
+	members := make([][]*diskmodel.Disk, len(parts))
+	for gi, g := range arr.Groups() {
+		members[gi] = append([]*diskmodel.Disk(nil), g.Disks()...)
+	}
+	pool := newWindowPool(cfg.Workers, len(parts))
+	defer pool.close()
+
+	// horizon is an exclusive bound that still admits events at exactly
+	// `duration`, matching engine.Run's inclusive contract.
+	horizon := math.Nextafter(duration, math.Inf(1))
+	windows := make([]*simevent.Engine, 0, len(parts))
+	steps := 0
+	for {
+		if ctx != nil {
+			if steps&(ctxCheckEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+			steps++
+		}
+		T := horizon
+		if gt, ok := global.NextAt(); ok && gt <= duration {
+			T = gt
+		}
+
+		// Phase 1: parallel cold windows, strictly below T. Only when
+		// *every* partition with sub-T work is cold: then the sequential
+		// run would fire exactly these window events before T, so the
+		// barrier renumbering reproduces its sequence assignment. One hot
+		// partition poisons the round — its sub-T steps could mint global
+		// events whose schedules must interleave with the windows'.
+		windows = windows[:0]
+		allCold := true
+		for gi, pe := range parts {
+			if at, ok := pe.NextAt(); ok && at < T {
+				if !coldPartition(members[gi]) {
+					allCold = false
+					break
+				}
+				windows = append(windows, pe)
+			}
+		}
+		if allCold && len(windows) > 0 {
+			for _, pe := range windows {
+				pe.BeginWindow()
+			}
+			for _, pe := range windows {
+				pool.jobs <- windowJob{e: pe, horizon: T}
+			}
+			for range windows {
+				<-pool.done
+			}
+			simevent.EndWindows(windows, seqSrc)
+		}
+
+		// Phase 2: fire the single globally earliest event by (at, seq) —
+		// exactly the event the sequential engine would fire — then loop,
+		// so fresh cold windows are re-evaluated and anything the step
+		// minted tightens T. Shared sequence numbers make the comparison
+		// exact at cross-engine same-instant ties.
+		best := global
+		at, seq, ok := global.NextKey()
+		if !ok || at > duration {
+			best = nil
+		}
+		for _, pe := range parts {
+			pat, pseq, pok := pe.NextKey()
+			if pok && pat <= duration && (best == nil || pat < at || (pat == at && pseq < seq)) {
+				best, at, seq = pe, pat, pseq
+			}
+		}
+		if best == nil {
+			break
+		}
+		best.Step()
+	}
+	global.Run(duration) // advance the global clock to the end of the run
+	if ctx != nil {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// coldPartition reports whether every original member of the partition is
+// quiescent: no disk busy, no queued work. Only then is the window safe —
+// a completing transition over an empty queue cannot dispatch I/O, so the
+// window provably mints no global events and touches no state outside its
+// own disks.
+func coldPartition(disks []*diskmodel.Disk) bool {
+	for _, d := range disks {
+		if d.State() == diskmodel.Busy || d.QueueLen() > 0 {
+			return false
+		}
+	}
+	return true
+}

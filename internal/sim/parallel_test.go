@@ -1,0 +1,141 @@
+package sim_test
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"hibernator/internal/array"
+	"hibernator/internal/diskmodel"
+	"hibernator/internal/fault"
+	"hibernator/internal/policy"
+	"hibernator/internal/raid"
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+// parallelConfig is a transition-heavy shape: several multi-speed groups, a
+// bursty workload with long silences, and a policy that spins disks down,
+// so the run exercises cold windows, hot merges and the global barrier.
+func parallelConfig(seed int64, workers int) sim.Config {
+	return sim.Config{
+		Spec:               diskmodel.MultiSpeedUltrastar(4, 3000),
+		Groups:             4,
+		GroupDisks:         2,
+		Level:              raid.RAID0,
+		ExtentBytes:        64 << 20,
+		CacheBytes:         8 << 20,
+		SampleEvery:        25,
+		Seed:               seed,
+		ExpectedRotLatency: true,
+		Workers:            workers,
+	}
+}
+
+func parallelSource(t *testing.T, cfg sim.Config, duration float64) trace.Source {
+	t.Helper()
+	vol, err := sim.LogicalBytes(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := trace.NewCello(trace.CelloConfig{
+		Seed: cfg.Seed + 11, VolumeBytes: vol, Duration: duration,
+		DayPeriod: duration, DayRate: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return src
+}
+
+func runWorkers(t *testing.T, workers int, faults bool) *sim.Result {
+	t.Helper()
+	cfg := parallelConfig(7, workers)
+	if faults {
+		cfg.Retry = array.RetryPolicy{MaxRetries: 2, Backoff: 0.005, OpDeadline: 2}
+		cfg.Faults = &fault.Schedule{
+			Rates:  fault.Rates{TransientProb: 0.001, SpinUpFailProb: 0.02},
+			Events: []fault.Event{{Time: 150, Disk: 1, Kind: fault.FailStop}},
+		}
+	}
+	const duration = 600
+	src := parallelSource(t, cfg, duration)
+	p := policy.NewTPM(5)
+	res, err := sim.Run(cfg, src, p, duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestWorkersByteIdentical is the determinism contract of the partitioned
+// engine: any worker count must reproduce the sequential run exactly —
+// every scalar, the whole time series, the fault accounting.
+func TestWorkersByteIdentical(t *testing.T) {
+	for _, faults := range []bool{false, true} {
+		base := runWorkers(t, 1, faults)
+		if base.SpinDowns == 0 {
+			t.Fatalf("faults=%v: workload never spun a disk down; test exercises nothing", faults)
+		}
+		for _, w := range []int{2, 4, 8} {
+			got := runWorkers(t, w, faults)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("faults=%v workers=%d diverged from sequential:\n  base: %+v\n  got:  %+v",
+					faults, w, base, got)
+			}
+		}
+	}
+}
+
+// TestContextCancelSequential cancels a legacy-path run mid-flight and
+// checks the error surfaces and no goroutines are left behind.
+func TestContextCancelSequential(t *testing.T) {
+	testContextCancel(t, 1)
+}
+
+// TestContextCancelParallel does the same through the partitioned runner,
+// which must also tear its worker pool down.
+func TestContextCancelParallel(t *testing.T) {
+	testContextCancel(t, 4)
+}
+
+func testContextCancel(t *testing.T, workers int) {
+	before := runtime.NumGoroutine()
+	cfg := parallelConfig(7, workers)
+	const duration = 600
+	src := parallelSource(t, cfg, duration)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already cancelled: the run must stop at the first check
+	cfg.Context = ctx
+	if _, err := sim.Run(cfg, src, policy.NewTPM(5), duration); err != context.Canceled {
+		t.Fatalf("workers=%d: Run returned %v, want context.Canceled", workers, err)
+	}
+	// The pool goroutines exit synchronously before Run returns; give the
+	// runtime a moment anyway to avoid counting scheduler stragglers.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("workers=%d: %d goroutines before cancel, %d after — leak",
+		workers, before, runtime.NumGoroutine())
+}
+
+// TestContextCompletedRun runs to completion under a live context and must
+// return a result, not an error.
+func TestContextCompletedRun(t *testing.T) {
+	cfg := parallelConfig(7, 4)
+	cfg.Context = context.Background()
+	const duration = 200
+	src := parallelSource(t, cfg, duration)
+	res, err := sim.Run(cfg, src, policy.NewTPM(5), duration)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 {
+		t.Fatal("completed run reported zero requests")
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -82,6 +83,20 @@ type Config struct {
 	// seconds (default: RespWindow). Ignored when Metrics is nil.
 	ObsSampleEvery float64
 
+	// Workers is the intra-run parallelism degree. 1 (or 0) runs the exact
+	// legacy sequential path. N > 1 partitions spin/shift transition events
+	// by disk group and advances idle groups on worker goroutines between
+	// global events, with a deterministic merge that keeps the output
+	// byte-identical to the sequential run (see parallel.go). Runs with an
+	// armed invariant checker fall back to the sequential path — the
+	// checker observes every transition and needs one serialized stream.
+	Workers int
+
+	// Context, when non-nil, cancels the run cooperatively: Run checks it
+	// between event batches and returns ctx.Err() once it is done or
+	// cancelled. Nil keeps the legacy hot loop untouched.
+	Context context.Context
+
 	// Invariants, when non-nil, cross-checks the run's accounting while it
 	// executes: IO conservation, per-disk state durations and energy
 	// integrals, state-machine legality, migration/slot bookkeeping and
@@ -114,6 +129,12 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.ObsSampleEvery < 0 {
 		return fmt.Errorf("sim: negative metrics sampling interval")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count")
+	}
+	if c.Workers == 0 {
+		c.Workers = 1
 	}
 	if c.ObsSampleEvery == 0 {
 		c.ObsSampleEvery = c.RespWindow
@@ -251,8 +272,28 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		return nil, fmt.Errorf("sim: duration must be positive")
 	}
 	engine := simevent.New()
+	// Partition the transition calendar by group only when the parallel
+	// path can actually engage; a nil slice keeps every event on the one
+	// global engine, which is the byte-exact legacy path.
+	var parts []*simevent.Engine
+	var seqSrc *uint64
+	if cfg.Workers > 1 && cfg.Groups >= 2 && cfg.Invariants == nil {
+		// All engines of a partitioned run share one sequence counter,
+		// installed before anything is scheduled: every event then carries
+		// the exact sequence number the sequential run would assign it,
+		// which is what makes the (at, seq) merge replay the sequential
+		// order bit for bit (see parallel.go).
+		seqSrc = new(uint64)
+		engine.ShareSeq(seqSrc)
+		parts = make([]*simevent.Engine, cfg.Groups)
+		for i := range parts {
+			parts[i] = simevent.New()
+			parts[i].ShareSeq(seqSrc)
+		}
+	}
 	arr, err := array.New(array.Config{
 		Engine:             engine,
+		StateEngines:       parts,
 		Spec:               &cfg.Spec,
 		Groups:             cfg.Groups,
 		GroupDisks:         cfg.GroupDisks,
@@ -455,7 +496,7 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	// Metrics sampling: one row at t=0 (the initial configuration), then
 	// one per ObsSampleEvery. Unobserved runs schedule nothing here.
 	if cfg.Metrics != nil {
-		sampler = newObsSampler(&cfg, env, arr, engine, ctrlCache)
+		sampler = newObsSampler(&cfg, env, arr, engine, parts, ctrlCache)
 		engine.Schedule(0, func() { sampler.sample(engine.Now()) })
 		simevent.NewTicker(engine, cfg.ObsSampleEvery, func(now float64) {
 			sampler.sample(now)
@@ -463,7 +504,9 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	}
 
 	pump()
-	engine.Run(duration)
+	if err := runEngines(&cfg, engine, parts, seqSrc, arr, duration); err != nil {
+		return nil, err
+	}
 
 	res.MeanResp = respW.Mean()
 	if respW.Count() > 0 { // an empty accumulator's Max is NaN, not 0

@@ -71,3 +71,74 @@ func BenchmarkEngineMixedTicker(b *testing.B) {
 		e.Run(e.Now() + 100)
 	}
 }
+
+// The depth-parameterized benchmarks below compare the calendar queue
+// against the retired sift-heap (refHeap in calqueue_test.go, kept as the
+// ordering oracle) at several pending-population sizes. The heap side
+// carries no callback and smaller nodes, so the comparison flatters the
+// heap; the calendar must win anyway once the population is deep.
+
+func benchCalendarHold(b *testing.B, depth int) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < depth; i++ {
+		e.Schedule(1+float64(i%97)/97*100, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(100, fn)
+		e.Step()
+	}
+}
+
+func benchHeapHold(b *testing.B, depth int) {
+	h := &refHeap{}
+	for i := 0; i < depth; i++ {
+		h.push(1+float64(i%97)/97*100, i)
+	}
+	now := 0.0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.push(now+100, i)
+		n := h.pop()
+		now = n.at
+	}
+}
+
+func BenchmarkQueueDepth64Calendar(b *testing.B)   { benchCalendarHold(b, 64) }
+func BenchmarkQueueDepth64Heap(b *testing.B)       { benchHeapHold(b, 64) }
+func BenchmarkQueueDepth256Calendar(b *testing.B)  { benchCalendarHold(b, 256) }
+func BenchmarkQueueDepth256Heap(b *testing.B)      { benchHeapHold(b, 256) }
+func BenchmarkQueueDepth10kCalendar(b *testing.B)  { benchCalendarHold(b, 10000) }
+func BenchmarkQueueDepth10kHeap(b *testing.B)      { benchHeapHold(b, 10000) }
+func BenchmarkQueueDepth100kCalendar(b *testing.B) { benchCalendarHold(b, 100000) }
+func BenchmarkQueueDepth100kHeap(b *testing.B)     { benchHeapHold(b, 100000) }
+
+// BenchmarkQueueCancel10k measures cancel cost with 10k pending — O(1)
+// unlink for the calendar vs O(log n) sift repair for the heap.
+func BenchmarkQueueCancel10kCalendar(b *testing.B) {
+	e := New()
+	fn := func() {}
+	for i := 0; i < 10000; i++ {
+		e.Schedule(1+float64(i%97)/97*100, fn)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Cancel(e.Schedule(50, fn))
+	}
+}
+
+func BenchmarkQueueCancel10kHeap(b *testing.B) {
+	h := &refHeap{}
+	for i := 0; i < 10000; i++ {
+		h.push(1+float64(i%97)/97*100, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.remove(h.push(50, i))
+	}
+}

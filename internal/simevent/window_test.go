@@ -1,0 +1,191 @@
+package simevent
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShareSeqInterleaves checks that engines on one shared counter hand
+// out globally unique, call-ordered sequence numbers, so NextKey is a
+// cross-engine total order.
+func TestShareSeqInterleaves(t *testing.T) {
+	src := new(uint64)
+	a, b := New(), New()
+	a.ShareSeq(src)
+	b.ShareSeq(src)
+	a.At(5, func() {})
+	b.At(5, func() {})
+	a.At(5, func() {})
+	if _, seq, ok := a.NextKey(); !ok || seq != 0 {
+		t.Fatalf("a head seq = %d, want 0", seq)
+	}
+	if _, seq, ok := b.NextKey(); !ok || seq != 1 {
+		t.Fatalf("b head seq = %d, want 1", seq)
+	}
+	if *src != 3 {
+		t.Fatalf("shared counter = %d, want 3", *src)
+	}
+}
+
+// TestWindowRenumberMergeOrder runs two windows whose parents interleave in
+// time and checks that EndWindows assigns the children their sequence
+// numbers in merged parent-fire order — the order one sequential engine
+// would have assigned them — not per-engine block order.
+func TestWindowRenumberMergeOrder(t *testing.T) {
+	src := new(uint64)
+	a, b := New(), New()
+	a.ShareSeq(src)
+	b.ShareSeq(src)
+	// Parents: a@1, b@1.5, a@2 — each schedules one child at time 10.
+	a.At(1, func() { a.Schedule(9, func() {}) })     // seq 0, child should get 3
+	b.At(1.5, func() { b.Schedule(8.5, func() {}) }) // seq 1, child should get 4
+	a.At(2, func() { a.Schedule(8, func() {}) })     // seq 2, child should get 5
+	a.BeginWindow()
+	b.BeginWindow()
+	a.RunBefore(5)
+	b.RunBefore(5)
+	EndWindows([]*Engine{a, b}, src)
+	if *src != 6 {
+		t.Fatalf("shared counter = %d, want 6", *src)
+	}
+	// a now holds children with true seqs {3, 5}; head must be 3.
+	if at, seq, ok := a.NextKey(); !ok || at != 10 || seq != 3 {
+		t.Fatalf("a head = (%v, %d, %v), want (10, 3, true)", at, seq, ok)
+	}
+	if at, seq, ok := b.NextKey(); !ok || at != 10 || seq != 4 {
+		t.Fatalf("b head = (%v, %d, %v), want (10, 4, true)", at, seq, ok)
+	}
+	a.Step()
+	if _, seq, ok := a.NextKey(); !ok || seq != 5 {
+		t.Fatalf("a second child seq = %d, want 5", seq)
+	}
+}
+
+// TestWindowMatchesSequential is the property behind byte-identical
+// partitioned runs: random transition-style chains split across two
+// partition engines, advanced through windows, must fire in exactly the
+// order a single sequential engine fires the same chains, including
+// same-instant ties decided by sequence number.
+func TestWindowMatchesSequential(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+
+		type chain struct {
+			part  int // 0 or 1
+			start float64
+			hops  []float64 // successive positive delays
+		}
+		chains := make([]chain, 3+rng.Intn(4))
+		for i := range chains {
+			c := chain{part: rng.Intn(2), start: float64(1+rng.Intn(4)) / 2}
+			for h := 0; h < 1+rng.Intn(3); h++ {
+				// Small integer-quartile delays force plenty of exact ties.
+				c.hops = append(c.hops, float64(1+rng.Intn(4))/2)
+			}
+			chains[i] = c
+		}
+
+		// Reference: one engine, RunAll.
+		var want []int
+		ref := New()
+		for i, c := range chains {
+			i, c := i, c
+			var arm func(hop int) func()
+			arm = func(hop int) func() {
+				return func() {
+					want = append(want, i)
+					if hop < len(c.hops) {
+						ref.Schedule(c.hops[hop], arm(hop+1))
+					}
+				}
+			}
+			ref.At(c.start, arm(0))
+		}
+		ref.RunAll()
+
+		// Partitioned: two engines on a shared counter, advanced window by
+		// window to increasing horizons, then drained by merged NextKey.
+		src := new(uint64)
+		parts := []*Engine{New(), New()}
+		parts[0].ShareSeq(src)
+		parts[1].ShareSeq(src)
+		var got []int
+		for i, c := range chains {
+			i, c := i, c
+			pe := parts[c.part]
+			var arm func(hop int) func()
+			arm = func(hop int) func() {
+				return func() {
+					got = append(got, i)
+					if hop < len(c.hops) {
+						pe.Schedule(c.hops[hop], arm(hop+1))
+					}
+				}
+			}
+			pe.At(c.start, arm(0))
+		}
+		for horizon := 0.5; horizon < 10; horizon += 0.5 {
+			parts[0].BeginWindow()
+			parts[1].BeginWindow()
+			parts[0].RunBefore(horizon)
+			parts[1].RunBefore(horizon)
+			EndWindows(parts, src)
+			// Events at exactly the horizon: merged single-stepping by
+			// (at, seq), the coordinator's phase-2 rule.
+			for {
+				best := -1
+				var ba float64
+				var bs uint64
+				for pi, pe := range parts {
+					if at, seq, ok := pe.NextKey(); ok && at <= horizon && (best < 0 || at < ba || (at == ba && seq < bs)) {
+						best, ba, bs = pi, at, seq
+					}
+				}
+				if best < 0 {
+					break
+				}
+				parts[best].Step()
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: fired %d events, want %d", trial, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("trial %d: fire order diverges at %d: got chain %d, want chain %d\ngot  %v\nwant %v",
+					trial, k, got[k], want[k], got, want)
+			}
+		}
+	}
+}
+
+// TestWindowCancelledChildNotRenumbered checks the node-recycling guard:
+// a child scheduled and then cancelled inside a window must not be
+// renumbered (its node may already belong to a newer event), while the
+// replacement event scheduled onto the recycled node is.
+func TestWindowCancelledChildNotRenumbered(t *testing.T) {
+	src := new(uint64)
+	e := New()
+	e.ShareSeq(src)
+	var doomed Event
+	e.At(1, func() { doomed = e.Schedule(9, func() {}) }) // seq 0
+	e.At(2, func() {                                      // seq 1
+		e.Cancel(doomed)
+		e.Schedule(9, func() {}) // reuses the freed node
+	})
+	e.BeginWindow()
+	e.RunBefore(5)
+	EndWindows([]*Engine{e}, src)
+	// Counter advanced for both children (the cancelled one still consumed
+	// a sequential draw in the reference order), survivor carries the
+	// second draw.
+	if *src != 4 {
+		t.Fatalf("shared counter = %d, want 4", *src)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if at, seq, ok := e.NextKey(); !ok || at != 11 || seq != 3 {
+		t.Fatalf("survivor = (%v, %d, %v), want (11, 3, true)", at, seq, ok)
+	}
+}
