@@ -7,6 +7,11 @@
 //	hibsim -scheme tpm -workload cello -duration 86400 -goal 8ms
 //	hibsim -scheme base -trace requests.csv -duration 600
 //	hibsim -repro seed1-17.repro        # replay a hibchaos reproducer
+//
+// Crash-safe runs: -snapshot-out checkpoints the full simulation state
+// every -snapshot-every simulated seconds (atomically — a kill -9 can
+// never leave a torn file), and -resume-from restarts a killed run from
+// its last checkpoint with byte-identical final output.
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"hibernator/internal/policy"
 	"hibernator/internal/raid"
 	"hibernator/internal/sim"
+	"hibernator/internal/snapshot"
 	"hibernator/internal/trace"
 )
 
@@ -59,6 +65,9 @@ func main() {
 		opDeadline = flag.Duration("op-deadline", 250*time.Millisecond, "per-attempt deadline once faults are armed (0 disables)")
 
 		reproFile   = flag.String("repro", "", "replay a hibchaos repro file and re-judge it (all other flags ignored)")
+		snapOut     = flag.String("snapshot-out", "", "checkpoint the simulation state to this file (written atomically, overwritten each epoch)")
+		snapEvery   = flag.Float64("snapshot-every", 0, "snapshot interval in simulated seconds (default duration/4 when -snapshot-out is set)")
+		resumeFrom  = flag.String("resume-from", "", "resume a killed run from a -snapshot-out file; flags must match the original run")
 		check       = flag.Bool("check", false, "arm the invariant checker (internal/invariant); violations print to stderr and exit non-zero")
 		metricsOut  = flag.String("metrics-out", "", "write per-interval metrics to this file (JSONL; a .csv suffix selects CSV)")
 		traceOut    = flag.String("trace-out", "", "write the policy decision trace to this file (JSONL; a .csv suffix selects CSV)")
@@ -238,6 +247,56 @@ func main() {
 		checker = invariant.New()
 		cfg.Invariants = checker
 	}
+
+	// Snapshot checkpointing and resume. The sim layer validates the
+	// config.* section itself; the cli.* entries extend the identity check
+	// to what only this binary knows — which workload generator (or trace
+	// file) produced the request stream.
+	wl := strings.ToLower(*workload)
+	if *traceFile != "" {
+		wl = "csv"
+	}
+	tf := *traceFile
+	if tf == "" {
+		tf = "-"
+	}
+	cliIdent := [][2]string{
+		{"cli.workload", wl},
+		{"cli.tracefile", tf},
+		{"cli.rate", fmt.Sprintf("%g", *rate)},
+		{"cli.failat", fmt.Sprintf("%g", *failAt)},
+	}
+	if *snapOut != "" {
+		every := *snapEvery
+		if every == 0 {
+			every = *duration / 4
+		}
+		cfg.SnapshotEvery = every
+		cfg.SnapshotSink = func(st *snapshot.State) error {
+			for _, e := range cliIdent {
+				st.Set(e[0], e[1])
+			}
+			return st.Save(*snapOut)
+		}
+	}
+	var resumedAt float64
+	if *resumeFrom != "" {
+		st, err := snapshot.Load(*resumeFrom)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, e := range cliIdent {
+			if v, ok := st.Get(e[0]); !ok || v != e[1] {
+				fatalf("snapshot %s: %s recorded %q but this run has %q (resume needs the original flags)",
+					*resumeFrom, e[0], v, e[1])
+			}
+		}
+		if resumedAt, err = st.Float("t"); err != nil {
+			fatalf("%v", err)
+		}
+		cfg.ResumeFrom = st
+	}
+
 	start := time.Now()
 	res, err := sim.Run(cfg, src, ctrl, *duration)
 	if err != nil {
@@ -246,6 +305,12 @@ func main() {
 
 	fmt.Printf("scheme          %s\n", res.Scheme)
 	fmt.Printf("simulated       %.0f s (%.1f h), wall %v\n", res.Duration, res.Duration/3600, time.Since(start).Round(time.Millisecond))
+	if *resumeFrom != "" {
+		fmt.Printf("resumed         from %s at t=%.0f s (state verified)\n", *resumeFrom, resumedAt)
+	}
+	if *snapOut != "" {
+		fmt.Printf("snapshots       every %.0f s -> %s\n", cfg.SnapshotEvery, *snapOut)
+	}
 	fmt.Printf("requests        %d (cache-absorbed %d)\n", res.Requests, res.CacheHits)
 	fmt.Printf("mean response   %.2f ms (P95 %.2f, P99 %.2f, max %.1f s)\n",
 		res.MeanResp*1000, res.P95Resp*1000, res.P99Resp*1000, res.MaxResp)

@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"hibernator/internal/atomicio"
 	"hibernator/internal/trace"
 )
 
@@ -48,16 +49,17 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var w io.Writer = os.Stdout
+	var n int
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatalf("%v", err)
-		}
-		defer f.Close()
-		w = f
+		// Atomic write: an interrupted tracegen never leaves a truncated
+		// trace file that a later hibsim run would silently accept.
+		err = atomicio.WriteFile(*out, func(w io.Writer) error {
+			n, err = trace.WriteCSV(w, src)
+			return err
+		})
+	} else {
+		n, err = trace.WriteCSV(os.Stdout, src)
 	}
-	n, err := trace.WriteCSV(w, src)
 	if err != nil {
 		fatalf("%v", err)
 	}

@@ -350,6 +350,55 @@ func (a *Array) InFlightMigrations() int { return len(a.migrating) }
 // amplification factor the CR optimizer needs.
 func (a *Array) FanoutIOs() uint64 { return a.fanoutIOs }
 
+// EnergyAt returns the joules all disks will have consumed at time t
+// without mutating any accounting — unlike TotalEnergy, which closes
+// each ledger and thereby splits the open interval's floating-point
+// accrual. Snapshot capture must be a pure read, so it uses this.
+func (a *Array) EnergyAt(t float64) float64 {
+	sum := 0.0
+	for _, d := range a.all {
+		sum += d.Account().EnergyAt(t)
+	}
+	return sum
+}
+
+// LayoutFingerprint digests the array's placement state: the extent map
+// in logical order, each group's slot-usage count, and the set of
+// extents currently mid-migration in ascending order. Two arrays with
+// equal fingerprints route every future request identically.
+func (a *Array) LayoutFingerprint() uint64 {
+	const prime = 1099511628211
+	mix := func(h, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+		return h
+	}
+	h := mix(14695981039346656037, uint64(a.numExtent))
+	for _, loc := range a.extentMap {
+		h = mix(h, uint64(loc.Group))
+		h = mix(h, uint64(loc.Slot))
+	}
+	for _, g := range a.groups {
+		h = mix(h, uint64(g.used))
+	}
+	migrating := make([]int, 0, len(a.migrating))
+	for e := range a.migrating {
+		migrating = append(migrating, e)
+	}
+	for i := 1; i < len(migrating); i++ { // insertion sort: the set is tiny
+		for j := i; j > 0 && migrating[j] < migrating[j-1]; j-- {
+			migrating[j], migrating[j-1] = migrating[j-1], migrating[j]
+		}
+	}
+	for _, e := range migrating {
+		h = mix(h, uint64(e))
+	}
+	return h
+}
+
 // TotalEnergy closes accounting on every disk and sums joules.
 func (a *Array) TotalEnergy() float64 {
 	sum := 0.0

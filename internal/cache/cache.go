@@ -220,6 +220,36 @@ func (c *Cache) FlushOldest(max int) []Range {
 	return coalesce(blocks, c.blockSize)
 }
 
+// Fingerprint digests the cache's full structural state — the resident
+// set in LRU order with per-block dirty bits, and the destage queue in
+// age order — for snapshot comparison. Counters are deliberately
+// excluded; they have their own accessors and snapshot keys.
+func (c *Cache) Fingerprint() uint64 {
+	const prime = 1099511628211
+	mix := func(h, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+		return h
+	}
+	h := mix(14695981039346656037, uint64(c.blockSize))
+	h = mix(h, uint64(c.capacity))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		v := uint64(e.block) << 1
+		if e.dirty {
+			v |= 1
+		}
+		h = mix(h, v)
+	}
+	for el := c.dirtyOrder.Front(); el != nil; el = el.Next() {
+		h = mix(h, uint64(el.Value.(int64)))
+	}
+	return h
+}
+
 // Contains reports whether the block holding the byte offset is resident.
 func (c *Cache) Contains(off int64) bool {
 	_, ok := c.entries[off/c.blockSize]

@@ -96,6 +96,14 @@ func Generate(seed int64, index int) Scenario {
 	// worker widths. The workers-metamorphic oracle in Execute holds every
 	// Workers>1 scenario byte-identical to its sequential twin.
 	s.Workers = choice(rng, []int{1, 2, 4, 8})
+
+	// Kill-and-restore: half the scenarios also capture a snapshot partway
+	// through and prove a restored run finishes identically. The fraction
+	// is deliberately high — the oracle crosses every subsystem's state
+	// capture, so it is where snapshot bugs actually surface.
+	if rng.Intn(2) == 0 {
+		s.SnapshotT = snap(choiceF(rng, []float64{0.25, 0.5, 0.75}) * s.Duration)
+	}
 	return s
 }
 

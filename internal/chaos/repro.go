@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hibernator/internal/atomicio"
 	"hibernator/internal/fault"
 )
 
@@ -42,6 +43,7 @@ func WriteRepro(w io.Writer, s *Scenario) error {
 	fmt.Fprintf(bw, "goal-ms %s\n", g(s.RespGoalMs))
 	fmt.Fprintf(bw, "epoch-frac %s\n", g(s.EpochFrac))
 	fmt.Fprintf(bw, "workers %d\n", s.Workers)
+	fmt.Fprintf(bw, "snapshot-t %s\n", g(s.SnapshotT))
 	fmt.Fprintf(bw, "workload %s\n", s.Workload)
 	fmt.Fprintf(bw, "rate %s\n", g(s.Rate))
 	fmt.Fprintf(bw, "retry.max-retries %d\n", s.Retry.MaxRetries)
@@ -62,17 +64,13 @@ func WriteRepro(w io.Writer, s *Scenario) error {
 	return bw.Flush()
 }
 
-// SaveRepro writes the scenario to a file.
+// SaveRepro writes the scenario to a file atomically: a soak killed
+// mid-write never leaves a truncated repro that replays a different
+// scenario.
 func SaveRepro(path string, s *Scenario) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := WriteRepro(f, s); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		return WriteRepro(w, s)
+	})
 }
 
 // LoadRepro reads and validates a repro file.
@@ -196,6 +194,8 @@ func (s *Scenario) setField(key, val string) error {
 		return pFloat(&s.EpochFrac)
 	case "workers":
 		return pInt(&s.Workers)
+	case "snapshot-t":
+		return pFloat(&s.SnapshotT)
 	case "workload":
 		return pString(&s.Workload)
 	case "rate":

@@ -1,12 +1,14 @@
 package chaos
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"strings"
 
 	"hibernator/internal/invariant"
 	"hibernator/internal/sim"
+	"hibernator/internal/snapshot"
 )
 
 // Fingerprint collapses a run to the scalars any accounting or determinism
@@ -80,6 +82,7 @@ const (
 	FailRepeat    = "repeat-mismatch"  // an identical rerun diverged
 	FailArmed     = "armed-mismatch"   // arming the checker changed the run
 	FailWorkers   = "workers-mismatch" // parallel run diverged from sequential
+	FailRestore   = "restore-mismatch" // snapshot+restore diverged from straight-through
 )
 
 // Failure describes one oracle verdict against a scenario. Detail is
@@ -97,7 +100,13 @@ func (f *Failure) Error() string { return f.Kind + ": " + f.Detail }
 // runOnce executes the scenario once, optionally with the invariant
 // checker armed, converting panics anywhere in the simulation into a
 // FailPanic failure.
-func (s *Scenario) runOnce(armed bool) (res *sim.Result, chk *invariant.Checker, fail *Failure) {
+func (s *Scenario) runOnce(armed bool) (*sim.Result, *invariant.Checker, *Failure) {
+	return s.runWith(armed, nil)
+}
+
+// runWith is runOnce with a config hook: the kill-and-restore oracle uses
+// it to arm snapshot capture or restore on an otherwise identical run.
+func (s *Scenario) runWith(armed bool, mutate func(*sim.Config)) (res *sim.Result, chk *invariant.Checker, fail *Failure) {
 	cfg, err := s.simConfig()
 	if err != nil {
 		return nil, nil, &Failure{Kind: FailError, Detail: err.Error()}
@@ -105,6 +114,9 @@ func (s *Scenario) runOnce(armed bool) (res *sim.Result, chk *invariant.Checker,
 	if armed {
 		chk = invariant.New()
 		cfg.Invariants = chk
+	}
+	if mutate != nil {
+		mutate(&cfg)
 	}
 	ctrl, err := s.controller()
 	if err != nil {
@@ -175,12 +187,17 @@ func violationDetail(chk *invariant.Checker) string {
 
 // RunsPerExecute is the number of simulation runs one Execute call costs:
 // armed, armed repeat, unarmed — plus a sequential unarmed twin when the
-// scenario runs the parallel engine.
+// scenario runs the parallel engine, plus a restored run when the
+// kill-and-restore oracle is armed.
 func (s *Scenario) RunsPerExecute() int {
+	n := 3
 	if s.Workers > 1 {
-		return 4
+		n++
 	}
-	return 3
+	if s.SnapshotT > 0 {
+		n++
+	}
+	return n
 }
 
 // Execute judges one scenario against all oracles, in deterministic order:
@@ -194,6 +211,12 @@ func (s *Scenario) RunsPerExecute() int {
 //     group-partitioned engine. (Armed runs are always sequential, so
 //     oracle 3 already crosses the engines; this one attributes a
 //     divergence to the parallel path by name.)
+//  5. for SnapshotT > 0, the unarmed run additionally captures a state
+//     snapshot at SnapshotT (riding oracle 3: capture must not perturb),
+//     the snapshot must be a write→parse→write fixed point, and a run
+//     restored from the parsed snapshot must finish with the identical
+//     fingerprint — the kill-and-restore contract behind `hibsim
+//     -resume-from`.
 //
 // A nil return means the scenario passed. Execute is a pure function of
 // the scenario — the soak and the shrinker both rely on that.
@@ -221,13 +244,50 @@ func Execute(s *Scenario) *Failure {
 		return &Failure{Kind: FailRepeat, Detail: fpA.diff(fpB)}
 	}
 
-	resC, _, fail := s.runOnce(false)
+	// The unarmed run doubles as the snapshot-capture run when the
+	// kill-and-restore oracle is armed; capture is a pure read, so the
+	// armed/unarmed comparison below also proves capture changed nothing.
+	var snapAtT *snapshot.State
+	var capture func(*sim.Config)
+	if s.SnapshotT > 0 {
+		capture = func(cfg *sim.Config) {
+			cfg.SnapshotEvery = s.SnapshotT
+			cfg.SnapshotSink = func(st *snapshot.State) error {
+				if snapAtT == nil {
+					snapAtT = st
+				}
+				return nil
+			}
+		}
+	}
+	resC, _, fail := s.runWith(false, capture)
 	if fail != nil {
 		return &Failure{Kind: FailArmed, Detail: "unarmed run failed where armed passed: " + fail.Error()}
 	}
 	fpC := fingerprintOf(resC)
 	if fpA != fpC {
 		return &Failure{Kind: FailArmed, Detail: fpA.diff(fpC)}
+	}
+
+	if s.SnapshotT > 0 {
+		if snapAtT == nil {
+			return &Failure{Kind: FailRestore, Detail: fmt.Sprintf("no snapshot captured at t=%g", s.SnapshotT)}
+		}
+		raw := snapAtT.Bytes()
+		reparsed, err := snapshot.Parse(bytes.NewReader(raw))
+		if err != nil {
+			return &Failure{Kind: FailRestore, Detail: "snapshot does not parse back: " + err.Error()}
+		}
+		if !bytes.Equal(raw, reparsed.Bytes()) {
+			return &Failure{Kind: FailRestore, Detail: "snapshot is not a write/parse fixed point"}
+		}
+		resE, _, fail := s.runWith(false, func(cfg *sim.Config) { cfg.ResumeFrom = reparsed })
+		if fail != nil {
+			return &Failure{Kind: FailRestore, Detail: "restored run failed where straight-through passed: " + fail.Error()}
+		}
+		if fpE := fingerprintOf(resE); fpC != fpE {
+			return &Failure{Kind: FailRestore, Detail: fmt.Sprintf("restored from t=%g: %s", s.SnapshotT, fpC.diff(fpE))}
+		}
 	}
 
 	if s.Workers > 1 {

@@ -73,6 +73,56 @@ func TestExecuteWithFaultsAndRetries(t *testing.T) {
 	}
 }
 
+func TestExecuteKillAndRestoreOracle(t *testing.T) {
+	// The kill-and-restore oracle on a loaded scenario: faults, retries,
+	// multi-speed disks, the parallel engine, and a mid-run snapshot. A
+	// pass proves capture+restore reproduced the run bit for bit.
+	s := Scenario{
+		Seed: 4, Duration: 90,
+		Scheme: "hibernator", Family: "enterprise", Levels: 3,
+		Groups: 2, GroupDisks: 3, RAID: "raid5",
+		Workload: "oltp", Rate: 20,
+		Workers: 4, SnapshotT: 45,
+	}
+	s.Retry.MaxRetries = 2
+	s.Retry.Backoff = 0.01
+	s.Retry.OpDeadline = 0.25
+	s.Retry.AutoRebuild = true
+	s.Events = append(s.Events, mustParseEvent(t, "30,1,failstop"))
+	if got, want := s.RunsPerExecute(), 5; got != want {
+		t.Fatalf("RunsPerExecute = %d, want %d", got, want)
+	}
+	if fail := Execute(&s); fail != nil {
+		t.Fatalf("kill-and-restore scenario failed oracles: %v", fail)
+	}
+}
+
+func TestExecuteRestoreOracleEveryScheme(t *testing.T) {
+	// Satellite of the matrix in internal/sim: the chaos-level restore
+	// oracle must hold for every scheme at both engine widths.
+	for _, scheme := range []string{"base", "tpm", "drpm", "pdc", "maid", "hibernator"} {
+		for _, workers := range []int{1, 8} {
+			scheme, workers := scheme, workers
+			t.Run(scheme+"/"+map[int]string{1: "w1", 8: "w8"}[workers], func(t *testing.T) {
+				t.Parallel()
+				s := Scenario{
+					Seed: 7, Duration: 60,
+					Scheme: scheme, Family: "enterprise", Levels: 3,
+					Groups: 2, GroupDisks: 3, RAID: "raid5", SpareDisks: 1,
+					Workload: "oltp", Rate: 15,
+					Workers: workers, SnapshotT: 30,
+				}
+				s.Rates.TransientProb = 0.002
+				s.Retry.MaxRetries = 1
+				s.Retry.Backoff = 0.01
+				if fail := Execute(&s); fail != nil {
+					t.Fatalf("%s workers=%d: %v", scheme, workers, fail)
+				}
+			})
+		}
+	}
+}
+
 func TestFingerprintDiffNamesFields(t *testing.T) {
 	a := Fingerprint{Requests: 10, Energy: 5}
 	b := Fingerprint{Requests: 11, Energy: 5}

@@ -60,6 +60,13 @@ type Scenario struct {
 	// oracle holds byte-identical to the sequential run.
 	Workers int
 
+	// SnapshotT arms the kill-and-restore oracle: the reference run
+	// captures a state snapshot at this simulated time, and an extra run
+	// restored from that snapshot must finish with the identical
+	// fingerprint — the crash-safety contract of `hibsim -resume-from`.
+	// 0 disables the oracle (pre-snapshot repro files replay unchanged).
+	SnapshotT float64
+
 	Workload string  // oltp | cello
 	Rate     float64 // oltp: mean req/s; cello: day-peak burst rate
 
@@ -93,6 +100,9 @@ func (s *Scenario) String() string {
 	}
 	if s.Workers > 1 {
 		fmt.Fprintf(&b, " workers=%d", s.Workers)
+	}
+	if s.SnapshotT > 0 {
+		fmt.Fprintf(&b, " snap@%gs", s.SnapshotT)
 	}
 	fmt.Fprintf(&b, " %s rate=%g", s.Workload, s.Rate)
 	if s.Retry != (array.RetryPolicy{}) {
@@ -182,6 +192,12 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Workers < 0 || s.Workers > 64 {
 		return fmt.Errorf("chaos: workers %d outside [0,64]", s.Workers)
+	}
+	if s.SnapshotT < 0 || math.IsNaN(s.SnapshotT) || math.IsInf(s.SnapshotT, 0) {
+		return fmt.Errorf("chaos: bad snapshot time %g", s.SnapshotT)
+	}
+	if s.SnapshotT >= s.Duration && s.SnapshotT != 0 {
+		return fmt.Errorf("chaos: snapshot time %g not inside (0, %g)", s.SnapshotT, s.Duration)
 	}
 	switch s.Workload {
 	case "oltp", "cello":

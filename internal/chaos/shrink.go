@@ -148,6 +148,11 @@ var transforms = []transform{
 				if d >= 30 {
 					c := *s
 					c.Duration = d
+					if c.SnapshotT >= d {
+						// Keep the kill-and-restore oracle armed inside the
+						// shorter run rather than invalidating the candidate.
+						c.SnapshotT = snap(d / 2)
+					}
 					out = append(out, c)
 				}
 			}
@@ -265,6 +270,22 @@ var transforms = []transform{
 			return []Scenario{c}
 		},
 		describe: func(s *Scenario) string { return "sequential engine (workers=1)" },
+	},
+	{
+		name: "drop-snapshot",
+		apply: func(s *Scenario) []Scenario {
+			// Disarming the kill-and-restore oracle attributes the failure
+			// the same way sequential-engine does: a restore-mismatch needs
+			// SnapshotT, so the shrinker keeps the snapshot exactly when
+			// the snapshot machinery is implicated.
+			if s.SnapshotT == 0 {
+				return nil
+			}
+			c := *s
+			c.SnapshotT = 0
+			return []Scenario{c}
+		},
+		describe: func(s *Scenario) string { return "drop snapshot capture" },
 	},
 	{
 		name: "single-speed",

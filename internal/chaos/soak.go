@@ -2,11 +2,13 @@ package chaos
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"hibernator/internal/journal"
 	"hibernator/internal/runner"
 )
 
@@ -38,6 +40,22 @@ type SoakOptions struct {
 	// that the find->shrink->replay loop works end to end. The soak is
 	// then expected to fail.
 	InjectBug bool
+
+	// Journal, when non-empty, records every scenario's verdict durably
+	// in an append-only journal at this path, so a killed soak can resume.
+	// The journal refuses to mix runs with different Seed/N/SimWorkers/
+	// InjectBug settings.
+	Journal string
+
+	// Resume skips scenarios whose verdicts the journal already records,
+	// reusing the recorded verdict verbatim — the merged report is
+	// byte-identical to an uninterrupted soak's.
+	Resume bool
+
+	// Context, when non-nil, cancels the soak between scenarios (signal
+	// handling in cmd/hibchaos). Verdicts journaled before the
+	// cancellation stay durable.
+	Context context.Context
 
 	// Log, when non-nil, receives progress lines (wall-clock friendly,
 	// NOT deterministic — keep it on stderr, never in the report).
@@ -77,13 +95,46 @@ func Soak(opts SoakOptions) (*SoakReport, error) {
 	if budget == 0 {
 		budget = DefaultShrinkBudget
 	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var jnl *journal.Journal
+	if opts.Journal != "" {
+		meta := fmt.Sprintf("soak seed=%d n=%d simworkers=%d injectbug=%t",
+			opts.Seed, opts.N, opts.SimWorkers, opts.InjectBug)
+		var err error
+		if jnl, err = journal.Open(opts.Journal, meta); err != nil {
+			return nil, err
+		}
+		defer jnl.Close()
+	}
 	type verdict struct {
 		fail   *Failure
 		sc     Scenario
 		shrunk ShrinkResult
 	}
-	verdicts, err := runner.Map(context.Background(), opts.Workers, opts.N,
+	verdicts, err := runner.Map(ctx, opts.Workers, opts.N,
 		func(_ context.Context, i int) (verdict, error) {
+			id := fmt.Sprintf("scenario-%d", i)
+			if jnl != nil && opts.Resume {
+				if e, ok := jnl.Done(id); ok {
+					var jv journaledVerdict
+					if err := json.Unmarshal([]byte(e.Detail), &jv); err == nil {
+						v := verdict{fail: jv.Fail, sc: jv.Scenario}
+						if jv.Shrunk != nil {
+							v.shrunk = *jv.Shrunk
+						}
+						return v, nil
+					}
+					// An undecodable verdict is re-run, not trusted.
+				}
+			}
+			if jnl != nil {
+				if err := jnl.Append(journal.Entry{Run: id, Status: journal.StatusRunning, Attempt: 1}); err != nil {
+					return verdict{}, err
+				}
+			}
 			sc := Generate(opts.Seed, i)
 			if opts.SimWorkers > 0 {
 				sc.Workers = opts.SimWorkers
@@ -100,6 +151,20 @@ func Soak(opts SoakOptions) (*SoakReport, error) {
 				v.shrunk, _ = Shrink(sc, budget)
 			} else if opts.Log != nil && (i+1)%100 == 0 {
 				fmt.Fprintf(opts.Log, "chaos: %d scenarios judged\n", i+1)
+			}
+			if jnl != nil {
+				jv := journaledVerdict{Fail: v.fail, Scenario: v.sc}
+				if v.fail != nil {
+					shrunk := v.shrunk
+					jv.Shrunk = &shrunk
+				}
+				blob, err := json.Marshal(jv)
+				if err != nil {
+					return verdict{}, err
+				}
+				if err := jnl.Append(journal.Entry{Run: id, Status: journal.StatusDone, Attempt: 1, Detail: string(blob)}); err != nil {
+					return verdict{}, err
+				}
 			}
 			return v, nil
 		})
@@ -125,6 +190,15 @@ func Soak(opts SoakOptions) (*SoakReport, error) {
 		rep.Failures = append(rep.Failures, sf)
 	}
 	return rep, nil
+}
+
+// journaledVerdict is the JSON payload one scenario's verdict journals
+// as: everything the report needs, so a resumed soak reprints the exact
+// bytes an uninterrupted one would have.
+type journaledVerdict struct {
+	Fail     *Failure      `json:"fail,omitempty"`
+	Scenario Scenario      `json:"scenario"`
+	Shrunk   *ShrinkResult `json:"shrunk,omitempty"`
 }
 
 // armBug plants the deliberate energy-ledger skew mid-run on a

@@ -51,6 +51,40 @@ func TestSoakReportIndependentOfParallelism(t *testing.T) {
 	}
 }
 
+// TestSoakJournalResume: a journaled soak resumed from its own journal
+// reprints the identical report without re-running any scenario — the
+// long-soak crash-recovery contract.
+func TestSoakJournalResume(t *testing.T) {
+	jpath := filepath.Join(t.TempDir(), "soak.jsonl")
+	// InjectBug makes every scenario fail, so the journal also has to
+	// round-trip shrink results, not just clean verdicts.
+	opts := SoakOptions{Seed: 1, N: 3, Workers: 2, InjectBug: true, ShrinkBudget: 10, Journal: jpath}
+	first := soakReportString(t, opts)
+
+	before, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Resume = true
+	second := soakReportString(t, opts)
+	if first != second {
+		t.Fatalf("resumed report diverged:\n%s\nvs\n%s", first, second)
+	}
+	after, err := os.Stat(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() != before.Size() {
+		t.Fatalf("resume re-ran journaled scenarios (journal grew %d -> %d bytes)", before.Size(), after.Size())
+	}
+
+	// A journal written under different options must refuse to resume.
+	opts.Seed = 2
+	if _, err := Soak(opts); err == nil || !strings.Contains(err.Error(), "seed=1") {
+		t.Fatalf("want meta mismatch naming recorded config, got %v", err)
+	}
+}
+
 // The injected-bug self test, end to end: the soak must catch the skew in
 // every scenario, shrink each to the acceptance bounds, and write repro
 // files that still fail when replayed from disk (the hibsim -repro path).

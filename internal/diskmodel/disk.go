@@ -160,6 +160,9 @@ type Disk struct {
 	levelShifts   uint64
 	bgCompleted   uint64
 	maxQueueDepth int
+	// rotDraws counts rotational-latency draws from the service-time RNG.
+	// Snapshots record it as the stream position (see FaultRNGDraws).
+	rotDraws uint64
 }
 
 // queue is a FIFO of requests with O(1) amortized push/pop.
@@ -337,6 +340,12 @@ func (d *Disk) MaxQueueDepth() int { return d.maxQueueDepth }
 
 // BytesMoved returns total bytes read and written.
 func (d *Disk) BytesMoved() (read, written uint64) { return d.bytesRead, d.bytesWritten }
+
+// RotLatencyDraws reports the service-time RNG's stream position: how
+// many rotational-latency draws the disk has consumed (always 0 with
+// ExpectedRotLatency). The stream is a pure function of (seed, draws),
+// so snapshots record the count to pin the generator's future.
+func (d *Disk) RotLatencyDraws() uint64 { return d.rotDraws }
 
 // Submit enqueues a request. A standby (or spinning-down) disk wakes
 // automatically, so callers never deadlock, but they pay the spin-up delay.
@@ -579,6 +588,7 @@ func (d *Disk) serviceTime(r *Request) (svc, pos float64, sequential bool) {
 		if d.cfg.ExpectedRotLatency {
 			latency = rot / 2
 		} else {
+			d.rotDraws++
 			latency = d.rng.Float64() * rot
 		}
 	}

@@ -48,6 +48,12 @@ type faultState struct {
 	transientErrs uint64
 	latentErrs    uint64
 	spinFailures  uint64
+
+	// draws counts consumptions of the fault RNG stream. Snapshots record
+	// it as the stream position: because the stream is a pure function of
+	// (seed, draws), equal draw counts at equal seeds mean the generators
+	// will produce identical futures.
+	draws uint64
 }
 
 // faults lazily allocates the fault state with its dedicated RNG.
@@ -211,9 +217,12 @@ func (d *Disk) faultOutcome(r *Request) bool {
 			}
 		}
 	}
-	if fs.transientProb > 0 && fs.rng.Float64() < fs.transientProb {
-		fs.transientErrs++
-		errored = true
+	if fs.transientProb > 0 {
+		fs.draws++
+		if fs.rng.Float64() < fs.transientProb {
+			fs.transientErrs++
+			errored = true
+		}
 	}
 	return errored
 }
@@ -224,9 +233,19 @@ func (d *Disk) spinUpFails() bool {
 	if fs == nil || fs.spinFailProb == 0 {
 		return false
 	}
+	fs.draws++
 	if fs.rng.Float64() < fs.spinFailProb {
 		fs.spinFailures++
 		return true
 	}
 	return false
+}
+
+// FaultRNGDraws reports the fault RNG's stream position: how many draws
+// the disk's fault models have consumed (0 when no fault is armed).
+func (d *Disk) FaultRNGDraws() uint64 {
+	if d.faults == nil {
+		return 0
+	}
+	return d.faults.draws
 }

@@ -14,12 +14,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"sync"
 
 	"hibernator/internal/report"
+	"hibernator/internal/sim"
 )
 
 // Opts parameterizes a run.
@@ -55,6 +57,15 @@ type Opts struct {
 	// for any value; only wall clock changes. Distinct from Workers,
 	// which fans independent runs out across goroutines.
 	SimWorkers int
+	// Context, when non-nil, cancels every simulation run in the
+	// experiment when it is cancelled (signal handling in cmd/hibexp).
+	// An un-cancelled context does not change any output byte.
+	Context context.Context
+	// Watchdog, when non-nil, bounds every simulation run in the
+	// experiment (sim.Config.Watchdog): a stuck run aborts with
+	// diagnostics instead of hanging the suite. An un-tripped watchdog
+	// does not change any output byte.
+	Watchdog *sim.Watchdog
 }
 
 func (o *Opts) norm() {

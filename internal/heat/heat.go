@@ -6,6 +6,7 @@ package heat
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hibernator/internal/array"
@@ -76,6 +77,28 @@ func (t *Tracker) Ranked() []int {
 		return out[a] < out[b]
 	})
 	return out
+}
+
+// Fingerprint folds the tracker's full deterministic state — decay
+// weight, counter snapshot and decayed temperatures — into one FNV-1a
+// hash. Epoch snapshots embed it so a resumed run can prove its replayed
+// tracker matches the original bit for bit.
+func (t *Tracker) Fingerprint() uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(math.Float64bits(t.alpha))
+	for _, v := range t.prev {
+		mix(v)
+	}
+	for _, v := range t.temp {
+		mix(math.Float64bits(v))
+	}
+	return h
 }
 
 // GroupLoad sums the temperatures of the extents currently placed in each

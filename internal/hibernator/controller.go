@@ -3,6 +3,8 @@ package hibernator
 import (
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 
 	"hibernator/internal/array"
 	"hibernator/internal/heat"
@@ -126,6 +128,41 @@ func (c *Controller) BoostCount() uint64 {
 
 // Layout exposes the layout manager (instrumentation).
 func (c *Controller) Layout() *Layout { return c.layout }
+
+// SnapshotState implements sim.StateSnapshotter: epoch position, the
+// adaptive interval, the plan in force (with its generation, so pending
+// staggered steps resolve identically after a resume), the boost count
+// and the heat tracker digest.
+func (c *Controller) SnapshotState(put func(key, value string)) {
+	put("hib.epochs", strconv.FormatUint(c.epochs, 10))
+	put("hib.plangen", strconv.FormatUint(c.planGen, 10))
+	put("hib.curepoch", strconv.FormatFloat(c.curEpoch, 'g', -1, 64))
+	put("hib.boosts", strconv.FormatUint(c.BoostCount(), 10))
+	put("hib.plan", fmt.Sprintf("%v|pred=%v|feasible=%v",
+		c.lastPlan.Levels, c.lastPlan.PredictedResp, c.lastPlan.Feasible))
+	if c.tracker != nil {
+		put("hib.tracker.fp", strconv.FormatUint(c.tracker.Fingerprint(), 10))
+	}
+	put("hib.curloads.fp", strconv.FormatUint(fpFloats(c.curLoads), 10))
+	put("hib.sortedloads.fp", strconv.FormatUint(fpFloats(c.sortedLoads), 10))
+}
+
+// fpFloats hashes a float slice by bit pattern (FNV-1a), for the state
+// digests above.
+func fpFloats(xs []float64) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= 1099511628211
+		}
+	}
+	mix(uint64(len(xs)))
+	for _, x := range xs {
+		mix(math.Float64bits(x))
+	}
+	return h
+}
 
 // Init implements sim.Controller.
 func (c *Controller) Init(env *sim.Env) {

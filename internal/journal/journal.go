@@ -1,0 +1,178 @@
+// Package journal records a suite's run lifecycle in an append-only
+// JSONL file so an interrupted suite can resume where it died. Each line
+// is one Entry: a run moves pending → running → done (with the sha256 of
+// its result artifact) or failed (with a structured reason). Appends are
+// fsynced, so every entry that Open later returns was durable before the
+// crash; a torn final line — the one write a kill -9 can interrupt — is
+// detected and truncated away on Open.
+//
+// The journal is an operational artifact, not a deterministic one: it
+// may carry wall-clock durations and attempt counts. Result artifacts
+// themselves are written atomically elsewhere (internal/atomicio) and
+// verified by hash on resume, so the journal never has to be trusted
+// about content — only about which runs are worth re-checking.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Statuses a run moves through. "meta" is reserved for the journal's own
+// header entry.
+const (
+	StatusPending = "pending"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+	statusMeta    = "meta"
+)
+
+// Entry is one journal line.
+type Entry struct {
+	// Run identifies the unit of work (experiment ID, scenario index).
+	Run string `json:"run"`
+	// Status is one of the Status constants.
+	Status string `json:"status"`
+	// Attempt counts executions of this run, 1-based (retries increment).
+	Attempt int `json:"attempt,omitempty"`
+	// SHA256 is the hex digest of the run's result artifact (done only).
+	SHA256 string `json:"sha256,omitempty"`
+	// Detail carries a failure reason or auxiliary payload.
+	Detail string `json:"detail,omitempty"`
+	// Wall is the run's wall-clock duration in seconds (operational;
+	// never part of any deterministic output).
+	Wall float64 `json:"wall_s,omitempty"`
+}
+
+// Journal is an open journal file. It is safe for concurrent use by the
+// pool workers of one process.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	meta   string
+	latest map[string]Entry
+}
+
+// Open opens (or creates) the journal at path. meta identifies the suite
+// configuration (flags, seed, scale); a fresh journal records it, and
+// reopening a journal written under a different meta is an error — a
+// resume with changed flags would silently mix incompatible results.
+// A torn final line from a crashed writer is truncated away.
+func Open(path, meta string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, latest: map[string]Entry{}}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	valid := 0 // bytes of fully-parsed lines
+	for len(data[valid:]) > 0 {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn tail: no newline made it to disk
+		}
+		var e Entry
+		if err := json.Unmarshal(data[valid:valid+nl], &e); err != nil {
+			break // torn tail: newline from a later write, partial JSON
+		}
+		valid += nl + 1
+		if e.Status == statusMeta {
+			if j.meta == "" {
+				j.meta = e.Detail
+			}
+			continue
+		}
+		j.latest[e.Run] = e
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if j.meta == "" && valid == 0 {
+		j.meta = meta
+		if err := j.append(Entry{Run: "journal", Status: statusMeta, Detail: meta}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	} else if j.meta != meta {
+		f.Close()
+		return nil, fmt.Errorf("journal %s: recorded config %q does not match current %q (use a fresh journal or the original flags)", path, j.meta, meta)
+	}
+	return j, nil
+}
+
+// Append records one entry durably: the line is written and fsynced
+// before Append returns, so a later crash cannot lose it.
+func (j *Journal) Append(e Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.append(e)
+}
+
+func (j *Journal) append(e Entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	if e.Status != statusMeta {
+		j.latest[e.Run] = e
+	}
+	return nil
+}
+
+// Latest returns the most recent entry recorded for run.
+func (j *Journal) Latest(run string) (Entry, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	e, ok := j.latest[run]
+	return e, ok
+}
+
+// Done returns the run's entry when its latest status is done.
+func (j *Journal) Done(run string) (Entry, bool) {
+	e, ok := j.Latest(run)
+	if !ok || e.Status != StatusDone {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Runs returns the number of runs with at least one recorded entry.
+func (j *Journal) Runs() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.latest)
+}
+
+// Close flushes and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}

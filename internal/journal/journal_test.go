@@ -1,0 +1,104 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestJournalLifecycle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.jsonl")
+	j, err := Open(path, "meta-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Run: "r1", Status: StatusRunning, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Run: "r1", Status: StatusDone, Attempt: 1, SHA256: "ab12"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Run: "r2", Status: StatusRunning, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: r1 is done with its hash, r2 was mid-flight.
+	j2, err := Open(path, "meta-v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if e, ok := j2.Done("r1"); !ok || e.SHA256 != "ab12" {
+		t.Fatalf("r1 done = %v %v", e, ok)
+	}
+	if _, ok := j2.Done("r2"); ok {
+		t.Fatal("r2 must not be done")
+	}
+	if e, ok := j2.Latest("r2"); !ok || e.Status != StatusRunning {
+		t.Fatalf("r2 latest = %v %v", e, ok)
+	}
+	if j2.Runs() != 2 {
+		t.Fatalf("runs = %d", j2.Runs())
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.jsonl")
+	j, err := Open(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(Entry{Run: "r1", Status: StatusDone, SHA256: "ff"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Simulate a kill -9 mid-append: a partial JSON line with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"run":"r2","sta`)
+	f.Close()
+
+	j2, err := Open(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := j2.Latest("r2"); ok {
+		t.Fatal("torn entry must not surface")
+	}
+	if _, ok := j2.Done("r1"); !ok {
+		t.Fatal("r1 lost")
+	}
+	// The torn bytes are gone: a fresh append then reopen parses cleanly.
+	if err := j2.Append(Entry{Run: "r3", Status: StatusDone, SHA256: "aa"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := Open(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if _, ok := j3.Done("r3"); !ok {
+		t.Fatal("r3 lost after torn-tail truncation")
+	}
+}
+
+func TestJournalMetaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.jsonl")
+	j, err := Open(path, "seed=1 n=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, err = Open(path, "seed=2 n=100")
+	if err == nil || !strings.Contains(err.Error(), "seed=1") {
+		t.Fatalf("want meta mismatch naming the recorded config, got %v", err)
+	}
+}

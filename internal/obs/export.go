@@ -4,9 +4,10 @@ import (
 	"bufio"
 	"io"
 	"math"
-	"os"
 	"strconv"
 	"strings"
+
+	"hibernator/internal/atomicio"
 )
 
 // The exporters format every byte by hand — shortest-round-trip floats
@@ -159,21 +160,14 @@ func (t *Trace) WriteFile(path string) error {
 	return writeFile(path, t.WriteCSV, t.WriteJSONL)
 }
 
-// writeFile creates path and streams it with the format the suffix picks.
+// writeFile streams path atomically with the format the suffix picks: a
+// crash mid-export can never leave a torn stream behind.
 func writeFile(path string, csv, jsonl func(io.Writer) error) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
 	write := jsonl
 	if strings.HasSuffix(path, ".csv") {
 		write = csv
 	}
-	if err := write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return atomicio.WriteFile(path, write)
 }
 
 // appendJSONFloat appends v in shortest-round-trip form, or null when v

@@ -17,6 +17,10 @@ type Registry struct {
 	byName     map[string]*metric
 	lastSample float64
 	sampled    bool
+	// suppressBefore makes Sample(t) with t strictly below it process the
+	// interval (so accumulators stay in lockstep with an uninterrupted
+	// run) but retain no row (see SuppressBefore).
+	suppressBefore float64
 }
 
 // kind discriminates the three instrument behaviours inside a metric.
@@ -114,7 +118,10 @@ func (r *Registry) Sample(t float64) {
 		// The first interval starts at the registry's epoch, time 0.
 		dt = t
 	}
-	r.times.Push(t)
+	keep := t >= r.suppressBefore
+	if keep {
+		r.times.Push(t)
+	}
 	for _, m := range r.metrics {
 		v := m.cur
 		if m.kind == kindTimeWeighted {
@@ -125,10 +132,26 @@ func (r *Registry) Sample(t float64) {
 			}
 			m.twInt = 0
 		}
-		m.vals.Push(v)
+		if keep {
+			m.vals.Push(v)
+		}
 	}
 	r.lastSample = t
 	r.sampled = true
+}
+
+// SuppressBefore makes samples taken strictly before cut process their
+// interval — time-weighted integrals reset, deltas advance, exactly as
+// in an uninterrupted run — while retaining no row. A resumed run
+// replays its deterministic prefix under suppression so its exported
+// stream is precisely the tail (rows at and after the snapshot epoch)
+// of the uninterrupted stream. Call before the first Sample; no-op on a
+// nil registry.
+func (r *Registry) SuppressBefore(cut float64) {
+	if r == nil {
+		return
+	}
+	r.suppressBefore = cut
 }
 
 // Samples reports how many sample points each series currently retains

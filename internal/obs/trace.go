@@ -46,6 +46,9 @@ type Event struct {
 // not safe for concurrent use; each run owns its own.
 type Trace struct {
 	events []Event
+	// suppressBefore drops events with T strictly below it (see
+	// SuppressBefore); 0 keeps everything.
+	suppressBefore float64
 }
 
 // NewTrace returns an empty trace with room for a typical run's events.
@@ -53,9 +56,21 @@ func NewTrace() *Trace {
 	return &Trace{events: make([]Event, 0, 256)}
 }
 
+// SuppressBefore drops subsequently emitted events whose time is
+// strictly below cut. A resumed run replays its deterministic prefix but
+// must export only the tail — the events from the snapshot epoch on — so
+// the resumed stream lines up with the tail of an uninterrupted one.
+// No-op on a nil trace.
+func (t *Trace) SuppressBefore(cut float64) {
+	if t == nil {
+		return
+	}
+	t.suppressBefore = cut
+}
+
 // Emit appends one event. It is a no-op on a nil trace.
 func (t *Trace) Emit(ev Event) {
-	if t == nil {
+	if t == nil || ev.T < t.suppressBefore {
 		return
 	}
 	t.events = append(t.events, ev)
@@ -63,7 +78,7 @@ func (t *Trace) Emit(ev Event) {
 
 // Event is shorthand for Emit with positional fields.
 func (t *Trace) Event(tm float64, kind string, group, disk, from, to int, reason string) {
-	if t == nil {
+	if t == nil || tm < t.suppressBefore {
 		return
 	}
 	t.events = append(t.events, Event{T: tm, Kind: kind, Group: group, Disk: disk, From: from, To: to, Reason: reason})
@@ -84,4 +99,16 @@ func (t *Trace) Events() []Event {
 		return nil
 	}
 	return t.events
+}
+
+// Tail copies the last n recorded events (fewer when the trace is
+// shorter, nil on a nil trace) — the watchdog's stuck-run diagnostics.
+func (t *Trace) Tail(n int) []Event {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	if n > len(t.events) {
+		n = len(t.events)
+	}
+	return append([]Event(nil), t.events[len(t.events)-n:]...)
 }

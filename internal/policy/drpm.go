@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"strconv"
+
 	"hibernator/internal/array"
 	"hibernator/internal/obs"
 	"hibernator/internal/sim"
@@ -53,6 +55,13 @@ func (d *DRPM) Init(env *sim.Env) {
 	groups := env.Array.Groups()
 	d.prevBusy = make([]float64, len(groups))
 	simevent.NewTicker(env.Engine, d.Window, func(now float64) { d.adjust(now) })
+}
+
+// SnapshotState implements sim.StateSnapshotter: the utilization
+// baseline (prevBusy) is DRPM's only evolving state.
+func (d *DRPM) SnapshotState(put func(key, value string)) {
+	put("drpm.prevbusy.n", strconv.Itoa(len(d.prevBusy)))
+	put("drpm.prevbusy.fp", strconv.FormatUint(fpFloats(d.prevBusy), 10))
 }
 
 func (d *DRPM) adjust(now float64) {

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"container/list"
+	"strconv"
 
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/obs"
@@ -97,6 +98,31 @@ func (m *MAID) Init(env *sim.Env) {
 
 // CacheStats returns chunk-level hit/miss counters.
 func (m *MAID) CacheStats() (hits, misses uint64) { return m.hits, m.misses }
+
+// SnapshotState implements sim.StateSnapshotter: the chunk cache's LRU
+// recency order, slot placement, dirty FIFO, free-list depth and hit/miss
+// counters fully determine MAID's future routing decisions.
+func (m *MAID) SnapshotState(put func(key, value string)) {
+	h := fnvOffset
+	for el := m.lru.Front(); el != nil; el = el.Next() {
+		c := el.Value.(int64)
+		ref := m.where[c]
+		h = fpMix(h, uint64(c))
+		h = fpMix(h, uint64(ref.spare)<<32|uint64(uint32(ref.slot)))
+		if m.dirty[c] {
+			h = fpMix(h, 1)
+		}
+	}
+	for el := m.dirtyOrder.Front(); el != nil; el = el.Next() {
+		h = fpMix(h, uint64(el.Value.(int64)))
+	}
+	put("maid.cache.fp", strconv.FormatUint(h, 10))
+	put("maid.cached", strconv.Itoa(m.lru.Len()))
+	put("maid.dirty", strconv.Itoa(m.dirtyOrder.Len()))
+	put("maid.free", strconv.Itoa(len(m.free)))
+	put("maid.hits", strconv.FormatUint(m.hits, 10))
+	put("maid.misses", strconv.FormatUint(m.misses, 10))
+}
 
 // Route implements sim.Router.
 func (m *MAID) Route(r trace.Request, finish func()) bool {

@@ -2,6 +2,7 @@ package policy
 
 import (
 	"math"
+	"strconv"
 
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/heat"
@@ -67,6 +68,15 @@ func (p *PDC) Init(env *sim.Env) {
 
 // HotGroups returns how many groups currently hold the popular data.
 func (p *PDC) HotGroups() int { return p.hot }
+
+// SnapshotState implements sim.StateSnapshotter: the hot-set size and the
+// temperature tracker are PDC's evolving state.
+func (p *PDC) SnapshotState(put func(key, value string)) {
+	put("pdc.hot", strconv.Itoa(p.hot))
+	if p.tracker != nil {
+		put("pdc.tracker.fp", strconv.FormatUint(p.tracker.Fingerprint(), 10))
+	}
+}
 
 func (p *PDC) reconcentrate() {
 	env := p.env

@@ -1,0 +1,30 @@
+package policy
+
+import "math"
+
+// FNV-1a helpers shared by the policies' SnapshotState implementations.
+// Epoch snapshots embed these digests so a resumed run can prove its
+// replayed policy state matches the original's bit for bit.
+
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+// fpMix folds one uint64 into an FNV-1a hash byte-wise.
+func fpMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= (v >> (8 * i)) & 0xff
+		h *= fnvPrime
+	}
+	return h
+}
+
+// fpFloats hashes a float slice by bit pattern, order-sensitively.
+func fpFloats(xs []float64) uint64 {
+	h := fpMix(fnvOffset, uint64(len(xs)))
+	for _, x := range xs {
+		h = fpMix(h, math.Float64bits(x))
+	}
+	return h
+}

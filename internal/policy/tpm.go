@@ -1,6 +1,8 @@
 package policy
 
 import (
+	"strconv"
+
 	"hibernator/internal/diskmodel"
 	"hibernator/internal/obs"
 	"hibernator/internal/sim"
@@ -37,6 +39,14 @@ func (*TPM) Name() string { return "TPM" }
 func BreakEvenTime(spec *diskmodel.Spec) float64 {
 	full := spec.FullLevel()
 	return (spec.SpinDownEnergy + spec.SpinUpEnergy) / (spec.IdlePower[full] - spec.StandbyPower)
+}
+
+// SnapshotState implements sim.StateSnapshotter. TPM keeps no evolving
+// state beyond its (possibly defaulted) threshold, but recording it still
+// catches a resume whose replay resolved a different break-even time.
+func (t *TPM) SnapshotState(put func(key, value string)) {
+	put("tpm.idlethreshold", strconv.FormatFloat(t.IdleThreshold, 'g', -1, 64))
+	put("tpm.checkperiod", strconv.FormatFloat(t.CheckPeriod, 'g', -1, 64))
 }
 
 // Init implements sim.Controller.

@@ -1,0 +1,53 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrySucceedsAfterFailures(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), 3, time.Millisecond, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryReturnsLastError(t *testing.T) {
+	last := errors.New("still broken")
+	calls := 0
+	err := Retry(context.Background(), 3, 0, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("earlier")
+		}
+		return last
+	})
+	if !errors.Is(err, last) || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestRetryStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, 10, time.Hour, func(context.Context) error {
+		calls++
+		cancel() // cancelled mid-suite: the backoff sleep must not block
+		return errors.New("fail")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 )
 
 // Job is one unit of independent work. The context is cancelled once any
@@ -106,6 +107,43 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 		return nil, err
 	}
 	return out, nil
+}
+
+// Retry runs fn up to attempts times, sleeping backoff, 2*backoff, ... in
+// between (doubling each time). It returns nil on the first success and
+// the last error otherwise. A cancelled context stops the retries
+// immediately — its error is returned rather than fn's, so a user
+// interrupt is never misreported as a run failure. Retry exists for
+// watchdog-aborted runs: a run that tripped a wall-clock or stall limit
+// on a loaded machine often completes cleanly on a quieter retry, while a
+// deterministic failure just fails again and surfaces quickly.
+func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func(ctx context.Context) error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for a := 0; a < attempts; a++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = fn(ctx); err == nil {
+			return nil
+		}
+		if a == attempts-1 {
+			break
+		}
+		delay := backoff << a
+		if delay > 0 {
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return ctx.Err()
+			case <-t.C:
+			}
+		}
+	}
+	return err
 }
 
 // forEach is the scheduling core: a feeder channel of indices, `workers`

@@ -50,45 +50,67 @@ import (
 // enforce all of this end to end.
 
 // runEngines drives the run's event loop(s) to `duration`. With no
-// partitions and no context it is exactly the legacy engine.Run call.
-// seqSrc is the sequence counter shared by global and parts (nil when
-// parts is nil).
-func runEngines(cfg *Config, global *simevent.Engine, parts []*simevent.Engine, seqSrc *uint64, arr *array.Array, duration float64) error {
+// partitions, no context, no snapshots and no watchdog it is exactly the
+// legacy engine.Run call. seqSrc is the sequence counter shared by global
+// and parts (nil when parts is nil).
+func runEngines(cfg *Config, global *simevent.Engine, parts []*simevent.Engine, seqSrc *uint64, arr *array.Array, duration float64, snap *snapCtl, wd *watchdogState) error {
 	if parts == nil {
-		if cfg.Context == nil {
+		if cfg.Context == nil && snap == nil && wd == nil {
 			global.Run(duration)
 			return nil
 		}
-		return runSequentialCtx(cfg, global, duration)
+		return runSequential(cfg, global, duration, snap, wd)
 	}
-	return runPartitioned(cfg, global, parts, seqSrc, arr, duration)
+	return runPartitioned(cfg, global, parts, seqSrc, arr, duration, snap, wd)
 }
 
 // ctxCheckEvery is how many events fire between cancellation polls; small
 // enough to cancel promptly, large enough to keep ctx.Err() off the per-
 // event hot path.
-const ctxCheckEvery = 256
+const ctxCheckEvery = 64
 
-// runSequentialCtx is engine.Run(duration) with periodic cancellation
-// checks. Event order is identical: it steps the same calendar the same
-// way and only adds a poll every ctxCheckEvery events.
-func runSequentialCtx(cfg *Config, e *simevent.Engine, duration float64) error {
+// runSequential is engine.Run(duration) with periodic cancellation and
+// watchdog checks and between-event snapshot boundaries. Event order is
+// identical to Run: it steps the same calendar the same way; a snapshot
+// boundary b fires only once every event at or before b has (events at
+// exactly b go first — the strict b < at test), and capture schedules
+// nothing, so the event stream is untouched.
+func runSequential(cfg *Config, e *simevent.Engine, duration float64, snap *snapCtl, wd *watchdogState) error {
 	n := 0
 	for {
 		at, ok := e.NextAt()
+		if snap != nil {
+			if b, bok := snap.peek(); bok && (!ok || at > duration || b < at) {
+				if err := snap.fire(b); err != nil {
+					return err
+				}
+				continue
+			}
+		}
 		if !ok || at > duration {
 			break
 		}
 		e.Step()
 		if n++; n == ctxCheckEvery {
 			n = 0
-			if err := cfg.Context.Err(); err != nil {
-				return err
+			if wd != nil {
+				wd.note(e.Processed())
+				if err := wd.overBudget(e.Processed()); err != nil {
+					return err
+				}
+			}
+			if cfg.Context != nil {
+				if err := cfg.Context.Err(); err != nil {
+					return err
+				}
 			}
 		}
 	}
 	e.Run(duration) // nothing left at or below duration; advances the clock
-	return cfg.Context.Err()
+	if cfg.Context != nil {
+		return cfg.Context.Err()
+	}
+	return nil
 }
 
 // windowPool runs cold-partition windows on a fixed set of worker
@@ -140,7 +162,13 @@ func (p *windowPool) close() {
 }
 
 // runPartitioned is the coordinator loop described at the top of the file.
-func runPartitioned(cfg *Config, global *simevent.Engine, parts []*simevent.Engine, seqSrc *uint64, arr *array.Array, duration float64) error {
+// A snapshot boundary b behaves like a global pseudo-event: cold windows
+// are capped at nextafter(b) so they drain every partition event at or
+// before b and none after, and the capture fires in phase 2 only when the
+// globally earliest real event lies strictly beyond b — the same
+// between-events position the sequential loop uses, so the captured bytes
+// are identical at any worker count.
+func runPartitioned(cfg *Config, global *simevent.Engine, parts []*simevent.Engine, seqSrc *uint64, arr *array.Array, duration float64, snap *snapCtl, wd *watchdogState) error {
 	ctx := cfg.Context
 	// Partition membership is fixed at construction: these are the disks
 	// whose transitions live on parts[gi]. Rebuilds swap spares into
@@ -159,10 +187,22 @@ func runPartitioned(cfg *Config, global *simevent.Engine, parts []*simevent.Engi
 	windows := make([]*simevent.Engine, 0, len(parts))
 	steps := 0
 	for {
-		if ctx != nil {
+		if ctx != nil || wd != nil {
 			if steps&(ctxCheckEvery-1) == 0 {
-				if err := ctx.Err(); err != nil {
-					return err
+				if wd != nil {
+					processed := global.Processed()
+					for _, pe := range parts {
+						processed += pe.Processed()
+					}
+					wd.note(processed)
+					if err := wd.overBudget(processed); err != nil {
+						return err
+					}
+				}
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 				}
 			}
 			steps++
@@ -170,6 +210,18 @@ func runPartitioned(cfg *Config, global *simevent.Engine, parts []*simevent.Engi
 		T := horizon
 		if gt, ok := global.NextAt(); ok && gt <= duration {
 			T = gt
+		}
+		// A pending snapshot boundary caps the cold windows: RunBefore is
+		// exclusive, so nextafter(b) admits partition events at exactly b
+		// (they precede the capture) and nothing later.
+		bAt, haveB := 0.0, false
+		if snap != nil {
+			if b, bok := snap.peek(); bok {
+				bAt, haveB = b, true
+				if bh := math.Nextafter(b, math.Inf(1)); bh < T {
+					T = bh
+				}
+			}
 		}
 
 		// Phase 1: parallel cold windows, strictly below T. Only when
@@ -217,6 +269,16 @@ func runPartitioned(cfg *Config, global *simevent.Engine, parts []*simevent.Engi
 			if pok && pat <= duration && (best == nil || pat < at || (pat == at && pseq < seq)) {
 				best, at, seq = pe, pat, pseq
 			}
+		}
+		// The boundary fires only when every event at or before it (on any
+		// engine) has run — i.e. the globally earliest pending event lies
+		// strictly beyond it. Same-instant events win the tie, exactly as
+		// in the sequential loop.
+		if haveB && (best == nil || bAt < at) {
+			if err := snap.fire(bAt); err != nil {
+				return err
+			}
+			continue
 		}
 		if best == nil {
 			break

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"hibernator/internal/array"
 	"hibernator/internal/cache"
@@ -17,6 +18,7 @@ import (
 	"hibernator/internal/obs"
 	"hibernator/internal/raid"
 	"hibernator/internal/simevent"
+	"hibernator/internal/snapshot"
 	"hibernator/internal/stats"
 	"hibernator/internal/trace"
 )
@@ -103,6 +105,30 @@ type Config struct {
 	// cache counters (see internal/invariant). Nil is a strict no-op — no
 	// extra events, no extra allocations, byte-identical output.
 	Invariants *invariant.Checker
+
+	// SnapshotEvery > 0 captures a full deterministic state snapshot at
+	// every multiple of this simulated time and hands it to SnapshotSink.
+	// Capture happens between events and is a pure read, so a run with
+	// snapshots enabled is byte-identical to one without — at any worker
+	// count. 0 disables periodic capture.
+	SnapshotEvery float64
+	// SnapshotSink receives each periodic snapshot. A nil sink with
+	// SnapshotEvery set still exercises capture (useful in tests); sink
+	// errors abort the run.
+	SnapshotSink func(*snapshot.State) error
+	// ResumeFrom, when non-nil, resumes the run from a snapshot: the
+	// config section is validated up front, the deterministic prefix is
+	// replayed from t=0 with Metrics/Trace rows before the snapshot epoch
+	// suppressed, and at the epoch the re-derived state is compared entry
+	// by entry against the snapshot — any divergence aborts the run
+	// naming the first mismatched key. The final Result is byte-identical
+	// to an uninterrupted run's, and the exported metric/trace streams
+	// are exactly the uninterrupted streams' tails from the epoch on.
+	ResumeFrom *snapshot.State
+	// Watchdog, when any of its limits is set, aborts a stuck or runaway
+	// run with a *WatchdogError carrying diagnostics. It never perturbs a
+	// healthy run's output.
+	Watchdog *Watchdog
 }
 
 func (c *Config) applyDefaults() error {
@@ -132,6 +158,9 @@ func (c *Config) applyDefaults() error {
 	}
 	if c.Workers < 0 {
 		return fmt.Errorf("sim: negative worker count")
+	}
+	if c.SnapshotEvery < 0 {
+		return fmt.Errorf("sim: negative snapshot interval")
 	}
 	if c.Workers == 0 {
 		c.Workers = 1
@@ -503,8 +532,65 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		})
 	}
 
+	// Snapshot boundaries: periodic capture, and on a resumed run the
+	// one-shot verification at the snapshot epoch (see snapshot.go).
+	var snap *snapCtl
+	if cfg.SnapshotEvery > 0 || cfg.ResumeFrom != nil {
+		refs := &snapRefs{
+			cfg: &cfg, scheme: ctrl.Name(), duration: duration,
+			engine: engine, parts: parts, arr: arr, cache: ctrlCache,
+			env: env, respW: &respW, respPct: respPct, res: res,
+			windows: &windows, viols: &violations, ctrl: ctrl,
+		}
+		snap = &snapCtl{every: cfg.SnapshotEvery, k: 1, verifyAt: -1,
+			duration: duration, capture: refs.capture, sink: cfg.SnapshotSink}
+		if cfg.ResumeFrom != nil {
+			t, err := cfg.ResumeFrom.Float("t")
+			if err != nil {
+				return nil, err
+			}
+			if t <= 0 || t > duration {
+				return nil, fmt.Errorf("sim: resume snapshot epoch t=%v outside (0, %v]", t, duration)
+			}
+			if err := refs.verifyResumeConfig(cfg.ResumeFrom); err != nil {
+				return nil, err
+			}
+			snap.verifyAt = t
+			snap.verify = cfg.ResumeFrom
+			cfg.Metrics.SuppressBefore(t)
+			cfg.Trace.SuppressBefore(t)
+		}
+	}
+	// Watchdog: derive a cancellable context the run loops poll; the
+	// monitor goroutine trips it on wall-clock or stall limits.
+	var wd *watchdogState
+	if cfg.Watchdog.enabled() {
+		base := cfg.Context
+		if base == nil {
+			base = context.Background()
+		}
+		wctx, cancel := context.WithCancel(base)
+		cfg.Context = wctx
+		wd = startWatchdog(cfg.Watchdog, cancel)
+		defer cancel()
+		defer wd.halt()
+	}
+
 	pump()
-	if err := runEngines(&cfg, engine, parts, seqSrc, arr, duration); err != nil {
+	if err := runEngines(&cfg, engine, parts, seqSrc, arr, duration, snap, wd); err != nil {
+		if wd != nil {
+			if reason := wd.tripReason(); reason != "" {
+				processed, pending := engine.Processed(), engine.Pending()
+				for _, pe := range parts {
+					processed += pe.Processed()
+					pending += pe.Pending()
+				}
+				return nil, &WatchdogError{
+					Reason: reason, Events: processed, Pending: pending,
+					Elapsed: time.Since(wd.start), LastTrace: cfg.Trace.Tail(wdTraceTail),
+				}
+			}
+		}
 		return nil, err
 	}
 

@@ -1,0 +1,232 @@
+// Package snapshot holds the deterministic full-state serialization a
+// simulation run captures at epoch boundaries. A snapshot is an ordered
+// list of key/value lines under a versioned header — the same plain-text,
+// write→parse→write fixed-point discipline the chaos repro files use —
+// so two snapshots are comparable byte for byte and a file survives a
+// round trip unchanged.
+//
+// The simulator never restores by deserializing closures: pending
+// controller events are re-derivable by construction, so "restore" means
+// replaying the deterministic prefix and then proving, byte for byte,
+// that the re-derived state equals the snapshot (see internal/sim). The
+// snapshot is therefore both a resume token and a rich state digest: any
+// nondeterminism, state-capture drift, or serialization bug surfaces as
+// a named first-divergent key instead of a silently wrong tail.
+package snapshot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hibernator/internal/atomicio"
+)
+
+// Header is the first line of every snapshot file; Parse rejects
+// anything else so stale formats fail loudly.
+const Header = "# hibsim snapshot v1"
+
+// maxLine bounds one snapshot line so a corrupt file cannot balloon
+// memory while being parsed.
+const maxLine = 64 << 10
+
+// Entry is one captured key/value pair. Keys contain no spaces; values
+// contain no newlines.
+type Entry struct {
+	Key, Value string
+}
+
+// State is an ordered set of entries. Order is part of the format: the
+// capture path emits sections in a fixed order, and comparison walks the
+// entries positionally, so equality is exact byte equality of the file.
+type State struct {
+	entries []Entry
+	index   map[string]int
+}
+
+// New returns an empty state.
+func New() *State {
+	return &State{index: map[string]int{}}
+}
+
+// Set appends one entry. Duplicate keys, spaces in keys, and newlines in
+// values are programming errors in the capture path, so Set panics on
+// them rather than letting a malformed snapshot escape.
+func (s *State) Set(key, value string) {
+	if key == "" || strings.ContainsAny(key, " \t\n\r") {
+		panic("snapshot: bad key " + strconv.Quote(key))
+	}
+	if strings.ContainsAny(value, "\n\r") || value == "" {
+		panic("snapshot: bad value for " + key + ": " + strconv.Quote(value))
+	}
+	if _, dup := s.index[key]; dup {
+		panic("snapshot: duplicate key " + key)
+	}
+	s.index[key] = len(s.entries)
+	s.entries = append(s.entries, Entry{Key: key, Value: value})
+}
+
+// SetFloat records v in shortest-round-trip form.
+func (s *State) SetFloat(key string, v float64) {
+	s.Set(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// SetInt records v in decimal.
+func (s *State) SetInt(key string, v int64) {
+	s.Set(key, strconv.FormatInt(v, 10))
+}
+
+// SetUint records v in decimal.
+func (s *State) SetUint(key string, v uint64) {
+	s.Set(key, strconv.FormatUint(v, 10))
+}
+
+// Get returns the value stored under key.
+func (s *State) Get(key string) (string, bool) {
+	i, ok := s.index[key]
+	if !ok {
+		return "", false
+	}
+	return s.entries[i].Value, true
+}
+
+// Float parses the value stored under key as a float64.
+func (s *State) Float(key string) (float64, error) {
+	v, ok := s.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("snapshot: missing key %s", key)
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: key %s: %v", key, err)
+	}
+	return f, nil
+}
+
+// Len reports the number of entries.
+func (s *State) Len() int { return len(s.entries) }
+
+// Section returns the entries whose key starts with prefix, in capture
+// order.
+func (s *State) Section(prefix string) []Entry {
+	var out []Entry
+	for _, e := range s.entries {
+		if strings.HasPrefix(e.Key, prefix) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteTo writes the snapshot in its canonical form: the header, then
+// one "key value" line per entry in insertion order.
+func (s *State) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	b.WriteString(Header)
+	b.WriteByte('\n')
+	for _, e := range s.entries {
+		b.WriteString(e.Key)
+		b.WriteByte(' ')
+		b.WriteString(e.Value)
+		b.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Bytes returns the canonical serialized form.
+func (s *State) Bytes() []byte {
+	var b strings.Builder
+	s.WriteTo(&b)
+	return []byte(b.String())
+}
+
+// Save writes the snapshot to path atomically, so a crash mid-write can
+// never leave a torn snapshot behind.
+func (s *State) Save(path string) error {
+	return atomicio.WriteFile(path, func(w io.Writer) error {
+		_, err := s.WriteTo(w)
+		return err
+	})
+}
+
+// Parse reads a snapshot in canonical form. Errors carry the 1-based
+// line number. Parse(WriteTo(s)) reproduces s exactly, which makes the
+// file a write→parse→write fixed point.
+func Parse(r io.Reader) (*State, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 4096), maxLine)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("snapshot: %v", err)
+		}
+		return nil, fmt.Errorf("snapshot: empty input")
+	}
+	if sc.Text() != Header {
+		return nil, fmt.Errorf("snapshot: line 1: bad header %q (want %q)", sc.Text(), Header)
+	}
+	st := New()
+	line := 1
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if text == "" {
+			return nil, fmt.Errorf("snapshot: line %d: empty line", line)
+		}
+		key, value, ok := strings.Cut(text, " ")
+		if !ok || key == "" || value == "" {
+			return nil, fmt.Errorf("snapshot: line %d: want \"key value\", got %q", line, text)
+		}
+		if _, dup := st.index[key]; dup {
+			return nil, fmt.Errorf("snapshot: line %d: duplicate key %s", line, key)
+		}
+		if strings.ContainsAny(value, "\r") {
+			return nil, fmt.Errorf("snapshot: line %d: carriage return in value", line)
+		}
+		st.Set(key, value)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("snapshot: line %d: %v", line, err)
+	}
+	return st, nil
+}
+
+// Load reads and parses the snapshot file at path.
+func Load(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return st, nil
+}
+
+// Diff compares two entry lists positionally and describes the first
+// divergence ("" when identical). Positional comparison is deliberate:
+// capture order is part of the format, so a reordering is itself a bug
+// worth reporting.
+func Diff(want, got []Entry) string {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i].Key != got[i].Key {
+			return fmt.Sprintf("entry %d: key %q vs %q", i, want[i].Key, got[i].Key)
+		}
+		if want[i].Value != got[i].Value {
+			return fmt.Sprintf("%s: %q vs %q", want[i].Key, want[i].Value, got[i].Value)
+		}
+	}
+	if len(want) != len(got) {
+		return fmt.Sprintf("entry count: %d vs %d", len(want), len(got))
+	}
+	return ""
+}

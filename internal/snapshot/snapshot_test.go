@@ -1,0 +1,123 @@
+package snapshot
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sample() *State {
+	s := New()
+	s.SetFloat("t", 3600)
+	s.Set("config.scheme", "Hibernator")
+	s.SetInt("state.requests", 123456)
+	s.SetUint("state.array.layout.fp", 987654321)
+	s.Set("state.policy.hib.plan", "[2 2 0 0]|pred=0.012|feasible=true")
+	return s
+}
+
+func TestWriteParseFixedPoint(t *testing.T) {
+	s := sample()
+	first := s.Bytes()
+	p, err := Parse(bytes.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := p.Bytes()
+	if !bytes.Equal(first, second) {
+		t.Fatalf("not a fixed point:\n%s\nvs\n%s", first, second)
+	}
+	if p.Len() != s.Len() {
+		t.Fatalf("len %d vs %d", p.Len(), s.Len())
+	}
+	if v, _ := p.Get("state.policy.hib.plan"); !strings.Contains(v, "feasible=true") {
+		t.Fatalf("value with spaces mangled: %q", v)
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epoch.snap")
+	s := sample()
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(s.Bytes(), p.Bytes()) {
+		t.Fatal("Save/Load round trip diverged")
+	}
+	if f, err := p.Float("t"); err != nil || f != 3600 {
+		t.Fatalf("t = %v, %v", f, err)
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	cases := []struct {
+		name, input, wantErr string
+	}{
+		{"empty", "", "empty input"},
+		{"bad header", "# other format\nk v\n", "bad header"},
+		{"missing value", Header + "\nkeyonly\n", "want \"key value\""},
+		{"empty line", Header + "\nk v\n\nk2 v\n", "empty line"},
+		{"duplicate key", Header + "\nk v\nk w\n", "duplicate key"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(strings.NewReader(c.input))
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("err = %v, want %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+func TestSection(t *testing.T) {
+	s := sample()
+	st := s.Section("state.")
+	if len(st) != 3 {
+		t.Fatalf("state section has %d entries", len(st))
+	}
+	for _, e := range st {
+		if !strings.HasPrefix(e.Key, "state.") {
+			t.Fatalf("stray key %s", e.Key)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a, b := sample(), sample()
+	if d := Diff(a.Section("state."), b.Section("state.")); d != "" {
+		t.Fatalf("identical states diff: %s", d)
+	}
+	c := New()
+	c.SetInt("state.requests", 123457)
+	c.SetUint("state.array.layout.fp", 987654321)
+	d := Diff(a.Section("state.")[:2], c.Section("state."))
+	if !strings.Contains(d, "state.requests") {
+		t.Fatalf("diff = %q, want first divergent key named", d)
+	}
+	if d2 := Diff(a.Section("state."), a.Section("state.")[:1]); !strings.Contains(d2, "entry count") {
+		t.Fatalf("diff = %q", d2)
+	}
+}
+
+func TestSetPanicsOnMalformed(t *testing.T) {
+	for _, c := range []struct{ k, v string }{
+		{"has space", "v"},
+		{"", "v"},
+		{"k", ""},
+		{"k", "line\nbreak"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Set(%q, %q) did not panic", c.k, c.v)
+				}
+			}()
+			New().Set(c.k, c.v)
+		}()
+	}
+}

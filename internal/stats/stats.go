@@ -111,6 +111,36 @@ func (w *Welford) Merge(o *Welford) {
 	w.sum += o.sum
 }
 
+// fnv64a hash constants — the snapshot fingerprints below fold state
+// into an FNV-1a digest by hand so they stay allocation-free.
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a digest byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// Fingerprint digests the accumulator's full internal state (count and
+// the exact bit patterns of sum, mean, M2, min, max) for snapshot
+// comparison: two accumulators fingerprint equal iff every future
+// statistic they can report is equal.
+func (w *Welford) Fingerprint() uint64 {
+	h := fnvMix(fnvOffset64, w.n)
+	h = fnvMix(h, math.Float64bits(w.mean))
+	h = fnvMix(h, math.Float64bits(w.m2))
+	h = fnvMix(h, math.Float64bits(w.min))
+	h = fnvMix(h, math.Float64bits(w.max))
+	return fnvMix(h, math.Float64bits(w.sum))
+}
+
 // Reservoir keeps a fixed-size uniform sample of a stream (Vitter's
 // algorithm R) so percentiles can be estimated over arbitrarily long runs
 // in bounded memory.
@@ -181,6 +211,20 @@ func (r *Reservoir) Quantile(q float64) float64 {
 	}
 	frac := pos - float64(lo)
 	return r.sorted[lo]*(1-frac) + r.sorted[hi]*frac
+}
+
+// Fingerprint digests the reservoir's observable state: the stream
+// length and the exact bit patterns of the retained sample in insertion
+// order. The RNG position is implied — the replacement stream is a pure
+// function of (seed, seen) — so equal fingerprints at equal seeds mean
+// identical future behavior.
+func (r *Reservoir) Fingerprint() uint64 {
+	h := fnvMix(fnvOffset64, r.seen)
+	h = fnvMix(h, uint64(len(r.items)))
+	for _, x := range r.items {
+		h = fnvMix(h, math.Float64bits(x))
+	}
+	return h
 }
 
 // Reset clears the reservoir but keeps the RNG stream position.

@@ -71,6 +71,20 @@ func (a *StateAccount) AddEnergy(state string, joules float64) {
 // of a run before reading totals.
 func (a *StateAccount) Close(t float64) { a.accrue(t) }
 
+// EnergyAt returns the joules the account would report if closed at time
+// t, without mutating anything. Snapshot capture uses it: Close splits
+// the open interval's floating-point accrual, which would perturb the
+// final totals by an ulp, while EnergyAt is a pure read.
+func (a *StateAccount) EnergyAt(t float64) float64 {
+	if t < a.last {
+		panic(fmt.Sprintf("stats: EnergyAt(%v) before last accrual %v", t, a.last))
+	}
+	return a.totEnergy + a.power*(t-a.last)
+}
+
+// LastAccrual returns the time up to which the account has integrated.
+func (a *StateAccount) LastAccrual() float64 { return a.last }
+
 // State returns the current state name.
 func (a *StateAccount) State() string { return a.state }
 
