@@ -440,8 +440,11 @@ type failingController struct {
 	at    float64
 }
 
+// Name delegates to the wrapped controller.
 func (f *failingController) Name() string { return f.inner.Name() }
 
+// Init initializes the wrapped controller and schedules the injected
+// disk failure.
 func (f *failingController) Init(env *sim.Env) {
 	f.inner.Init(env)
 	env.Engine.Schedule(f.at, func() {

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"testing"
+
+	"hibernator/internal/fleet"
+)
+
+// TestGenerateFleetPure checks fleet scenarios are pure functions of
+// (seed, index) and stay inside the cheap ranges.
+func TestGenerateFleetPure(t *testing.T) {
+	for i := 0; i < 32; i++ {
+		a, b := GenerateFleet(5, i), GenerateFleet(5, i)
+		if a != b {
+			t.Fatalf("GenerateFleet(5, %d) not pure:\n%+v\n%+v", i, a, b)
+		}
+		if a.Arrays < 2 || a.Arrays > 4 {
+			t.Fatalf("scenario %d samples %d arrays, want 2..4", i, a.Arrays)
+		}
+		if a.Duration < 60 || a.Duration > 90 {
+			t.Fatalf("scenario %d samples duration %g, want 60..90", i, a.Duration)
+		}
+		if a.PowerCap < 0 || a.PowerCap > a.Arrays {
+			t.Fatalf("scenario %d samples power cap %d with %d arrays", i, a.PowerCap, a.Arrays)
+		}
+		if a.Tenants < a.Arrays || a.Tenants > 4*a.Arrays {
+			t.Fatalf("scenario %d samples %d tenants for %d arrays", i, a.Tenants, a.Arrays)
+		}
+	}
+	if GenerateFleet(5, 0) == GenerateFleet(6, 0) {
+		t.Fatal("distinct seeds generated the identical fleet scenario")
+	}
+}
+
+// TestExecuteFleetPasses holds a handful of generated fleets to every
+// fleet oracle; the stock simulator must pass them all.
+func TestExecuteFleetPasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet oracle soak is seconds-long; skipped under -short")
+	}
+	for i := 0; i < 3; i++ {
+		cfg := GenerateFleet(9, i)
+		if fail := ExecuteFleet(cfg); fail != nil {
+			t.Fatalf("fleet scenario %d (%+v) failed: %v", i, cfg, fail)
+		}
+	}
+}
+
+// TestExecuteFleetCatchesBadConfig checks the error path stays an error,
+// not a panic.
+func TestExecuteFleetCatchesBadConfig(t *testing.T) {
+	fail := ExecuteFleet(fleet.Config{Arrays: -1})
+	if fail == nil || fail.Kind != FailError {
+		t.Fatalf("bad config produced %v, want %s", fail, FailError)
+	}
+}
+
+// TestFirstByteDiff pins the report-diff rendering the fleet oracles use.
+func TestFirstByteDiff(t *testing.T) {
+	got := firstByteDiff([]byte("a\nb\n"), []byte("a\nc\n"))
+	if got != `line 2: "b" != "c"` {
+		t.Fatalf("diff line rendering: %s", got)
+	}
+	got = firstByteDiff([]byte("a\n"), []byte("a\nb\n"))
+	if got != `line 2: "" != "b"` {
+		t.Fatalf("trailing-line rendering: %s", got)
+	}
+	got = firstByteDiff([]byte("a"), []byte("a\nb"))
+	if got != "lengths differ: 1 vs 3 bytes" {
+		t.Fatalf("length rendering: %s", got)
+	}
+}

@@ -1,0 +1,91 @@
+package diskmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// AFRCurve models a disk family's annualized failure rate over its
+// deployed life as the classic bathtub: an infant-mortality component
+// decaying geometrically over the first months, a flat useful-life floor,
+// and a linear wear-out ramp past an onset age. Fleet-scale simulation
+// (internal/fleet) uses it to stagger fault pressure across deployment
+// vintages — a five-year-old SFF array sees materially more ambient
+// trouble than a six-month-old enterprise one.
+//
+// At returns a rate per drive-year: 0.02 means a drive has a 2% chance of
+// fail-stop death in one year of service.
+type AFRCurve struct {
+	// Infant is the extra AFR at age zero, on top of Useful.
+	Infant float64
+	// InfantDecayYears is the age at which the infant component has
+	// decayed to 1/e of Infant.
+	InfantDecayYears float64
+	// Useful is the flat useful-life AFR floor.
+	Useful float64
+	// WearoutOnsetYears is the age past which wear-out sets in.
+	WearoutOnsetYears float64
+	// WearoutSlope is the extra AFR accrued per year past the onset.
+	WearoutSlope float64
+}
+
+// At evaluates the curve at an age in years (clamped below at 0).
+func (c AFRCurve) At(ageYears float64) float64 {
+	if ageYears < 0 {
+		ageYears = 0
+	}
+	afr := c.Useful
+	if c.InfantDecayYears > 0 {
+		afr += c.Infant * math.Exp(-ageYears/c.InfantDecayYears)
+	}
+	if ageYears > c.WearoutOnsetYears {
+		afr += (ageYears - c.WearoutOnsetYears) * c.WearoutSlope
+	}
+	return afr
+}
+
+// FamilyAFR returns the failure curve for a named disk family. The two
+// families mirror the Spec constructors: "enterprise" is the
+// Ultrastar-class 3.5" drive (low useful-life AFR, late wear-out),
+// "sff" the 2.5" nearline drive (higher floor, earlier wear-out). The
+// boolean is false for unknown families.
+func FamilyAFR(family string) (AFRCurve, bool) {
+	switch family {
+	case "enterprise":
+		return AFRCurve{
+			Infant: 0.020, InfantDecayYears: 0.5,
+			Useful:            0.008,
+			WearoutOnsetYears: 4, WearoutSlope: 0.020,
+		}, true
+	case "sff":
+		return AFRCurve{
+			Infant: 0.040, InfantDecayYears: 0.4,
+			Useful:            0.015,
+			WearoutOnsetYears: 3, WearoutSlope: 0.040,
+		}, true
+	}
+	return AFRCurve{}, false
+}
+
+// Truncate returns a copy of the spec keeping only the lowest n RPM
+// levels — the mechanism behind fleet power capping: a capped array's
+// disks physically cannot run above the retained tiers, whatever the
+// policy asks for. n is clamped to [1, Levels()]. The returned spec is
+// self-contained (slices copied) and always passes Validate; capacity and
+// transition parameters are unchanged, so a truncated array serves the
+// same logical volume at lower speed.
+func (s *Spec) Truncate(n int) Spec {
+	if n < 1 {
+		n = 1
+	}
+	if n > s.Levels() {
+		n = s.Levels()
+	}
+	out := *s
+	out.Name = fmt.Sprintf("%s-cap%d", s.Name, n)
+	out.RPM = append([]int(nil), s.RPM[:n]...)
+	out.IdlePower = append([]float64(nil), s.IdlePower[:n]...)
+	out.ActivePower = append([]float64(nil), s.ActivePower[:n]...)
+	out.TransferRate = append([]float64(nil), s.TransferRate[:n]...)
+	return out
+}

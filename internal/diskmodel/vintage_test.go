@@ -1,0 +1,66 @@
+package diskmodel
+
+import "testing"
+
+func TestAFRCurveShape(t *testing.T) {
+	for _, family := range []string{"enterprise", "sff"} {
+		c, ok := FamilyAFR(family)
+		if !ok {
+			t.Fatalf("FamilyAFR(%q) unknown", family)
+		}
+		// Bathtub: infant mortality decays, the floor holds, wear-out rises.
+		if c.At(0) <= c.At(2) {
+			t.Errorf("%s: infant AFR %.4f not above mid-life %.4f", family, c.At(0), c.At(2))
+		}
+		if c.At(2) < c.Useful {
+			t.Errorf("%s: mid-life AFR %.4f below useful floor %.4f", family, c.At(2), c.Useful)
+		}
+		if c.At(8) <= c.At(2) {
+			t.Errorf("%s: worn-out AFR %.4f not above mid-life %.4f", family, c.At(8), c.At(2))
+		}
+		// Negative ages clamp to age 0.
+		if c.At(-1) != c.At(0) {
+			t.Errorf("%s: At(-1)=%v != At(0)=%v", family, c.At(-1), c.At(0))
+		}
+	}
+	if _, ok := FamilyAFR("flash"); ok {
+		t.Fatal("FamilyAFR accepted an unknown family")
+	}
+}
+
+func TestSFFOutfailsEnterprise(t *testing.T) {
+	e, _ := FamilyAFR("enterprise")
+	s, _ := FamilyAFR("sff")
+	for _, age := range []float64{0, 0.5, 1, 2, 3, 4, 5, 7} {
+		if s.At(age) <= e.At(age) {
+			t.Errorf("age %.1f: sff AFR %.4f not above enterprise %.4f", age, s.At(age), e.At(age))
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	full := MultiSpeedUltrastar(5, 3000)
+	capped := full.Truncate(1)
+	if err := capped.Validate(); err != nil {
+		t.Fatalf("truncated spec invalid: %v", err)
+	}
+	if capped.Levels() != 1 || capped.RPM[0] != full.RPM[0] {
+		t.Fatalf("Truncate(1) kept levels %v, want just lowest %d", capped.RPM, full.RPM[0])
+	}
+	if capped.CapacityBytes != full.CapacityBytes {
+		t.Fatalf("Truncate changed capacity %d -> %d", full.CapacityBytes, capped.CapacityBytes)
+	}
+	// Clamping: out-of-range n keeps the spec valid and unshrunk/minimal.
+	if got := full.Truncate(99); got.Levels() != full.Levels() {
+		t.Fatalf("Truncate(99) levels = %d, want %d", got.Levels(), full.Levels())
+	}
+	if got := full.Truncate(0); got.Levels() != 1 {
+		t.Fatalf("Truncate(0) levels = %d, want 1", got.Levels())
+	}
+	// The copy is deep: mutating the truncation must not touch the parent.
+	two := full.Truncate(2)
+	two.RPM[0] = 1
+	if full.RPM[0] == 1 {
+		t.Fatal("Truncate shares the parent's RPM slice")
+	}
+}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"T1", "T2", "T3", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "X1", "X2", "X3", "X4", "X5", "X6"}
+	want := []string{"T1", "T2", "T3", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10", "F11", "X1", "X2", "X3", "X4", "X5", "X6", "X7"}
 	all := All()
 	if len(all) != len(want) {
 		ids := make([]string, len(all))

@@ -205,8 +205,11 @@ type failureInjector struct {
 	env       *sim.Env
 }
 
+// Name delegates to the wrapped controller.
 func (f *failureInjector) Name() string { return f.inner.Name() }
 
+// Init initializes the wrapped controller and schedules the failure and
+// rebuild events when armed.
 func (f *failureInjector) Init(env *sim.Env) {
 	f.env = env
 	f.inner.Init(env)

@@ -1,0 +1,267 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"hibernator/internal/sim"
+)
+
+// Report aggregates one fleet run. Everything in it is a pure function of
+// the Config that produced it; Write renders it byte-identically across
+// pool widths and invocations.
+type Report struct {
+	Seed     int64
+	Arrays   int
+	Tenants  int
+	Duration float64
+	PowerCap int
+	Checked  bool
+
+	TotalDisks   int
+	CappedArrays int
+	// FamilyArrays counts arrays per disk family.
+	FamilyArrays map[string]int
+
+	// TotalEnergyJ is the fleet energy total: the sum, in array-index
+	// order, of the per-array totals sim.Run reports (each of which the
+	// invariant checker re-derives from per-disk state ledgers when the
+	// run is checked).
+	TotalEnergyJ float64
+	// LedgerEnergyJ is the independent re-derivation: the same fleet
+	// total summed from every array's per-state energy ledger instead of
+	// its close-out total.
+	LedgerEnergyJ float64
+	// PerArrayEnergyJ holds each array's invariant-checked total.
+	PerArrayEnergyJ []float64
+	// EnergyByFamilyJ splits the fleet total by disk family.
+	EnergyByFamilyJ map[string]float64
+	// ConservationOK is the fleet-scope conservation verdict: the fleet
+	// total equals the sum of per-array totals exactly (it is that sum),
+	// and the state-ledger re-derivation agrees to relative 1e-9.
+	ConservationOK bool
+
+	Requests  uint64
+	CacheHits uint64
+	// FleetMeanResp is the request-weighted mean response time (seconds).
+	FleetMeanResp float64
+
+	// Tenant tail-latency roll-up (seconds) over tenants that completed
+	// at least one request, plus the worst tenants by P99.
+	ActiveTenants               int
+	TenantP95Mean, TenantP95Max float64
+	TenantP99Mean, TenantP99Max float64
+	WorstTenants                []*TenantStats
+	// GoalViolationMean/Max aggregate the per-array goal-violation
+	// fractions (unweighted across arrays).
+	GoalViolationMean, GoalViolationMax float64
+
+	SpinUps, SpinDowns, LevelShifts uint64
+	Migrations                      uint64
+
+	// Faults aggregates every array's fault accounting.
+	Faults sim.FaultSummary
+
+	// Violations lists invariant violations ("array N: ..."), empty for a
+	// clean checked run and always empty for an unchecked one.
+	Violations []string
+}
+
+// Ok reports a clean fleet: no invariant violations and conservation
+// holding at fleet scope.
+func (r *Report) Ok() bool { return len(r.Violations) == 0 && r.ConservationOK }
+
+// buildReport rolls per-array outcomes up into the fleet report, in
+// array-index order throughout so every float sum is order-deterministic.
+func buildReport(cfg *Config, plan *Plan, outcomes []arrayOutcome) *Report {
+	rep := &Report{
+		Seed: cfg.Seed, Arrays: cfg.Arrays, Tenants: cfg.Tenants,
+		Duration: cfg.Duration, PowerCap: cfg.PowerCap, Checked: cfg.Check,
+		FamilyArrays:    map[string]int{},
+		EnergyByFamilyJ: map[string]float64{},
+		PerArrayEnergyJ: make([]float64, 0, len(outcomes)),
+	}
+	var respWeighted float64
+	var allTenants []*TenantStats
+	for i := range outcomes {
+		o := &outcomes[i]
+		rep.TotalDisks += o.spec.TotalDisks()
+		rep.FamilyArrays[o.spec.Family]++
+		if o.spec.Capped {
+			rep.CappedArrays++
+		}
+		rep.PerArrayEnergyJ = append(rep.PerArrayEnergyJ, o.res.Energy)
+		rep.TotalEnergyJ += o.res.Energy
+		rep.EnergyByFamilyJ[o.spec.Family] += o.res.Energy
+		states := make([]string, 0, len(o.res.EnergyByState))
+		for s := range o.res.EnergyByState {
+			states = append(states, s)
+		}
+		sort.Strings(states)
+		for _, s := range states {
+			rep.LedgerEnergyJ += o.res.EnergyByState[s]
+		}
+		rep.Requests += o.res.Requests
+		rep.CacheHits += o.res.CacheHits
+		respWeighted += o.res.MeanResp * float64(o.res.Requests)
+		rep.SpinUps += o.res.SpinUps
+		rep.SpinDowns += o.res.SpinDowns
+		rep.LevelShifts += o.res.LevelShifts
+		rep.Migrations += o.res.Migrations
+		addFaults(&rep.Faults, &o.res.Faults)
+		if i == 0 || o.res.GoalViolationFrac > rep.GoalViolationMax {
+			rep.GoalViolationMax = o.res.GoalViolationFrac
+		}
+		rep.GoalViolationMean += o.res.GoalViolationFrac
+		for _, v := range o.viols {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("array %d: %s", o.spec.Index, v))
+		}
+		allTenants = append(allTenants, o.tenants...)
+	}
+	if len(outcomes) > 0 {
+		rep.GoalViolationMean /= float64(len(outcomes))
+	}
+	if rep.Requests > 0 {
+		rep.FleetMeanResp = respWeighted / float64(rep.Requests)
+	}
+
+	sortTenants(allTenants)
+	for _, ts := range allTenants {
+		if ts.Requests == 0 {
+			continue
+		}
+		rep.ActiveTenants++
+		p95, p99 := ts.P95(), ts.P99()
+		rep.TenantP95Mean += p95
+		rep.TenantP99Mean += p99
+		if p95 > rep.TenantP95Max {
+			rep.TenantP95Max = p95
+		}
+		if p99 > rep.TenantP99Max {
+			rep.TenantP99Max = p99
+		}
+	}
+	if rep.ActiveTenants > 0 {
+		rep.TenantP95Mean /= float64(rep.ActiveTenants)
+		rep.TenantP99Mean /= float64(rep.ActiveTenants)
+	}
+	worst := append([]*TenantStats(nil), allTenants...)
+	sort.SliceStable(worst, func(i, j int) bool {
+		pi, pj := worst[i].P99(), worst[j].P99()
+		if pi != pj {
+			return pi > pj
+		}
+		return worst[i].ID < worst[j].ID
+	})
+	if len(worst) > 5 {
+		worst = worst[:5]
+	}
+	rep.WorstTenants = worst
+
+	delta := rep.TotalEnergyJ - rep.LedgerEnergyJ
+	scale := math.Abs(rep.TotalEnergyJ) + math.Abs(rep.LedgerEnergyJ)
+	rep.ConservationOK = math.Abs(delta) <= 1e-6 || math.Abs(delta) <= 1e-9*scale
+	return rep
+}
+
+// addFaults accumulates one array's fault summary into the fleet's.
+func addFaults(dst, src *sim.FaultSummary) {
+	dst.Injected += src.Injected
+	dst.SkippedInjections += src.SkippedInjections
+	dst.TransientErrs += src.TransientErrs
+	dst.LatentErrs += src.LatentErrs
+	dst.SpinUpFailures += src.SpinUpFailures
+	dst.Retries += src.Retries
+	dst.Timeouts += src.Timeouts
+	dst.Fallbacks += src.Fallbacks
+	dst.Evictions += src.Evictions
+	dst.DiskFailures += src.DiskFailures
+	dst.Rebuilds += src.Rebuilds
+	dst.LostIOs += src.LostIOs
+}
+
+// Write renders the report deterministically.
+func (r *Report) Write(w io.Writer) error {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "hibfleet report: seed=%d arrays=%d tenants=%d dur=%gs power-cap=%s check=%t\n",
+		r.Seed, r.Arrays, r.Tenants, r.Duration, capString(r.PowerCap), r.Checked)
+	fams := make([]string, 0, len(r.FamilyArrays))
+	for f := range r.FamilyArrays {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	fmt.Fprintf(&b, "fleet: %d disks;", r.TotalDisks)
+	for _, f := range fams {
+		fmt.Fprintf(&b, " %s x%d,", f, r.FamilyArrays[f])
+	}
+	fmt.Fprintf(&b, " %d array(s) capped\n", r.CappedArrays)
+	fmt.Fprintf(&b, "energy: total %.3f kJ = sum of %d per-array totals", r.TotalEnergyJ/1000, r.Arrays)
+	for _, f := range fams {
+		fmt.Fprintf(&b, "; %s %.3f kJ", f, r.EnergyByFamilyJ[f]/1000)
+	}
+	fmt.Fprintln(&b)
+	fmt.Fprintf(&b, "conservation: state-ledger re-derivation %.6f kJ, delta %.3g J: %s\n",
+		r.LedgerEnergyJ/1000, r.TotalEnergyJ-r.LedgerEnergyJ, okString(r.ConservationOK))
+	fmt.Fprintf(&b, "requests: %d (%d cache hits); fleet mean resp %.3f ms\n",
+		r.Requests, r.CacheHits, r.FleetMeanResp*1000)
+	fmt.Fprintf(&b, "tenants: %d active of %d; P95 mean/max %.3f/%.3f ms; P99 mean/max %.3f/%.3f ms\n",
+		r.ActiveTenants, r.Tenants,
+		r.TenantP95Mean*1000, r.TenantP95Max*1000, r.TenantP99Mean*1000, r.TenantP99Max*1000)
+	for _, ts := range r.WorstTenants {
+		fmt.Fprintf(&b, "  worst: tenant %d (%s rate=%g on array %d): %d reqs, mean %.3f ms, P99 %.3f ms\n",
+			ts.ID, ts.Workload, ts.Rate, ts.Array, ts.Requests, ts.MeanResp()*1000, ts.P99()*1000)
+	}
+	fmt.Fprintf(&b, "goal: violation fraction mean %.4f, max %.4f\n", r.GoalViolationMean, r.GoalViolationMax)
+	fmt.Fprintf(&b, "activity: %d spin-ups, %d spin-downs, %d level shifts, %d migrations\n",
+		r.SpinUps, r.SpinDowns, r.LevelShifts, r.Migrations)
+	fmt.Fprintf(&b, "faults: %d injected, %d transient errs, %d retries, %d timeouts, %d fallbacks, %d evictions, %d disk failures, %d rebuilds, %d lost IOs\n",
+		r.Faults.Injected, r.Faults.TransientErrs, r.Faults.Retries, r.Faults.Timeouts,
+		r.Faults.Fallbacks, r.Faults.Evictions, r.Faults.DiskFailures, r.Faults.Rebuilds, r.Faults.LostIOs)
+	if len(r.Violations) > 0 {
+		max := len(r.Violations)
+		if max > 10 {
+			max = 10
+		}
+		fmt.Fprintf(&b, "invariant violations: %d\n", len(r.Violations))
+		for _, v := range r.Violations[:max] {
+			fmt.Fprintf(&b, "  %s\n", v)
+		}
+		if max < len(r.Violations) {
+			fmt.Fprintf(&b, "  (+%d more)\n", len(r.Violations)-max)
+		}
+	}
+	if r.Ok() {
+		fmt.Fprintln(&b, "result: ok")
+	} else {
+		fmt.Fprintln(&b, "result: FAIL")
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+// Bytes renders the report to memory (the chaos fleet oracle's
+// byte-identity comparisons).
+func (r *Report) Bytes() []byte {
+	var b bytes.Buffer
+	_ = r.Write(&b) // a bytes.Buffer write cannot fail
+	return b.Bytes()
+}
+
+// capString renders the power cap ("off" when unset).
+func capString(cap int) string {
+	if cap <= 0 {
+		return "off"
+	}
+	return fmt.Sprintf("%d", cap)
+}
+
+// okString renders a verdict.
+func okString(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "VIOLATED"
+}

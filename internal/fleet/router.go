@@ -1,0 +1,128 @@
+package fleet
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Tenant is one workload stream the router shards onto an array. Profiles
+// are a pure function of (fleet seed, tenant id) via SampleTenant.
+type Tenant struct {
+	ID       int
+	Workload string  // oltp | cello
+	Rate     float64 // oltp: mean req/s; cello: day-peak burst rate
+	Seed     int64   // per-tenant generator seed
+}
+
+// SampleTenant draws the id-th tenant of a fleet seeded with seed.
+func SampleTenant(seed int64, id int) Tenant {
+	rng := rand.New(rand.NewSource(mix3(seed, int64(id), 0x7E4A47)))
+	t := Tenant{ID: id, Seed: int64(rng.Uint64() >> 1)}
+	if rng.Intn(4) == 0 {
+		t.Workload = "cello"
+		t.Rate = choiceF(rng, []float64{0.5, 1, 2})
+	} else {
+		t.Workload = "oltp"
+		t.Rate = float64(2 + rng.Intn(15))
+	}
+	return t
+}
+
+// Plan is the router's output: the tenant→array assignment and the power
+// cap's admission verdict, both pure functions of (seed, cap, arrays,
+// tenants). The fleet builds it once, before any array runs.
+type Plan struct {
+	// TenantArray maps tenant id → assigned array index. Every tenant is
+	// assigned exactly one array.
+	TenantArray []int
+	// Offered is the per-array offered load, the sum of assigned tenant
+	// rates (req/s; cello tenants count their day-peak rate).
+	Offered []float64
+	// Licensed marks arrays allowed to run disks above the low speed
+	// tier. With no cap every array is licensed; with cap K the K most
+	// loaded arrays (ties to the lower index) are.
+	Licensed []bool
+}
+
+// Assign routes one tenant by weighted rendezvous hashing (weighted
+// highest-random-weight): for every array the tenant draws a uniform
+// u ∈ (0,1) from hash(seed, tenant, array) and scores weight/-ln(u); the
+// highest score wins, ties to the lower index. Because each array's score
+// depends only on (seed, tenant, array index, array weight), growing the
+// fleet never reshuffles survivors: a tenant either keeps its array or
+// moves to one of the new indices.
+func Assign(seed int64, t Tenant, arrays []ArraySpec) int {
+	best, bestScore := -1, math.Inf(-1)
+	for i := range arrays {
+		u := hashUniform(seed, int64(t.ID), int64(arrays[i].Index))
+		score := arrays[i].Weight() / -math.Log(u)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// hashUniform maps (seed, tenant, array) to a uniform float in (0,1),
+// splitmix64-style, identically on every platform.
+func hashUniform(seed, tenant, arr int64) float64 {
+	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(tenant)*0x94d049bb133111eb + uint64(arr) + 0x2545f4914f6cdd1d
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / float64(1<<53)
+	if u <= 0 { // -ln(0) would be +Inf for every array; nudge off the edge
+		u = 1.0 / float64(1<<53)
+	}
+	return u
+}
+
+// BuildPlan assigns every tenant and computes the power-cap admission
+// plan: arrays ranked by offered load (descending, ties to the lower
+// index) receive the cap licenses; everyone else runs capped. cap <= 0 or
+// cap >= len(arrays) licenses the whole fleet.
+func BuildPlan(seed int64, cap int, arrays []ArraySpec, tenants []Tenant) *Plan {
+	p := &Plan{
+		TenantArray: make([]int, len(tenants)),
+		Offered:     make([]float64, len(arrays)),
+		Licensed:    make([]bool, len(arrays)),
+	}
+	for i, t := range tenants {
+		a := Assign(seed, t, arrays)
+		p.TenantArray[i] = a
+		p.Offered[a] += t.Rate
+	}
+	if cap <= 0 || cap >= len(arrays) {
+		for i := range p.Licensed {
+			p.Licensed[i] = true
+		}
+		return p
+	}
+	order := make([]int, len(arrays))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		if p.Offered[order[x]] != p.Offered[order[y]] {
+			return p.Offered[order[x]] > p.Offered[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	for _, i := range order[:cap] {
+		p.Licensed[i] = true
+	}
+	return p
+}
+
+// ArrayTenants returns the tenants assigned to one array, in tenant-id
+// order (the deterministic per-array stream order).
+func (p *Plan) ArrayTenants(arr int, tenants []Tenant) []Tenant {
+	var out []Tenant
+	for i, a := range p.TenantArray {
+		if a == arr {
+			out = append(out, tenants[i])
+		}
+	}
+	return out
+}

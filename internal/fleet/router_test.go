@@ -1,0 +1,126 @@
+package fleet
+
+import "testing"
+
+// TestAssignEveryTenantExactlyOneArray is the router's basic contract:
+// each tenant lands on exactly one in-range array, and re-running the
+// plan reproduces the assignment bit-for-bit.
+func TestAssignEveryTenantExactlyOneArray(t *testing.T) {
+	const seed, nArr, nTen = 42, 16, 200
+	arrays := make([]ArraySpec, nArr)
+	for i := range arrays {
+		arrays[i] = SampleArray(seed, i)
+	}
+	tenants := make([]Tenant, nTen)
+	for i := range tenants {
+		tenants[i] = SampleTenant(seed, i)
+	}
+	p := BuildPlan(seed, 0, arrays, tenants)
+	if len(p.TenantArray) != nTen {
+		t.Fatalf("TenantArray has %d entries, want %d", len(p.TenantArray), nTen)
+	}
+	for id, a := range p.TenantArray {
+		if a < 0 || a >= nArr {
+			t.Fatalf("tenant %d assigned out-of-range array %d", id, a)
+		}
+	}
+	q := BuildPlan(seed, 0, arrays, tenants)
+	for id := range p.TenantArray {
+		if p.TenantArray[id] != q.TenantArray[id] {
+			t.Fatalf("tenant %d assignment not reproducible: %d vs %d",
+				id, p.TenantArray[id], q.TenantArray[id])
+		}
+	}
+	// ArrayTenants partitions the tenant set.
+	seen := 0
+	for a := 0; a < nArr; a++ {
+		seen += len(p.ArrayTenants(a, tenants))
+	}
+	if seen != nTen {
+		t.Fatalf("ArrayTenants covered %d tenants, want %d", seen, nTen)
+	}
+}
+
+// TestAssignStableUnderGrowth is the rendezvous-hash property the fleet's
+// growth story depends on: adding arrays may only move a tenant to one of
+// the NEW arrays, never reshuffle it among the old ones.
+func TestAssignStableUnderGrowth(t *testing.T) {
+	const seed, small, big, nTen = 7, 12, 20, 300
+	arrays := make([]ArraySpec, big)
+	for i := range arrays {
+		arrays[i] = SampleArray(seed, i)
+	}
+	moved := 0
+	for id := 0; id < nTen; id++ {
+		ten := SampleTenant(seed, id)
+		before := Assign(seed, ten, arrays[:small])
+		after := Assign(seed, ten, arrays)
+		if after != before {
+			if after < small {
+				t.Fatalf("tenant %d reshuffled among surviving arrays: %d -> %d", id, before, after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("no tenant moved to the %d new arrays; growth did nothing", big-small)
+	}
+}
+
+// TestSampleArrayPure checks specs are pure functions of (seed, index):
+// equal inputs agree, different indices differ somewhere.
+func TestSampleArrayPure(t *testing.T) {
+	a, b := SampleArray(3, 5), SampleArray(3, 5)
+	if a.String() != b.String() || a.Seed != b.Seed {
+		t.Fatalf("SampleArray(3,5) not pure:\n%v\n%v", a.String(), b.String())
+	}
+	distinct := false
+	for i := 1; i < 16; i++ {
+		if SampleArray(3, i).Seed != a.Seed {
+			distinct = true
+			break
+		}
+	}
+	if !distinct {
+		t.Fatal("16 array samples share one seed; mixing is broken")
+	}
+}
+
+// TestBuildPlanPowerCap checks cap semantics: exactly cap licenses, the
+// most loaded arrays win, and cap 0 licenses everyone.
+func TestBuildPlanPowerCap(t *testing.T) {
+	const seed, nArr, nTen, cap = 11, 10, 80, 3
+	arrays := make([]ArraySpec, nArr)
+	for i := range arrays {
+		arrays[i] = SampleArray(seed, i)
+	}
+	tenants := make([]Tenant, nTen)
+	for i := range tenants {
+		tenants[i] = SampleTenant(seed, i)
+	}
+	p := BuildPlan(seed, cap, arrays, tenants)
+	licensed := 0
+	minLicensed, maxUnlicensed := 1e18, -1.0
+	for i, ok := range p.Licensed {
+		if ok {
+			licensed++
+			if p.Offered[i] < minLicensed {
+				minLicensed = p.Offered[i]
+			}
+		} else if p.Offered[i] > maxUnlicensed {
+			maxUnlicensed = p.Offered[i]
+		}
+	}
+	if licensed != cap {
+		t.Fatalf("licensed %d arrays, want %d", licensed, cap)
+	}
+	if maxUnlicensed > minLicensed {
+		t.Fatalf("admission inverted: unlicensed load %g > licensed load %g", maxUnlicensed, minLicensed)
+	}
+	uncapped := BuildPlan(seed, 0, arrays, tenants)
+	for i, ok := range uncapped.Licensed {
+		if !ok {
+			t.Fatalf("cap 0 left array %d unlicensed", i)
+		}
+	}
+}

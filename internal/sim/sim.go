@@ -85,6 +85,16 @@ type Config struct {
 	// seconds (default: RespWindow). Ignored when Metrics is nil.
 	ObsSampleEvery float64
 
+	// OnResponse, when non-nil, receives every foreground request's
+	// logical completion: the request as the workload emitted it (tenant
+	// tag included) plus its measured response time in seconds. It fires
+	// once per request — cache hits, routed requests (MAID) and multi-miss
+	// fan-outs included — at the simulated instant the harness records the
+	// response. Nil is a strict no-op: the hook adds no events and does
+	// not change any output byte. internal/fleet uses it for per-tenant
+	// latency attribution.
+	OnResponse func(r trace.Request, latency float64)
+
 	// Workers is the intra-run parallelism degree. 1 (or 0) runs the exact
 	// legacy sequential path. N > 1 partitions spin/shift transition events
 	// by disk group and advances idle groups on worker goroutines between
@@ -403,6 +413,16 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	}
 
 	process := func(r trace.Request) {
+		// record is recordResponse bound to this request, so every
+		// completion path below also feeds the per-request hook when one
+		// is armed. With a nil hook the wrapper reduces to the exact
+		// legacy call and the run is byte-identical.
+		record := func(lat float64) {
+			recordResponse(lat, r.Write)
+			if cfg.OnResponse != nil {
+				cfg.OnResponse(r, lat)
+			}
+		}
 		if sampler != nil {
 			sampler.onArrival(engine.Now())
 		}
@@ -412,14 +432,14 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		if router != nil {
 			start := engine.Now()
 			if router.Route(r, func() {
-				recordResponse(engine.Now()-start, r.Write)
+				record(engine.Now() - start)
 			}) {
 				return
 			}
 		}
 		if ctrlCache == nil {
 			arr.Submit(r.Off, r.Size, r.Write, func(lat float64) {
-				recordResponse(lat, r.Write)
+				record(lat)
 			})
 			return
 		}
@@ -429,7 +449,7 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 			destage(ctrlCache.Write(r.Off, r.Size))
 			res.CacheHits++
 			engine.Schedule(CacheHitLatency, func() {
-				recordResponse(CacheHitLatency, true)
+				record(CacheHitLatency)
 			})
 			return
 		}
@@ -438,7 +458,7 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 		if len(misses) == 0 {
 			res.CacheHits++
 			engine.Schedule(CacheHitLatency, func() {
-				recordResponse(CacheHitLatency, false)
+				record(CacheHitLatency)
 			})
 			return
 		}
@@ -453,12 +473,12 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 			arr.Submit(off, size, false, func(float64) {
 				remaining--
 				if remaining == 0 {
-					recordResponse(engine.Now()-start+CacheHitLatency, false)
+					record(engine.Now() - start + CacheHitLatency)
 				}
 			})
 		}
 		if remaining == 0 { // whole request clamped away (volume edge)
-			recordResponse(CacheHitLatency, false)
+			record(CacheHitLatency)
 		}
 	}
 

@@ -16,6 +16,12 @@ type Request struct {
 	Off   int64   // logical volume byte offset
 	Size  int64   // bytes
 	Write bool
+
+	// Tenant is an opaque stream tag carried through the simulator
+	// untouched: multi-tenant workloads (internal/fleet) label each
+	// tenant's requests with it and read it back in sim.Config.OnResponse
+	// to attribute response times. Single-stream workloads leave it 0.
+	Tenant int
 }
 
 // Source yields requests in nondecreasing Time order. Next reports false
