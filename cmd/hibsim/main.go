@@ -265,6 +265,8 @@ func main() {
 		{"cli.tracefile", tf},
 		{"cli.rate", fmt.Sprintf("%g", *rate)},
 		{"cli.failat", fmt.Sprintf("%g", *failAt)},
+		{"cli.workers", fmt.Sprintf("%d", *workers)},
+		{"cli.epoch", fmt.Sprintf("%g", *epoch)},
 	}
 	if *snapOut != "" {
 		every := *snapEvery

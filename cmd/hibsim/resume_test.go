@@ -135,4 +135,20 @@ func TestResumeRejectsChangedFlags(t *testing.T) {
 	if !bytes.Contains(errOut, []byte("config.seed")) {
 		t.Fatalf("changed seed not named: %s", errOut)
 	}
+	// Changed worker count. The output contract makes -workers invisible
+	// in the report, but restore identity is strict: this is not the run
+	// that was checkpointed, and the diagnostic is a single line naming
+	// the key.
+	errOut = runHibsim(t, false, append(base, "-workers", "4", "-resume-from", snap)...)
+	if !bytes.Contains(errOut, []byte("cli.workers")) {
+		t.Fatalf("changed workers not named: %s", errOut)
+	}
+	if n := bytes.Count(bytes.TrimRight(errOut, "\n"), []byte("\n")); n != 0 {
+		t.Fatalf("want a one-line diagnostic, got %d lines: %s", n+1, errOut)
+	}
+	// Changed epoch (recorded as its resolved default, duration/4).
+	errOut = runHibsim(t, false, append(base, "-epoch", "123", "-resume-from", snap)...)
+	if !bytes.Contains(errOut, []byte("cli.epoch")) {
+		t.Fatalf("changed epoch not named: %s", errOut)
+	}
 }

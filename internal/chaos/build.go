@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"hibernator/internal/sim"
+	"hibernator/internal/trace"
+)
+
+// Run is a scenario materialized into everything sim.Run needs: the
+// assembled config, workload source, controller, and duration. Callers
+// outside the package (the job server, the CLI's repro mode) decorate
+// Config — context, watchdog, progress counter, observability, snapshot
+// plumbing — and then call sim.Run themselves; the oracles in Execute
+// keep using the unexported internals directly.
+type Run struct {
+	Config     sim.Config
+	Source     trace.Source
+	Controller sim.Controller
+	Duration   float64
+}
+
+// BuildRun validates the scenario and assembles its Run. Each call
+// builds fresh state (new RNGs, new fault schedule, new workload
+// source), so one scenario can be materialized many times — every Run
+// executes the same byte-identical simulation.
+func (s *Scenario) BuildRun() (*Run, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cfg, err := s.simConfig()
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := s.controller()
+	if err != nil {
+		return nil, err
+	}
+	src, err := s.source(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{Config: cfg, Source: src, Controller: ctrl, Duration: s.Duration}, nil
+}

@@ -31,6 +31,11 @@ type Fingerprint struct {
 	Faults sim.FaultSummary
 }
 
+// FingerprintOf extracts the comparison scalars from a run — the
+// canonical "what this simulation computed" record the job server and
+// the load harness byte-compare across execution paths.
+func FingerprintOf(r *sim.Result) Fingerprint { return fingerprintOf(r) }
+
 // fingerprintOf extracts the comparison scalars from a run.
 func fingerprintOf(r *sim.Result) Fingerprint {
 	return Fingerprint{

@@ -26,21 +26,32 @@ func (r *Registry) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var buf []byte
 	for i := 0; i < r.times.Len(); i++ {
-		buf = buf[:0]
-		buf = append(buf, `{"t":`...)
-		buf = appendJSONFloat(buf, r.times.At(i))
-		for _, m := range r.metrics {
-			buf = append(buf, ',', '"')
-			buf = appendJSONString(buf, m.name)
-			buf = append(buf, '"', ':')
-			buf = appendJSONFloat(buf, m.vals.At(i))
-		}
-		buf = append(buf, '}', '\n')
+		buf = r.AppendRowJSONL(buf[:0], i)
 		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// AppendRowJSONL appends the i-th retained sample as one JSONL line
+// (newline included) and returns the extended buffer. WriteJSONL is
+// exactly the concatenation of every row in order, so a consumer that
+// renders rows incrementally — the job server's live streams — emits the
+// same bytes the file exporter would. No-op on a nil registry.
+func (r *Registry) AppendRowJSONL(buf []byte, i int) []byte {
+	if r == nil || i < 0 || i >= r.times.Len() {
+		return buf
+	}
+	buf = append(buf, `{"t":`...)
+	buf = appendJSONFloat(buf, r.times.At(i))
+	for _, m := range r.metrics {
+		buf = append(buf, ',', '"')
+		buf = appendJSONString(buf, m.name)
+		buf = append(buf, '"', ':')
+		buf = appendJSONFloat(buf, m.vals.At(i))
+	}
+	return append(buf, '}', '\n')
 }
 
 // WriteCSV writes a header row ("t" plus the instrument names in
@@ -85,27 +96,35 @@ func (t *Trace) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	var buf []byte
 	for _, ev := range t.events {
-		buf = buf[:0]
-		buf = append(buf, `{"t":`...)
-		buf = appendJSONFloat(buf, ev.T)
-		buf = append(buf, `,"kind":"`...)
-		buf = appendJSONString(buf, ev.Kind)
-		buf = append(buf, `","group":`...)
-		buf = strconv.AppendInt(buf, int64(ev.Group), 10)
-		buf = append(buf, `,"disk":`...)
-		buf = strconv.AppendInt(buf, int64(ev.Disk), 10)
-		buf = append(buf, `,"from":`...)
-		buf = strconv.AppendInt(buf, int64(ev.From), 10)
-		buf = append(buf, `,"to":`...)
-		buf = strconv.AppendInt(buf, int64(ev.To), 10)
-		buf = append(buf, `,"reason":"`...)
-		buf = appendJSONString(buf, ev.Reason)
-		buf = append(buf, '"', '}', '\n')
+		buf = AppendEventJSONL(buf[:0], ev)
 		if _, err := bw.Write(buf); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// AppendEventJSONL appends one trace event as a JSONL line (newline
+// included) and returns the extended buffer. Trace.WriteJSONL is exactly
+// the concatenation of every event in emission order, so incremental
+// consumers — the job server's live trace streams — emit the same bytes
+// the file exporter would.
+func AppendEventJSONL(buf []byte, ev Event) []byte {
+	buf = append(buf, `{"t":`...)
+	buf = appendJSONFloat(buf, ev.T)
+	buf = append(buf, `,"kind":"`...)
+	buf = appendJSONString(buf, ev.Kind)
+	buf = append(buf, `","group":`...)
+	buf = strconv.AppendInt(buf, int64(ev.Group), 10)
+	buf = append(buf, `,"disk":`...)
+	buf = strconv.AppendInt(buf, int64(ev.Disk), 10)
+	buf = append(buf, `,"from":`...)
+	buf = strconv.AppendInt(buf, int64(ev.From), 10)
+	buf = append(buf, `,"to":`...)
+	buf = strconv.AppendInt(buf, int64(ev.To), 10)
+	buf = append(buf, `,"reason":"`...)
+	buf = appendJSONString(buf, ev.Reason)
+	return append(buf, '"', '}', '\n')
 }
 
 // WriteCSV writes "t,kind,group,disk,from,to,reason" followed by one row

@@ -21,6 +21,9 @@ type Registry struct {
 	// interval (so accumulators stay in lockstep with an uninterrupted
 	// run) but retain no row (see SuppressBefore).
 	suppressBefore float64
+	// onSample, when non-nil, observes every retained row (see
+	// SetOnSample). Suppressed samples are not reported.
+	onSample func(row int)
 }
 
 // kind discriminates the three instrument behaviours inside a metric.
@@ -138,6 +141,23 @@ func (r *Registry) Sample(t float64) {
 	}
 	r.lastSample = t
 	r.sampled = true
+	if keep && r.onSample != nil {
+		r.onSample(r.times.Len() - 1)
+	}
+}
+
+// SetOnSample installs a callback invoked after every retained sample
+// with the new row's index — the seam live streams hang off: the callback
+// renders the row (AppendRowJSONL) the instant it exists instead of
+// waiting for the run to finish. Suppressed samples (SuppressBefore) are
+// not reported. The callback runs on the simulation goroutine and must
+// not call back into the registry. Nil uninstalls; no-op on a nil
+// registry.
+func (r *Registry) SetOnSample(fn func(row int)) {
+	if r == nil {
+		return
+	}
+	r.onSample = fn
 }
 
 // SuppressBefore makes samples taken strictly before cut process their

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The live-streaming contract: rendering every row/event incrementally
+// through the hooks produces exactly the bytes the file exporters write.
+func TestIncrementalMatchesWriteJSONL(t *testing.T) {
+	r := NewRegistry(0)
+	var streamed []byte
+	r.SetOnSample(func(row int) {
+		streamed = r.AppendRowJSONL(streamed, row)
+	})
+	c := r.Counter("reqs")
+	g := r.Gauge("depth")
+	for i := 0; i < 5; i++ {
+		c.Add(float64(i))
+		g.Set(float64(10 - i))
+		r.Sample(float64(i) * 60)
+	}
+	var file bytes.Buffer
+	if err := r.WriteJSONL(&file); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, file.Bytes()) {
+		t.Fatalf("incremental stream diverges from WriteJSONL:\n%q\nvs\n%q", streamed, file.Bytes())
+	}
+
+	tr := NewTrace()
+	streamed = nil
+	tr.SetOnEmit(func(ev Event) {
+		streamed = AppendEventJSONL(streamed, ev)
+	})
+	tr.Event(1.5, KindSpeedShift, 2, -1, 3, 1, "cr_plan")
+	tr.Emit(Event{T: 2.25, Kind: KindBoostFire, Group: -1, Disk: -1, From: -1, To: -1, Reason: "severe violation"})
+	file.Reset()
+	if err := tr.WriteJSONL(&file); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(streamed, file.Bytes()) {
+		t.Fatalf("incremental trace diverges from WriteJSONL:\n%q\nvs\n%q", streamed, file.Bytes())
+	}
+}
+
+// Suppressed rows and events must not reach the streaming hooks — a
+// resumed job's stream has to start exactly at the snapshot epoch.
+func TestHooksHonorSuppression(t *testing.T) {
+	r := NewRegistry(0)
+	rows := 0
+	r.SetOnSample(func(int) { rows++ })
+	r.SuppressBefore(100)
+	r.Counter("x").Inc()
+	r.Sample(0)
+	r.Sample(60)
+	r.Sample(120)
+	if rows != 1 {
+		t.Fatalf("suppressed samples reached the hook: %d rows", rows)
+	}
+
+	tr := NewTrace()
+	evs := 0
+	tr.SetOnEmit(func(Event) { evs++ })
+	tr.SuppressBefore(100)
+	tr.Event(50, KindStandby, 0, -1, -1, -1, "early")
+	tr.Event(150, KindSpinUp, 0, -1, -1, -1, "late")
+	if evs != 1 {
+		t.Fatalf("suppressed events reached the hook: %d events", evs)
+	}
+}

@@ -49,6 +49,8 @@ type Trace struct {
 	// suppressBefore drops events with T strictly below it (see
 	// SuppressBefore); 0 keeps everything.
 	suppressBefore float64
+	// onEmit, when non-nil, observes every retained event (see SetOnEmit).
+	onEmit func(Event)
 }
 
 // NewTrace returns an empty trace with room for a typical run's events.
@@ -68,12 +70,27 @@ func (t *Trace) SuppressBefore(cut float64) {
 	t.suppressBefore = cut
 }
 
+// SetOnEmit installs a callback invoked for every retained event, in
+// emission order — the live-streaming seam mirroring
+// Registry.SetOnSample. Suppressed events (SuppressBefore) are not
+// reported. The callback runs on the simulation goroutine and must not
+// call back into the trace. Nil uninstalls; no-op on a nil trace.
+func (t *Trace) SetOnEmit(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	t.onEmit = fn
+}
+
 // Emit appends one event. It is a no-op on a nil trace.
 func (t *Trace) Emit(ev Event) {
 	if t == nil || ev.T < t.suppressBefore {
 		return
 	}
 	t.events = append(t.events, ev)
+	if t.onEmit != nil {
+		t.onEmit(ev)
+	}
 }
 
 // Event is shorthand for Emit with positional fields.
@@ -82,6 +99,9 @@ func (t *Trace) Event(tm float64, kind string, group, disk, from, to int, reason
 		return
 	}
 	t.events = append(t.events, Event{T: tm, Kind: kind, Group: group, Disk: disk, From: from, To: to, Reason: reason})
+	if t.onEmit != nil {
+		t.onEmit(t.events[len(t.events)-1])
+	}
 }
 
 // Len reports the number of recorded events (0 on a nil trace).

@@ -1,0 +1,81 @@
+package runner
+
+import "sync"
+
+// Queue runs independently submitted jobs on a fixed set of worker
+// goroutines with a bounded backlog. It is the admission-control half of
+// the job server: TrySubmit never blocks — when the backlog is full it
+// reports false, which the caller surfaces as explicit backpressure
+// (HTTP 429 + Retry-After) instead of queueing unboundedly.
+//
+// Unlike Pool, which runs a closed set of jobs and returns, a Queue is
+// long-lived: jobs arrive one at a time over its lifetime and carry no
+// result through the queue itself (a served job writes its outcome into
+// its own record).
+type Queue struct {
+	jobs chan func()
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewQueue starts a queue of `workers` goroutines accepting up to
+// `backlog` not-yet-started jobs. Both are clamped to at least 1.
+func NewQueue(workers, backlog int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	q := &Queue{jobs: make(chan func(), backlog)}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.wg.Done()
+			for fn := range q.jobs {
+				fn()
+			}
+		}()
+	}
+	return q
+}
+
+// TrySubmit offers fn to the queue without blocking. It reports false
+// when the backlog is full or the queue is closed; fn will never run in
+// that case, so the caller still owns whatever fn was going to do.
+func (q *Queue) TrySubmit(fn func()) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.jobs <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Backlog reports the number of accepted jobs not yet picked up by a
+// worker — the server's queue-depth gauge.
+func (q *Queue) Backlog() int {
+	return len(q.jobs)
+}
+
+// Close stops accepting new jobs, runs everything already accepted, and
+// waits for the workers to exit — the graceful-shutdown drain. Safe to
+// call more than once.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	close(q.jobs)
+	q.mu.Unlock()
+	q.wg.Wait()
+}

@@ -1,0 +1,86 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A full backlog must refuse work instead of blocking — the 429 path.
+func TestQueueBackpressure(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	q := NewQueue(1, 2)
+	defer q.Close()
+
+	// One job occupies the worker; two more fill the backlog.
+	if !q.TrySubmit(func() { started <- struct{}{}; <-release }) {
+		t.Fatal("first submit refused")
+	}
+	<-started // the worker holds the blocking job; backlog is empty now
+	for i := 0; i < 2; i++ {
+		if !q.TrySubmit(func() {}) {
+			t.Fatalf("submit %d refused with backlog free", i)
+		}
+	}
+	if q.TrySubmit(func() { t.Error("overflow job ran") }) {
+		t.Fatal("submit accepted past the backlog bound")
+	}
+	if got := q.Backlog(); got != 2 {
+		t.Fatalf("Backlog() = %d, want 2", got)
+	}
+	close(release)
+}
+
+// Close must run everything already accepted and refuse later submits.
+func TestQueueCloseDrains(t *testing.T) {
+	var ran atomic.Int64
+	q := NewQueue(2, 16)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		if !q.TrySubmit(func() { defer wg.Done(); ran.Add(1) }) {
+			wg.Done()
+			t.Fatalf("submit %d refused", i)
+		}
+	}
+	q.Close()
+	wg.Wait()
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d jobs, want 10", got)
+	}
+	if q.TrySubmit(func() {}) {
+		t.Fatal("closed queue accepted a job")
+	}
+	q.Close() // idempotent
+}
+
+// The doubling schedule must clamp at MaxBackoff instead of overflowing:
+// before the clamp, backoff<<a went negative around a=33 for a 1s base,
+// and a negative delay skipped the sleep entirely.
+func TestRetryDelayClampsAndNeverOverflows(t *testing.T) {
+	base := time.Second
+	want := []time.Duration{time.Second, 2 * time.Second, 4 * time.Second}
+	for a, w := range want {
+		if got := retryDelay(base, a); got != w {
+			t.Fatalf("retryDelay(1s, %d) = %v, want %v", a, got, w)
+		}
+	}
+	for _, a := range []int{6, 33, 62, 63, 1 << 20} {
+		got := retryDelay(base, a)
+		if got != MaxBackoff {
+			t.Fatalf("retryDelay(1s, %d) = %v, want clamp at %v", a, got, MaxBackoff)
+		}
+	}
+	// A huge base clamps immediately rather than multiplying past the cap.
+	if got := retryDelay(time.Duration(1<<62), 1); got != MaxBackoff {
+		t.Fatalf("retryDelay(huge, 1) = %v, want %v", got, MaxBackoff)
+	}
+	// Non-positive backoff still means "no sleep".
+	for _, a := range []int{0, 1, 80} {
+		if got := retryDelay(0, a); got > 0 {
+			t.Fatalf("retryDelay(0, %d) = %v, want <= 0", a, got)
+		}
+	}
+}

@@ -109,14 +109,39 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	return out, nil
 }
 
+// MaxBackoff caps Retry's exponential backoff between attempts. Without
+// the cap the doubling eventually overflows time.Duration (a 1s base
+// flips negative around the 33rd attempt), and a negative delay skips
+// the sleep entirely — turning the tail of a long retry schedule into a
+// hot loop exactly when the system is already struggling.
+const MaxBackoff = time.Minute
+
+// retryDelay computes the sleep before attempt a+1: backoff doubled a
+// times, clamped to MaxBackoff, never overflowing. Non-positive backoff
+// stays non-positive (no sleep).
+func retryDelay(backoff time.Duration, a int) time.Duration {
+	if backoff <= 0 {
+		return backoff
+	}
+	delay := backoff
+	for i := 0; i < a && delay < MaxBackoff; i++ {
+		delay *= 2
+	}
+	if delay > MaxBackoff {
+		return MaxBackoff
+	}
+	return delay
+}
+
 // Retry runs fn up to attempts times, sleeping backoff, 2*backoff, ... in
-// between (doubling each time). It returns nil on the first success and
-// the last error otherwise. A cancelled context stops the retries
-// immediately — its error is returned rather than fn's, so a user
-// interrupt is never misreported as a run failure. Retry exists for
-// watchdog-aborted runs: a run that tripped a wall-clock or stall limit
-// on a loaded machine often completes cleanly on a quieter retry, while a
-// deterministic failure just fails again and surfaces quickly.
+// between (doubling each time, clamped at MaxBackoff). It returns nil on
+// the first success and the last error otherwise. A cancelled context
+// stops the retries immediately — its error is returned rather than
+// fn's, so a user interrupt is never misreported as a run failure. Retry
+// exists for watchdog-aborted runs: a run that tripped a wall-clock or
+// stall limit on a loaded machine often completes cleanly on a quieter
+// retry, while a deterministic failure just fails again and surfaces
+// quickly.
 func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func(ctx context.Context) error) error {
 	if attempts < 1 {
 		attempts = 1
@@ -132,7 +157,7 @@ func Retry(ctx context.Context, attempts int, backoff time.Duration, fn func(ctx
 		if a == attempts-1 {
 			break
 		}
-		delay := backoff << a
+		delay := retryDelay(backoff, a)
 		if delay > 0 {
 			t := time.NewTimer(delay)
 			select {

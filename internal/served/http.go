@@ -1,0 +1,308 @@
+package served
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// maxSubmission bounds a POST /jobs body; repro scenarios are a few
+// hundred bytes, so 1 MiB is generous without inviting memory abuse.
+const maxSubmission = 1 << 20
+
+// JobStatus is the wire form of one job's state.
+type JobStatus struct {
+	ID       string          `json:"id"`
+	State    string          `json:"state"`
+	Scenario string          `json:"scenario"`
+	Events   uint64          `json:"events"`
+	Result   json.RawMessage `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+}
+
+// JobList is the GET /jobs envelope.
+type JobList struct {
+	Jobs  []JobStatus `json:"jobs"`
+	Stats Stats       `json:"stats"`
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /jobs                submit a repro scenario (?dry-run=1 to validate only)
+//	GET  /jobs                list jobs + admission stats
+//	GET  /jobs/{id}           one job's status (410 after flush)
+//	GET  /jobs/{id}/stream    live metrics, chunked JSONL
+//	GET  /jobs/{id}/trace     live decision trace, chunked JSONL
+//	GET  /jobs/{id}/events    live metrics as Server-Sent Events
+//	POST /jobs/{id}/suspend   stop a running job, keeping its snapshot
+//	POST /jobs/{id}/resume    restore a suspended job
+//	POST /jobs/{id}/retry     re-run a failed or canceled job from scratch
+//	POST /jobs/{id}/cancel    stop a job for good
+//
+// Admission refusals answer 429 with a Retry-After header — the
+// explicit backpressure clients are expected to honor.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleList)
+	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /jobs/{id}/stream", s.streamHandler(func(j *job) *stream { return j.metricsStream() }, "application/jsonl"))
+	mux.HandleFunc("GET /jobs/{id}/trace", s.streamHandler(func(j *job) *stream { return j.traceStream() }, "application/jsonl"))
+	mux.HandleFunc("GET /jobs/{id}/events", s.handleSSE)
+	mux.HandleFunc("POST /jobs/{id}/suspend", s.handleSuspend)
+	mux.HandleFunc("POST /jobs/{id}/resume", s.handleResume)
+	mux.HandleFunc("POST /jobs/{id}/retry", s.handleRetry)
+	mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	return mux
+}
+
+func (j *job) metricsStream() *stream {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.metrics
+}
+
+func (j *job) traceStream() *stream {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.trace
+}
+
+// status snapshots the job's wire form. Serving a terminal state marks
+// the job delivered, which makes it first in line for flush eviction.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case StateComplete, StateFailed, StateCanceled:
+		j.delivered = true
+	}
+	return JobStatus{
+		ID:       j.id,
+		State:    j.state,
+		Scenario: j.scenario.String(),
+		Events:   j.progress.Load(),
+		Result:   json.RawMessage(j.result),
+		Error:    j.errMsg,
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeBusy(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+999999999)/1000000000)))
+	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server at capacity, retry later"})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSubmission+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if len(body) > maxSubmission {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": "submission exceeds 1 MiB"})
+		return
+	}
+	sc, err := parseSubmission(body)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	if r.URL.Query().Get("dry-run") == "1" {
+		canonical, err := canonicalRepro(sc)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{
+			"scenario":  sc.String(),
+			"canonical": canonical,
+		})
+		return
+	}
+	id, err := s.Submit(sc)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": StateAccepted})
+	case IsBusy(err):
+		s.writeBusy(w)
+	case err == errClosed:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	list := JobList{Jobs: make([]JobStatus, 0, len(s.order)), Stats: s.stats}
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		if j, ok := s.jobs[id]; ok {
+			jobs = append(jobs, j)
+		}
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		list.Jobs = append(list.Jobs, j.status())
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// findJob resolves {id}, writing the error response itself when the job
+// is flushed or unknown.
+func (s *Server) findJob(w http.ResponseWriter, r *http.Request) *job {
+	id := r.PathValue("id")
+	j, flushed := s.lookup(id)
+	if j != nil {
+		return j
+	}
+	if flushed {
+		writeJSON(w, http.StatusGone, map[string]string{"id": id, "state": StateFlushed})
+	} else {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown job " + id})
+	}
+	return nil
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j := s.findJob(w, r); j != nil {
+		writeJSON(w, http.StatusOK, j.status())
+	}
+}
+
+// streamHandler serves one of the job's live byte streams as a chunked
+// response: bytes are flushed as the simulation produces them, and the
+// response ends when the stream closes (job finished, suspended, or
+// canceled) or the client goes away.
+func (s *Server) streamHandler(pick func(*job) *stream, contentType string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		j := s.findJob(w, r)
+		if j == nil {
+			return
+		}
+		st := pick(j)
+		w.Header().Set("Content-Type", contentType)
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		off := 0
+		for {
+			chunk, ok := st.next(off, r.Context().Done())
+			if !ok {
+				return
+			}
+			if _, err := w.Write(chunk); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			off += len(chunk)
+		}
+	}
+}
+
+// handleSSE serves the metrics stream as Server-Sent Events: each JSONL
+// row becomes one `data:` event (payload identical to the stream
+// endpoint's line), and a final `event: end` marks completion.
+func (s *Server) handleSSE(w http.ResponseWriter, r *http.Request) {
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	st := j.metricsStream()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	off := 0
+	var pending []byte
+	for {
+		chunk, ok := st.next(off, r.Context().Done())
+		if !ok {
+			fmt.Fprintf(w, "event: end\ndata: %s\n\n", j.status().State)
+			if flusher != nil {
+				flusher.Flush()
+			}
+			return
+		}
+		off += len(chunk)
+		pending = append(pending, chunk...)
+		for {
+			nl := bytes.IndexByte(pending, '\n')
+			if nl < 0 {
+				break
+			}
+			fmt.Fprintf(w, "data: %s\n\n", pending[:nl])
+			pending = pending[nl+1:]
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleSuspend(w http.ResponseWriter, r *http.Request) {
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	done, was := j.requestSuspend()
+	if done == nil {
+		writeJSON(w, http.StatusConflict, map[string]string{
+			"error": "job is " + was + ", not running", "state": was,
+		})
+		return
+	}
+	<-done
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	switch err := s.resume(j); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, j.status())
+	case IsBusy(err):
+		s.writeBusy(w)
+	default:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+	}
+}
+
+func (s *Server) handleRetry(w http.ResponseWriter, r *http.Request) {
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	switch err := s.retryJob(j); {
+	case err == nil:
+		writeJSON(w, http.StatusOK, j.status())
+	case IsBusy(err):
+		s.writeBusy(w)
+	default:
+		writeJSON(w, http.StatusConflict, map[string]string{"error": err.Error()})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.findJob(w, r)
+	if j == nil {
+		return
+	}
+	j.requestCancel()
+	j.waitIdle()
+	writeJSON(w, http.StatusOK, j.status())
+}

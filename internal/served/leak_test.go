@@ -1,0 +1,69 @@
+package served
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Cancelling a served job mid-run must release everything: the
+// simulation goroutine, its worker-pool goroutines, the watchdog
+// monitor, and every stream waiter. The whole server tears down to the
+// goroutine count we started from.
+func TestCancelMidRunNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	srv := New(&Options{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+
+	long := testScenario(t, 7, 100000)
+	id := postJob(t, ts, long)
+	waitState(t, ts, id, StateRunning)
+
+	// A streaming client attached mid-run must unblock when the job is
+	// canceled (its stream closes), not hang forever.
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		resp, err := http.Get(ts.URL + "/jobs/" + id + "/stream")
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 4096)
+		for {
+			if _, err := resp.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+
+	resp, err := http.Post(ts.URL+"/jobs/"+id+"/cancel", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	waitState(t, ts, id, StateCanceled)
+	select {
+	case <-streamDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("streaming client still blocked after cancel")
+	}
+
+	ts.Close()
+	srv.Close()
+
+	for i := 0; i < 200; i++ {
+		// The HTTP client's keep-alive goroutines are not the server's;
+		// drop them before counting.
+		http.DefaultTransport.(*http.Transport).CloseIdleConnections()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%d goroutines before, %d after cancel+close — leak", before, runtime.NumGoroutine())
+}

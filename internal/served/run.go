@@ -1,0 +1,181 @@
+package served
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+
+	"hibernator/internal/chaos"
+	"hibernator/internal/invariant"
+	"hibernator/internal/obs"
+	"hibernator/internal/runner"
+	"hibernator/internal/sim"
+	"hibernator/internal/snapshot"
+)
+
+// RenderResult renders a run's canonical result document: the chaos
+// fingerprint (the scalars any determinism bug would disturb) as one
+// JSON line. Both the server and DirectRun render through this function,
+// so "the served result is byte-identical to a direct run" is an exact
+// bytes.Equal, not a semantic comparison.
+func RenderResult(res *sim.Result) []byte {
+	b, err := json.Marshal(chaos.FingerprintOf(res))
+	if err != nil {
+		// Fingerprint is a flat struct of numbers; Marshal cannot fail.
+		panic("served: fingerprint marshal: " + err.Error())
+	}
+	return append(b, '\n')
+}
+
+// DirectRun executes the scenario the way the server does — same
+// BuildRun materialization, same observability arming, same result
+// rendering — without the service machinery. It returns the canonical
+// result document plus the complete metrics and trace streams (the
+// bytes a client streaming the served job from start to finish
+// receives). The load harness compares served jobs against this.
+func DirectRun(sc *chaos.Scenario, check bool) (result, metrics, trace []byte, err error) {
+	r, err := sc.BuildRun()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cfg := r.Config
+	reg := obs.NewRegistry(0)
+	tr := obs.NewTrace()
+	cfg.Metrics, cfg.Trace = reg, tr
+	var chk *invariant.Checker
+	if check {
+		chk = invariant.New()
+		cfg.Invariants = chk
+	}
+	res, err := sim.Run(cfg, r.Source, r.Controller, r.Duration)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if chk != nil && !chk.Ok() {
+		return nil, nil, nil, errors.New("invariant violations: " + violationSummary(chk))
+	}
+	var mb, tb bytes.Buffer
+	if err := reg.WriteJSONL(&mb); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := tr.WriteJSONL(&tb); err != nil {
+		return nil, nil, nil, err
+	}
+	return RenderResult(res), mb.Bytes(), tb.Bytes(), nil
+}
+
+// armObs wires a fresh registry and trace into cfg and streams every
+// retained row/event — rendered by the same functions the file
+// exporters use — into the job's stream buffers. The hooks run on the
+// simulation goroutine; the streams do the cross-goroutine handoff.
+func armObs(cfg *sim.Config, metrics, trace *stream) {
+	reg := obs.NewRegistry(0)
+	tr := obs.NewTrace()
+	cfg.Metrics, cfg.Trace = reg, tr
+	var mbuf, tbuf []byte
+	reg.SetOnSample(func(row int) {
+		mbuf = reg.AppendRowJSONL(mbuf[:0], row)
+		metrics.append(mbuf)
+	})
+	tr.SetOnEmit(func(ev obs.Event) {
+		tbuf = obs.AppendEventJSONL(tbuf[:0], ev)
+		trace.append(tbuf)
+	})
+}
+
+// runJob executes one admitted job on a queue worker: build the run,
+// arm context/watchdog/progress/observability/snapshots, execute under
+// the retry schedule, and record the outcome. It owns every state
+// transition out of running.
+func (s *Server) runJob(j *job) {
+	j.mu.Lock()
+	if j.state != StateAccepted { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	j.state = StateRunning
+	j.cancel = cancel
+	j.runDone = make(chan struct{})
+	resumeFrom := j.resumeFrom
+	done := j.runDone
+	j.mu.Unlock()
+	defer cancel()
+
+	var res *sim.Result
+	attemptN := 0
+	attempt := func(ctx context.Context) error {
+		j.mu.Lock()
+		if attemptN > 0 {
+			// A fresh attempt restarts the streams: the retried run's
+			// bytes must stand alone, not continue a failed prefix.
+			j.metrics.close()
+			j.trace.close()
+			j.metrics, j.trace = newStream(), newStream()
+		}
+		attemptN++
+		metrics, trace := j.metrics, j.trace
+		j.mu.Unlock()
+
+		r, err := j.scenario.BuildRun()
+		if err != nil {
+			return err
+		}
+		cfg := r.Config
+		cfg.Context = ctx
+		cfg.Progress = &j.progress
+		if s.opts.Watchdog != nil {
+			wd := *s.opts.Watchdog
+			cfg.Watchdog = &wd
+		}
+		var chk *invariant.Checker
+		if s.opts.Check {
+			chk = invariant.New()
+			cfg.Invariants = chk
+		}
+		armObs(&cfg, metrics, trace)
+		// Periodic snapshots back suspend/resume. Capture is a pure
+		// read, so arming it changes neither the result nor the stream.
+		cfg.SnapshotEvery = r.Duration / float64(s.opts.SnapshotFrac)
+		cfg.SnapshotSink = func(st *snapshot.State) error {
+			j.mu.Lock()
+			j.snap = st
+			j.mu.Unlock()
+			return nil
+		}
+		cfg.ResumeFrom = resumeFrom
+
+		out, err := sim.Run(cfg, r.Source, r.Controller, r.Duration)
+		if err != nil {
+			return err
+		}
+		if chk != nil && !chk.Ok() {
+			return errors.New("invariant violations: " + violationSummary(chk))
+		}
+		res = out
+		return nil
+	}
+	err := runner.Retry(ctx, s.opts.Attempts, s.opts.Backoff, attempt)
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = StateComplete
+		j.result = RenderResult(res)
+	case j.cancelReq:
+		j.state = StateCanceled
+		j.errMsg = err.Error()
+	case j.suspendReq && errors.Is(err, context.Canceled):
+		j.state = StateSuspended
+		j.resumeFrom = j.snap // may be nil: resume then restarts from t=0
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	j.cancel = nil
+	j.metrics.close()
+	j.trace.close()
+	close(done)
+	j.mu.Unlock()
+}

@@ -1,0 +1,446 @@
+// Package served turns the simulator into a long-running service: it
+// accepts `# hibchaos repro v1` scenario submissions over HTTP/JSON,
+// runs them as jobs on a bounded worker queue, and streams each job's
+// observability output live.
+//
+// The package keeps the repository's two core contracts intact on the
+// service path:
+//
+//   - Determinism. A job's result is the canonical fingerprint of its
+//     simulation, rendered by RenderResult; it is byte-identical to what
+//     a direct sim.Run of the same scenario produces (DirectRun is the
+//     reference implementation, and the load harness asserts equality
+//     job by job). The streamed metrics and trace bytes reuse the obs
+//     package's incremental renderers, so they are byte-identical to the
+//     file exporters' output.
+//
+//   - Bounded resources. The job table holds at most Options.MaxJobs
+//     records; completed jobs are flushed (evicted to a tombstone) to
+//     make room, and when every slot is still live the server refuses
+//     the submission with 429 + Retry-After instead of queueing
+//     unboundedly. At most Options.Workers simulations run at once.
+//
+// Job lifecycle: accepted → running → complete | failed | canceled,
+// with running → suspended → accepted → running on suspend/resume, and
+// any terminal state → flushed when the record is evicted. Suspension
+// cancels the run's context and keeps its latest periodic snapshot; the
+// resumed run restores from that snapshot, so its stream is an exact
+// byte tail of the uninterrupted run's (the snapshot/restore contract).
+package served
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hibernator/internal/chaos"
+	"hibernator/internal/invariant"
+	"hibernator/internal/runner"
+	"hibernator/internal/sim"
+	"hibernator/internal/snapshot"
+)
+
+// Job states. Terminal states (complete, failed, canceled) may be
+// flushed; suspended jobs resume through accepted like a fresh admit.
+const (
+	StateAccepted  = "accepted"
+	StateRunning   = "running"
+	StateSuspended = "suspended"
+	StateComplete  = "complete"
+	StateFailed    = "failed"
+	StateCanceled  = "canceled"
+	StateFlushed   = "flushed"
+)
+
+// Options configures a Server. The zero value is usable: every field
+// has a sensible default.
+type Options struct {
+	// MaxJobs bounds the in-memory job table (default 256). Submissions
+	// that cannot claim a slot — even after flushing the oldest terminal
+	// job — are refused with 429.
+	MaxJobs int
+	// Workers is the number of simulations running concurrently
+	// (default runtime.GOMAXPROCS(0)).
+	Workers int
+	// Backlog bounds accepted-but-not-yet-running jobs (default
+	// MaxJobs). A full backlog refuses submissions with 429.
+	Backlog int
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// Watchdog, when non-nil, is the per-job watchdog template: every
+	// run executes under a copy of it, so one wedged scenario cannot
+	// occupy a worker forever.
+	Watchdog *sim.Watchdog
+	// Attempts is how many times a failing run is retried in place
+	// (default 1, i.e. no retry) with Backoff between attempts — the
+	// runner.Retry schedule, meant for watchdog-aborted runs on loaded
+	// machines.
+	Attempts int
+	// Backoff is the base retry backoff (default 100ms; doubling,
+	// clamped at runner.MaxBackoff).
+	Backoff time.Duration
+	// Check arms the invariant checker on every run; violations fail
+	// the job.
+	Check bool
+	// SnapshotFrac sets the periodic-snapshot cadence backing suspend:
+	// one capture every Duration/SnapshotFrac simulated seconds
+	// (default 8). Captures are pure reads — they never change a job's
+	// result or stream bytes.
+	SnapshotFrac int
+}
+
+func (o *Options) withDefaults() Options {
+	v := Options{}
+	if o != nil {
+		v = *o
+	}
+	if v.MaxJobs <= 0 {
+		v.MaxJobs = 256
+	}
+	if v.Workers <= 0 {
+		v.Workers = runtime.GOMAXPROCS(0)
+	}
+	if v.Backlog <= 0 {
+		v.Backlog = v.MaxJobs
+	}
+	if v.RetryAfter <= 0 {
+		v.RetryAfter = time.Second
+	}
+	if v.Attempts < 1 {
+		v.Attempts = 1
+	}
+	if v.Backoff <= 0 {
+		v.Backoff = 100 * time.Millisecond
+	}
+	if v.SnapshotFrac <= 0 {
+		v.SnapshotFrac = 8
+	}
+	return v
+}
+
+// Stats counts the server's admission decisions — the load harness
+// checks that every submission was either accepted or refused with an
+// explicit 429, never silently dropped.
+type Stats struct {
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	Flushed  uint64 `json:"flushed"`
+}
+
+// Server owns the job table and the worker queue. Create with New,
+// serve its Handler, and Close it to drain.
+type Server struct {
+	opts  Options
+	queue *runner.Queue
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // admission order, for flush-oldest
+	flushed map[string]bool
+	flushQ  []string // tombstone eviction order
+	seq     int
+	closed  bool
+	stats   Stats
+}
+
+// New starts a server with the given options (nil means all defaults).
+func New(opts *Options) *Server {
+	o := opts.withDefaults()
+	return &Server{
+		opts:    o,
+		queue:   runner.NewQueue(o.Workers, o.Backlog),
+		jobs:    make(map[string]*job),
+		flushed: make(map[string]bool),
+	}
+}
+
+// Close stops admissions, cancels every running job, and drains the
+// queue. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var cancels []*job
+	for _, j := range s.jobs {
+		cancels = append(cancels, j)
+	}
+	s.mu.Unlock()
+	for _, j := range cancels {
+		j.requestCancel()
+	}
+	s.queue.Close()
+}
+
+// Stats returns a copy of the admission counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// job is one submission's record. The server's mutex guards the table;
+// the job's own mutex guards its mutable fields.
+type job struct {
+	id       string
+	scenario *chaos.Scenario
+
+	mu         sync.Mutex
+	state      string
+	cancel     context.CancelFunc // non-nil while running
+	runDone    chan struct{}      // closed when the current execution exits
+	suspendReq bool
+	cancelReq  bool
+	snap       *snapshot.State // latest periodic capture of the current run
+	resumeFrom *snapshot.State // armed for the next execution
+	metrics    *stream
+	trace      *stream
+	result     []byte // canonical result document (complete only)
+	errMsg     string // failure detail (failed only)
+	delivered  bool   // a terminal status was served to some client
+
+	progress atomic.Uint64 // events fired, published by the run loops
+}
+
+// errBusy is the admission-refused sentinel; the HTTP layer maps it to
+// 429 + Retry-After.
+var errBusy = errors.New("served: server at capacity")
+
+// errClosed refuses work after Close.
+var errClosed = errors.New("served: server closed")
+
+// Submit admits a scenario and returns its job ID. The scenario must
+// already be validated (Parse/Validate); Submit re-validates cheaply via
+// BuildRun at execution time. Returns errBusy (as ErrBusy via errors.Is)
+// when the table or backlog is full.
+func (s *Server) Submit(sc *chaos.Scenario) (string, error) {
+	if err := sc.Validate(); err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return "", errClosed
+	}
+	if len(s.jobs) >= s.opts.MaxJobs && !s.flushOldestLocked() {
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return "", errBusy
+	}
+	s.seq++
+	j := &job{
+		id:       fmt.Sprintf("j%d", s.seq),
+		scenario: sc,
+		state:    StateAccepted,
+		metrics:  newStream(),
+		trace:    newStream(),
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	if !s.queue.TrySubmit(func() { s.runJob(j) }) {
+		// Backlog full: roll the admission back so the table slot is not
+		// leaked to a job that will never run.
+		delete(s.jobs, j.id)
+		s.order = s.order[:len(s.order)-1]
+		s.seq--
+		s.stats.Rejected++
+		s.mu.Unlock()
+		return "", errBusy
+	}
+	s.stats.Accepted++
+	s.mu.Unlock()
+	return j.id, nil
+}
+
+// IsBusy reports whether err is the admission-refused error.
+func IsBusy(err error) bool { return errors.Is(err, errBusy) }
+
+// flushOldestLocked evicts the oldest terminal job to a tombstone,
+// reporting whether a slot was freed. Jobs whose terminal status has
+// already been delivered to a client are preferred — flushing an unread
+// result races the submitter's next poll — and suspended jobs are never
+// flushed: they hold resumable state the client asked to keep.
+func (s *Server) flushOldestLocked() bool {
+	for _, needDelivered := range []bool{true, false} {
+		for i, id := range s.order {
+			j, ok := s.jobs[id]
+			if !ok {
+				continue
+			}
+			j.mu.Lock()
+			terminal := j.state == StateComplete || j.state == StateFailed || j.state == StateCanceled
+			flush := terminal && (j.delivered || !needDelivered)
+			if flush {
+				j.state = StateFlushed
+			}
+			j.mu.Unlock()
+			if !flush {
+				continue
+			}
+			delete(s.jobs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			s.flushed[id] = true
+			s.flushQ = append(s.flushQ, id)
+			if len(s.flushQ) > s.opts.MaxJobs {
+				delete(s.flushed, s.flushQ[0])
+				s.flushQ = s.flushQ[1:]
+			}
+			s.stats.Flushed++
+			return true
+		}
+	}
+	return false
+}
+
+// lookup finds a live job. The second result distinguishes flushed
+// (known-but-evicted) IDs from never-seen ones.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j, false
+	}
+	return nil, s.flushed[id]
+}
+
+// requestCancel asks the job to stop: a queued job is marked canceled in
+// place (the queue entry becomes a no-op); a running one has its context
+// cancelled. Terminal states are left alone.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	switch j.state {
+	case StateAccepted, StateSuspended:
+		j.state = StateCanceled
+		j.cancelReq = true
+		j.metrics.close()
+		j.trace.close()
+		j.mu.Unlock()
+		return
+	case StateRunning:
+		j.cancelReq = true
+		cancel := j.cancel
+		j.mu.Unlock()
+		cancel()
+		return
+	}
+	j.mu.Unlock()
+}
+
+// requestSuspend asks a running job to stop while keeping its latest
+// snapshot for resume. It returns the channel to wait on (nil when the
+// job was not running, with the state it was in instead).
+func (j *job) requestSuspend() (<-chan struct{}, string) {
+	j.mu.Lock()
+	if j.state != StateRunning {
+		st := j.state
+		j.mu.Unlock()
+		return nil, st
+	}
+	j.suspendReq = true
+	cancel, done := j.cancel, j.runDone
+	j.mu.Unlock()
+	cancel()
+	return done, StateRunning
+}
+
+// resume re-admits a suspended job: fresh streams (the resumed stream is
+// a tail, not a continuation of the old buffer), restore state armed,
+// back through the queue. Caller must map errBusy to 429.
+func (s *Server) resume(j *job) error {
+	j.mu.Lock()
+	if j.state != StateSuspended {
+		st := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("served: job is %s, not suspended", st)
+	}
+	j.state = StateAccepted
+	j.resumeFrom = j.snap
+	j.suspendReq = false
+	j.metrics = newStream()
+	j.trace = newStream()
+	j.mu.Unlock()
+	if !s.queue.TrySubmit(func() { s.runJob(j) }) {
+		j.mu.Lock()
+		j.state = StateSuspended
+		j.mu.Unlock()
+		return errBusy
+	}
+	return nil
+}
+
+// retryJob re-admits a failed or canceled job from scratch.
+func (s *Server) retryJob(j *job) error {
+	j.mu.Lock()
+	if j.state != StateFailed && j.state != StateCanceled {
+		st := j.state
+		j.mu.Unlock()
+		return fmt.Errorf("served: job is %s, not failed or canceled", st)
+	}
+	j.state = StateAccepted
+	j.resumeFrom = nil
+	j.snap = nil
+	j.suspendReq, j.cancelReq = false, false
+	j.errMsg = ""
+	j.result = nil
+	j.metrics = newStream()
+	j.trace = newStream()
+	j.progress.Store(0)
+	j.mu.Unlock()
+	if !s.queue.TrySubmit(func() { s.runJob(j) }) {
+		j.mu.Lock()
+		j.state = StateFailed
+		j.errMsg = "retry refused: backlog full"
+		j.mu.Unlock()
+		return errBusy
+	}
+	return nil
+}
+
+// parseSubmission decodes a `# hibchaos repro v1` request body.
+func parseSubmission(body []byte) (*chaos.Scenario, error) {
+	return chaos.ParseRepro(bytes.NewReader(body))
+}
+
+// canonicalRepro renders the scenario back in its canonical repro form —
+// the dry-run echo clients can diff against what they sent.
+func canonicalRepro(sc *chaos.Scenario) (string, error) {
+	var b bytes.Buffer
+	if err := chaos.WriteRepro(&b, sc); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+// waitIdle blocks until the job has no execution in flight.
+func (j *job) waitIdle() {
+	j.mu.Lock()
+	done, running := j.runDone, j.state == StateRunning
+	j.mu.Unlock()
+	if running && done != nil {
+		<-done
+	}
+}
+
+// violationSummary renders up to three invariant violations on one line.
+func violationSummary(chk *invariant.Checker) string {
+	vs := chk.Violations()
+	if len(vs) > 3 {
+		vs = vs[:3]
+	}
+	parts := make([]string, 0, len(vs)+1)
+	for _, v := range vs {
+		parts = append(parts, v.String())
+	}
+	if total := chk.Count(); total > len(vs) {
+		parts = append(parts, fmt.Sprintf("(+%d more)", total-len(vs)))
+	}
+	return strings.Join(parts, " | ")
+}

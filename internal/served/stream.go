@@ -1,0 +1,76 @@
+package served
+
+import "sync"
+
+// stream is an append-only byte buffer with blocking readers: the
+// simulation goroutine appends rendered JSONL rows through the obs
+// hooks, and any number of HTTP streamers read from their own offsets.
+// close marks the end of the stream (job finished, suspended, or
+// canceled); readers drain what is buffered and stop.
+type stream struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+	wake   chan struct{} // closed on every append/close, then replaced
+}
+
+func newStream() *stream {
+	return &stream{wake: make(chan struct{})}
+}
+
+// append adds bytes and wakes every waiting reader.
+func (s *stream) append(p []byte) {
+	if len(p) == 0 {
+		return
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.buf = append(s.buf, p...)
+		close(s.wake)
+		s.wake = make(chan struct{})
+	}
+	s.mu.Unlock()
+}
+
+// close ends the stream. Idempotent.
+func (s *stream) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.wake)
+	}
+	s.mu.Unlock()
+}
+
+// next returns the bytes past off, blocking until more arrive, the
+// stream closes, or cancel fires. A nil chunk with ok=false means the
+// stream has ended (or the caller cancelled) and off is fully drained.
+func (s *stream) next(off int, cancel <-chan struct{}) (chunk []byte, ok bool) {
+	s.mu.Lock()
+	for {
+		if off < len(s.buf) {
+			chunk = append([]byte(nil), s.buf[off:]...)
+			s.mu.Unlock()
+			return chunk, true
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return nil, false
+		}
+		w := s.wake
+		s.mu.Unlock()
+		select {
+		case <-w:
+		case <-cancel:
+			return nil, false
+		}
+		s.mu.Lock()
+	}
+}
+
+// bytes returns a copy of everything buffered so far.
+func (s *stream) bytes() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]byte(nil), s.buf...)
+}

@@ -55,7 +55,7 @@ import (
 // and parts (nil when parts is nil).
 func runEngines(cfg *Config, global *simevent.Engine, parts []*simevent.Engine, seqSrc *uint64, arr *array.Array, duration float64, snap *snapCtl, wd *watchdogState) error {
 	if parts == nil {
-		if cfg.Context == nil && snap == nil && wd == nil {
+		if cfg.Context == nil && snap == nil && wd == nil && cfg.Progress == nil {
 			global.Run(duration)
 			return nil
 		}
@@ -93,6 +93,9 @@ func runSequential(cfg *Config, e *simevent.Engine, duration float64, snap *snap
 		e.Step()
 		if n++; n == ctxCheckEvery {
 			n = 0
+			if cfg.Progress != nil {
+				cfg.Progress.Store(e.Processed())
+			}
 			if wd != nil {
 				wd.note(e.Processed())
 				if err := wd.overBudget(e.Processed()); err != nil {
@@ -187,16 +190,21 @@ func runPartitioned(cfg *Config, global *simevent.Engine, parts []*simevent.Engi
 	windows := make([]*simevent.Engine, 0, len(parts))
 	steps := 0
 	for {
-		if ctx != nil || wd != nil {
+		if ctx != nil || wd != nil || cfg.Progress != nil {
 			if steps&(ctxCheckEvery-1) == 0 {
-				if wd != nil {
+				if wd != nil || cfg.Progress != nil {
 					processed := global.Processed()
 					for _, pe := range parts {
 						processed += pe.Processed()
 					}
-					wd.note(processed)
-					if err := wd.overBudget(processed); err != nil {
-						return err
+					if cfg.Progress != nil {
+						cfg.Progress.Store(processed)
+					}
+					if wd != nil {
+						wd.note(processed)
+						if err := wd.overBudget(processed); err != nil {
+							return err
+						}
 					}
 				}
 				if ctx != nil {

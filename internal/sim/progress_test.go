@@ -1,0 +1,42 @@
+package sim_test
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"hibernator/internal/policy"
+	"hibernator/internal/sim"
+)
+
+// Config.Progress must observe the run without perturbing it, end at the
+// exact total event count, and report the same total at any worker count
+// — the job server derives percent-complete from it.
+func TestProgressCounter(t *testing.T) {
+	totals := make(map[int]uint64)
+	for _, workers := range []int{1, 8} {
+		base := snapConfig(6, workers, true)
+		want, err := sim.Run(base, snapSource(t, base, 240), policy.NewTPM(5), 240)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cfg := snapConfig(6, workers, true)
+		var progress atomic.Uint64
+		cfg.Progress = &progress
+		got, err := sim.Run(cfg, snapSource(t, cfg, 240), policy.NewTPM(5), 240)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: progress counter perturbed the run", workers)
+		}
+		if progress.Load() == 0 {
+			t.Fatalf("workers=%d: progress never published", workers)
+		}
+		totals[workers] = progress.Load()
+	}
+	if totals[1] != totals[8] {
+		t.Fatalf("final progress differs across worker counts: %d vs %d", totals[1], totals[8])
+	}
+}

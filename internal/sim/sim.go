@@ -8,7 +8,7 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
+	"sync/atomic"
 
 	"hibernator/internal/array"
 	"hibernator/internal/cache"
@@ -108,6 +108,14 @@ type Config struct {
 	// between event batches and returns ctx.Err() once it is done or
 	// cancelled. Nil keeps the legacy hot loop untouched.
 	Context context.Context
+
+	// Progress, when non-nil, is kept loosely up to date with the number
+	// of events the run has fired (summed across the global engine and
+	// all partitions): the run loops publish it every few events and Run
+	// stores the exact total before returning. It is the only run state
+	// another goroutine may read while the simulation executes — the job
+	// server derives per-job progress from it. Nil adds no work.
+	Progress *atomic.Uint64
 
 	// Invariants, when non-nil, cross-checks the run's accounting while it
 	// executes: IO conservation, per-disk state durations and energy
@@ -597,6 +605,15 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 	}
 
 	pump()
+	if cfg.Progress != nil {
+		defer func() {
+			processed := engine.Processed()
+			for _, pe := range parts {
+				processed += pe.Processed()
+			}
+			cfg.Progress.Store(processed)
+		}()
+	}
 	if err := runEngines(&cfg, engine, parts, seqSrc, arr, duration, snap, wd); err != nil {
 		if wd != nil {
 			if reason := wd.tripReason(); reason != "" {
@@ -607,7 +624,7 @@ func Run(cfg Config, workload trace.Source, ctrl Controller, duration float64) (
 				}
 				return nil, &WatchdogError{
 					Reason: reason, Events: processed, Pending: pending,
-					Elapsed: time.Since(wd.start), LastTrace: cfg.Trace.Tail(wdTraceTail),
+					Elapsed: wd.now().Sub(wd.start), LastTrace: cfg.Trace.Tail(wdTraceTail),
 				}
 			}
 		}

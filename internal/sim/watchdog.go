@@ -27,6 +27,16 @@ type Watchdog struct {
 	// signature of a deadlocked or livelocked engine, as opposed to a
 	// merely slow one.
 	Stall time.Duration
+
+	// Tick overrides the monitor goroutine's sampling interval (default
+	// 25ms). Smaller values trade a little wake-up overhead for prompter
+	// detection; tests shorten it so stall scenarios resolve quickly.
+	Tick time.Duration
+	// Now overrides the monitor's time source (default time.Now). Tests
+	// inject a deterministic clock here so wall-clock and stall limits
+	// trip on simulated elapsed time instead of real scheduler timing —
+	// the knob that keeps the stall-path tests stable on loaded CI boxes.
+	Now func() time.Time
 }
 
 // enabled reports whether any limit is armed.
@@ -56,8 +66,25 @@ func (e *WatchdogError) Error() string {
 // Run translates it (and watchdog-cancelled contexts) into *WatchdogError.
 var errWatchdog = errors.New("sim: watchdog tripped")
 
-// wdPoll is how often the monitor goroutine samples progress.
+// wdPoll is how often the monitor goroutine samples progress unless
+// Watchdog.Tick overrides it.
 const wdPoll = 25 * time.Millisecond
+
+// tick returns the monitor sampling interval (Tick, defaulting to wdPoll).
+func (w *Watchdog) tick() time.Duration {
+	if w.Tick > 0 {
+		return w.Tick
+	}
+	return wdPoll
+}
+
+// clock returns the monitor time source (Now, defaulting to time.Now).
+func (w *Watchdog) clock() func() time.Time {
+	if w.Now != nil {
+		return w.Now
+	}
+	return time.Now
+}
 
 // watchdogState is the live half of a Watchdog: an atomic progress
 // counter the run loops bump, a monitor goroutine enforcing the
@@ -66,6 +93,7 @@ const wdPoll = 25 * time.Millisecond
 // that state) assembles the diagnostics after it observes the trip.
 type watchdogState struct {
 	cfg    *Watchdog
+	now    func() time.Time
 	start  time.Time
 	events atomic.Uint64
 	cancel context.CancelFunc
@@ -78,21 +106,25 @@ type watchdogState struct {
 
 // startWatchdog launches the monitor goroutine. cancel is the derived
 // run context's cancel function; tripping cancels it so the run loops
-// exit at their next poll.
+// exit at their next poll. The ticker only paces the polls; all elapsed
+// time is measured through the (injectable) clock, so a delayed wake-up
+// on a loaded machine never mimics a stall by itself.
 func startWatchdog(cfg *Watchdog, cancel context.CancelFunc) *watchdogState {
-	w := &watchdogState{cfg: cfg, start: time.Now(), cancel: cancel, stop: make(chan struct{})}
+	clock := cfg.clock()
+	w := &watchdogState{cfg: cfg, now: clock, start: clock(), cancel: cancel, stop: make(chan struct{})}
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
-		t := time.NewTicker(wdPoll)
+		t := time.NewTicker(cfg.tick())
 		defer t.Stop()
 		lastProgress := uint64(0)
-		lastChange := time.Now()
+		lastChange := clock()
 		for {
 			select {
 			case <-w.stop:
 				return
-			case now := <-t.C:
+			case <-t.C:
+				now := clock()
 				if cfg.MaxWall > 0 && now.Sub(w.start) > cfg.MaxWall {
 					w.trip(fmt.Sprintf("wall-clock budget %v exceeded", cfg.MaxWall))
 					return

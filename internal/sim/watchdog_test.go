@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -20,6 +21,22 @@ func (*sleepController) Name() string { return "sleepy" }
 
 func (s *sleepController) Init(env *sim.Env) {
 	simevent.NewTicker(env.Engine, 1.0, func(float64) { time.Sleep(s.d) })
+}
+
+// fakeClock returns a time source that advances `step` on every reading.
+// Injected via Watchdog.Now it makes elapsed-time limits trip after a
+// deterministic number of monitor polls regardless of real scheduler
+// timing — the stall and wall-clock tests below cannot flake on a loaded
+// machine because they never race against real time.
+func fakeClock(step time.Duration) func() time.Time {
+	var mu sync.Mutex
+	now := time.Unix(0, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		now = now.Add(step)
+		return now
+	}
 }
 
 func TestWatchdogEventBudget(t *testing.T) {
@@ -40,8 +57,12 @@ func TestWatchdogEventBudget(t *testing.T) {
 
 func TestWatchdogStall(t *testing.T) {
 	cfg := snapConfig(6, 1, false)
-	cfg.Watchdog = &sim.Watchdog{Stall: 50 * time.Millisecond}
-	_, err := sim.Run(cfg, snapSource(t, cfg, 240), &sleepController{d: 250 * time.Millisecond}, 240)
+	cfg.Watchdog = &sim.Watchdog{
+		Stall: 50 * time.Millisecond,
+		Tick:  time.Millisecond,
+		Now:   fakeClock(30 * time.Millisecond),
+	}
+	_, err := sim.Run(cfg, snapSource(t, cfg, 240), &sleepController{d: 100 * time.Millisecond}, 240)
 	var werr *sim.WatchdogError
 	if !errors.As(err, &werr) {
 		t.Fatalf("want *sim.WatchdogError, got %v", err)
@@ -53,7 +74,11 @@ func TestWatchdogStall(t *testing.T) {
 
 func TestWatchdogMaxWall(t *testing.T) {
 	cfg := snapConfig(6, 1, false)
-	cfg.Watchdog = &sim.Watchdog{MaxWall: 150 * time.Millisecond}
+	cfg.Watchdog = &sim.Watchdog{
+		MaxWall: 150 * time.Millisecond,
+		Tick:    time.Millisecond,
+		Now:     fakeClock(30 * time.Millisecond),
+	}
 	_, err := sim.Run(cfg, snapSource(t, cfg, 240), &sleepController{d: 40 * time.Millisecond}, 240)
 	var werr *sim.WatchdogError
 	if !errors.As(err, &werr) {
