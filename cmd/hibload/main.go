@@ -16,10 +16,16 @@
 //	hibload -self -clients 64 -jobs 500          # self-hosted server
 //	hibload -addr http://localhost:8080 -jobs 500
 //	hibload -self -suspend                       # also exercise suspend/resume
+//	hibload -crashloop 5 -served-bin ./hibserved -clients 32 -jobs 200
+//	hibload -self -quota-probe                   # also probe per-client quotas
 //
 // With -self the harness embeds its own server (deliberately small
 // table and backlog, so backpressure actually fires) on an ephemeral
-// port. Exit status 0 means every assertion held.
+// port. With -crashloop N it instead spawns a real hibserved process on
+// a durable -state-dir and kill -9s it N times while the fleet works,
+// asserting nothing is lost, duplicated, or corrupted across restarts
+// (see crashloop.go for the oracle). Exit status 0 means every
+// assertion held.
 package main
 
 import (
@@ -56,8 +62,38 @@ func main() {
 		verify    = flag.Bool("verify-streams", true, "byte-compare every job's metrics stream against the direct exporter")
 		suspend   = flag.Bool("suspend", false, "also exercise suspend/resume once and verify the stream tail")
 		memBudget = flag.Uint64("mem-budget-mb", 0, "fail if client+embedded-server HeapAlloc exceeds this (0 = report only)")
+
+		crashloop  = flag.Int("crashloop", 0, "server-kill chaos cycles: spawn -served-bin with -state-dir, kill -9 it this many times mid-load (0 = off)")
+		servedBin  = flag.String("served-bin", "", "hibserved binary for -crashloop")
+		stateDir   = flag.String("state-dir", "", "state directory for the spawned server (-crashloop; empty = temp)")
+		spawnAddr  = flag.String("spawn-addr", "127.0.0.1:18080", "listen address for the spawned server (-crashloop)")
+		killEvery  = flag.Duration("kill-every", 400*time.Millisecond, "mean interval between kill -9 cycles (-crashloop)")
+		quotaProbe = flag.Bool("quota-probe", false, "also probe the per-client quota path against an embedded quota-armed server")
 	)
 	flag.Parse()
+
+	if *quotaProbe {
+		probeQuotas(*seed, *simT)
+		// Probe-only invocation: nothing else was asked for, done.
+		if *crashloop == 0 && *addr == "" && !*self {
+			return
+		}
+	}
+	if *crashloop > 0 {
+		runCrashloop(crashOpts{
+			cycles:    *crashloop,
+			servedBin: *servedBin,
+			stateDir:  *stateDir,
+			addr:      *spawnAddr,
+			killEvery: *killEvery,
+			clients:   *clients,
+			jobs:      *jobs,
+			distinct:  *distinct,
+			seed:      *seed,
+			simT:      *simT,
+		})
+		return
+	}
 
 	base := *addr
 	if *self {
@@ -372,4 +408,62 @@ func (h *harness) post(id, verb string) int {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode
+}
+
+// probeQuotas embeds a quota-armed server and asserts the per-client
+// fairness path end to end: a client at its inflight cap is refused
+// with 429 + reason "quota" + Retry-After while another client is
+// admitted, and the slot frees on terminal.
+func probeQuotas(seed int64, simT float64) {
+	srv := served.New(&served.Options{MaxClientInflight: 1, RetryAfter: 2 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+
+	long := chaos.Generate(seed, 0)
+	long.Duration = simT * 2000 // occupies the slot for the whole probe
+	if long.SnapshotT >= long.Duration {
+		long.SnapshotT = 0
+	}
+	var buf bytes.Buffer
+	if err := chaos.WriteRepro(&buf, &long); err != nil {
+		fatalf("quota probe: %v", err)
+	}
+	post := func(client string) (*http.Response, map[string]string) {
+		req, err := http.NewRequest("POST", ts.URL+"/jobs", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			fatalf("quota probe: %v", err)
+		}
+		req.Header.Set("X-Client", client)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatalf("quota probe: %v", err)
+		}
+		defer resp.Body.Close()
+		var out map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&out)
+		return resp, out
+	}
+
+	resp, out := post("greedy")
+	if resp.StatusCode != http.StatusAccepted {
+		fatalf("quota probe: first submit: %d", resp.StatusCode)
+	}
+	id := out["id"]
+	resp, out = post("greedy")
+	if resp.StatusCode != http.StatusTooManyRequests || out["reason"] != "quota" || resp.Header.Get("Retry-After") == "" {
+		fatalf("quota probe: over-cap submit: status %d reason %q Retry-After %q",
+			resp.StatusCode, out["reason"], resp.Header.Get("Retry-After"))
+	}
+	if resp, _ = post("patient"); resp.StatusCode != http.StatusAccepted {
+		fatalf("quota probe: other client refused: %d", resp.StatusCode)
+	}
+	h := &harness{base: ts.URL, client: http.DefaultClient}
+	if code := h.post(id, "cancel"); code != http.StatusOK {
+		fatalf("quota probe: cancel: %d", code)
+	}
+	resp, _ = post("greedy")
+	if resp.StatusCode != http.StatusAccepted {
+		fatalf("quota probe: slot not released on terminal: %d", resp.StatusCode)
+	}
+	fmt.Println("quota probe: 429/quota + Retry-After verified, slot released on terminal")
 }

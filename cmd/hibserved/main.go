@@ -9,6 +9,8 @@
 //	hibserved -addr :8080 -workers 4 -backlog 32 -max-jobs 128
 //	hibserved -check                 # arm the invariant checker per job
 //	hibserved -max-wall 2m -wd-stall 30s   # per-job watchdog limits
+//	hibserved -state-dir /var/lib/hib      # crash-recoverable job table
+//	hibserved -quota-rate 5 -quota-burst 10 -max-client-inflight 4
 //
 // API (see internal/served for the full contract):
 //
@@ -22,6 +24,19 @@
 //	POST /jobs/{id}/resume    restore a suspended job
 //	POST /jobs/{id}/retry     re-run a failed/canceled job
 //	POST /jobs/{id}/cancel    stop a job for good
+//	GET  /healthz             liveness
+//	GET  /readyz              readiness (503 while crash recovery drains)
+//
+// With -state-dir every job lifecycle edge lands in a fsynced
+// write-ahead log under that directory, scenario bytes are stored as
+// content-addressed artifacts, and run snapshots are persisted: a
+// kill -9 loses nothing — restarting with the same -state-dir replays
+// the log, re-enqueues interrupted jobs (resuming from their latest
+// snapshot when one survives), and serves recovered results
+// byte-identical to a direct run. POST /jobs accepts X-Client and
+// X-Job-Key headers; the key makes submission idempotent across
+// crashes. -quota-rate/-quota-burst/-max-client-inflight arm
+// per-client fairness limits (429 with reason "quota").
 //
 // When the job table or backlog is full the server answers 429 with a
 // Retry-After header — explicit backpressure, never an unbounded queue.
@@ -59,22 +74,34 @@ func main() {
 		maxEvents  = flag.Uint64("max-events", 0, "per-job event budget (0 = off)")
 		wdStall    = flag.Duration("wd-stall", 0, "per-job no-progress budget (0 = off)")
 		drainWait  = flag.Duration("drain", 10*time.Second, "shutdown drain budget for in-flight requests")
+		stateDir   = flag.String("state-dir", "", "durable state directory: WAL, artifacts, snapshots (empty = in-memory)")
+		quotaRate  = flag.Float64("quota-rate", 0, "per-client submissions per second (0 = unlimited)")
+		quotaBurst = flag.Int("quota-burst", 0, "per-client token-bucket burst (0 = 1)")
+		maxCliInfl = flag.Int("max-client-inflight", 0, "per-client accepted+running cap (0 = unlimited)")
 	)
 	flag.Parse()
 
 	opts := &served.Options{
-		MaxJobs:    *maxJobs,
-		Workers:    *workers,
-		Backlog:    *backlog,
-		RetryAfter: *retryAfter,
-		Check:      *check,
-		Attempts:   *attempts,
-		Backoff:    *backoff,
+		MaxJobs:           *maxJobs,
+		Workers:           *workers,
+		Backlog:           *backlog,
+		RetryAfter:        *retryAfter,
+		Check:             *check,
+		Attempts:          *attempts,
+		Backoff:           *backoff,
+		StateDir:          *stateDir,
+		QuotaRate:         *quotaRate,
+		QuotaBurst:        *quotaBurst,
+		MaxClientInflight: *maxCliInfl,
 	}
 	if *maxWall > 0 || *maxEvents > 0 || *wdStall > 0 {
 		opts.Watchdog = &sim.Watchdog{MaxWall: *maxWall, MaxEvents: *maxEvents, Stall: *wdStall}
 	}
-	srv := served.New(opts)
+	srv, err := served.Open(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hibserved: %v\n", err)
+		os.Exit(1)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

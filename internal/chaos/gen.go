@@ -146,11 +146,18 @@ func choice(rng *rand.Rand, xs []int) int          { return xs[rng.Intn(len(xs))
 func choiceF(rng *rand.Rand, xs []float64) float64 { return xs[rng.Intn(len(xs))] }
 func choiceS(rng *rand.Rand, xs []string) string   { return xs[rng.Intn(len(xs))] }
 
-// mix derives a per-index RNG seed from the master seed (splitmix64 over
-// the pair), so neighboring indices get uncorrelated streams.
-func mix(seed, index int64) int64 {
+// Mix derives a per-index RNG seed from a master seed (splitmix64 over
+// the pair), so neighboring indices get uncorrelated streams. The
+// generator seeds every scenario through it, and harnesses that need
+// their own deterministic randomness (the server-kill chaos loop's kill
+// points) derive theirs from the same function so a whole chaos run is
+// a pure function of its seed.
+func Mix(seed, index int64) int64 {
 	z := uint64(seed)*0x9e3779b97f4a7c15 + uint64(index) + 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return int64((z ^ (z >> 31)) >> 1)
 }
+
+// mix is the internal alias Generate predates Mix by.
+func mix(seed, index int64) int64 { return Mix(seed, index) }

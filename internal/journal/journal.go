@@ -64,6 +64,18 @@ type Journal struct {
 // resume with changed flags would silently mix incompatible results.
 // A torn final line from a crashed writer is truncated away.
 func Open(path, meta string) (*Journal, error) {
+	return OpenReplay(path, meta, nil)
+}
+
+// OpenReplay opens the journal like Open and additionally hands every
+// durable entry — in file order, with its 1-based line number — to the
+// replay callback before returning. Callers that need more than the
+// per-run latest entry (the job server rebuilds a full lifecycle from
+// the stream of edges) replay through this hook; a callback error
+// aborts the open and is returned verbatim, wrapped with the line
+// number, so a semantically corrupt journal fails loudly instead of
+// being half-applied. Meta entries are not replayed.
+func OpenReplay(path, meta string, replay func(line int, e Entry) error) (*Journal, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
@@ -75,6 +87,7 @@ func Open(path, meta string) (*Journal, error) {
 		return nil, err
 	}
 	valid := 0 // bytes of fully-parsed lines
+	line := 0
 	for len(data[valid:]) > 0 {
 		nl := bytes.IndexByte(data[valid:], '\n')
 		if nl < 0 {
@@ -85,11 +98,18 @@ func Open(path, meta string) (*Journal, error) {
 			break // torn tail: newline from a later write, partial JSON
 		}
 		valid += nl + 1
+		line++
 		if e.Status == statusMeta {
 			if j.meta == "" {
 				j.meta = e.Detail
 			}
 			continue
+		}
+		if replay != nil {
+			if err := replay(line, e); err != nil {
+				f.Close()
+				return nil, fmt.Errorf("%s: line %d: %w", path, line, err)
+			}
 		}
 		j.latest[e.Run] = e
 	}

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -100,5 +101,63 @@ func TestJournalMetaMismatch(t *testing.T) {
 	_, err = Open(path, "seed=2 n=100")
 	if err == nil || !strings.Contains(err.Error(), "seed=1") {
 		t.Fatalf("want meta mismatch naming the recorded config, got %v", err)
+	}
+}
+
+func TestOpenReplayStreamsEntriesInOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.jsonl")
+	j, err := Open(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []Entry{
+		{Run: "a", Status: StatusRunning, Attempt: 1},
+		{Run: "b", Status: StatusRunning, Attempt: 1},
+		{Run: "a", Status: StatusDone, SHA256: "aa"},
+	} {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+
+	var got []Entry
+	var lines []int
+	j2, err := OpenReplay(path, "m", func(line int, e Entry) error {
+		got = append(got, e)
+		lines = append(lines, line)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(got) != 3 || got[0].Run != "a" || got[1].Run != "b" || got[2].Status != StatusDone {
+		t.Fatalf("replayed %+v", got)
+	}
+	// Line 1 is the meta entry, so the replayed entries sit on 2..4.
+	if lines[0] != 2 || lines[1] != 3 || lines[2] != 4 {
+		t.Fatalf("line numbers %v, want [2 3 4]", lines)
+	}
+}
+
+func TestOpenReplayCallbackErrorAbortsWithLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.jsonl")
+	j, err := Open(path, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Entry{Run: "a", Status: StatusRunning, Attempt: 1})
+	j.Append(Entry{Run: "a", Status: "bogus"})
+	j.Close()
+	boom := errors.New("unknown status")
+	_, err = OpenReplay(path, "m", func(line int, e Entry) error {
+		if e.Status == "bogus" {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("want wrapped line-3 error, got %v", err)
 	}
 }

@@ -1,0 +1,109 @@
+package served
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// TestFlushTombstoneRace hammers a job's status and stream endpoints
+// from many goroutines while the server flushes it to a tombstone to
+// make room for new admissions. Every reader must see either the full
+// terminal status (valid JSON, complete result) or a clean 410 — never
+// a torn response, a 500, or a vanished (404) ID. Run under -race this
+// also pins the locking between flush eviction and concurrent reads.
+func TestFlushTombstoneRace(t *testing.T) {
+	s := New(&Options{MaxJobs: 2, Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sc := testScenario(t, 3, 60)
+	id := postJob(t, ts, sc)
+	want := waitState(t, ts, id, StateComplete) // also marks it delivered
+
+	const readers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, readers*4)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/jobs/" + id)
+				if err != nil {
+					errs <- "status: " + err.Error()
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var st JobStatus
+					if err := json.Unmarshal(body, &st); err != nil {
+						errs <- "torn status body: " + string(body)
+						return
+					}
+					if st.State == StateComplete && string(st.Result) != string(want.Result) {
+						errs <- "partial result: " + string(st.Result)
+						return
+					}
+				case http.StatusGone:
+					var gone map[string]string
+					if err := json.Unmarshal(body, &gone); err != nil || gone["state"] != StateFlushed {
+						errs <- "torn 410 body: " + string(body)
+						return
+					}
+				default:
+					errs <- "unexpected status " + resp.Status + ": " + string(body)
+					return
+				}
+				// The stream endpoint must be equally clean: full bytes
+				// then EOF, or a structured 410.
+				resp2, err := http.Get(ts.URL + "/jobs/" + id + "/stream")
+				if err != nil {
+					errs <- "stream: " + err.Error()
+					return
+				}
+				io.Copy(io.Discard, resp2.Body)
+				resp2.Body.Close()
+				if resp2.StatusCode != http.StatusOK && resp2.StatusCode != http.StatusGone {
+					errs <- "stream status " + resp2.Status
+					return
+				}
+			}
+		}()
+	}
+
+	// Force flushes: each admission beyond MaxJobs evicts the oldest
+	// delivered terminal job — our hammered id is first in line. Waiting
+	// for each filler to finish keeps every later admission flushable.
+	for i := 0; i < 3; i++ {
+		nid := postJob(t, ts, testScenario(t, 3, 60))
+		waitState(t, ts, nid, StateComplete)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("hammered job not tombstoned: %s", resp.Status)
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // maxSubmission bounds a POST /jobs body; repro scenarios are a few
@@ -41,12 +42,23 @@ type JobList struct {
 //	POST /jobs/{id}/resume    restore a suspended job
 //	POST /jobs/{id}/retry     re-run a failed or canceled job from scratch
 //	POST /jobs/{id}/cancel    stop a job for good
+//	GET  /healthz             liveness: 200 once the process serves at all
+//	GET  /readyz              readiness: 200 once crash recovery has drained
 //
-// Admission refusals answer 429 with a Retry-After header — the
-// explicit backpressure clients are expected to honor.
+// POST /jobs honors two optional headers: X-Client names the submitting
+// client for per-client quotas, and X-Job-Key makes the submission
+// idempotent — re-POSTing the same (client, key) returns the existing
+// job with 200 instead of admitting a duplicate, which is how clients
+// survive a server crash between their POST and its response.
+//
+// Admission refusals answer 429 (capacity or quota, named in the body)
+// or 503 (recovery shedding) with a Retry-After header — the explicit
+// backpressure clients are expected to honor.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /jobs", s.handleList)
 	mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
 	mux.HandleFunc("GET /jobs/{id}/stream", s.streamHandler(func(j *job) *stream { return j.metricsStream() }, "application/jsonl"))
@@ -72,18 +84,26 @@ func (j *job) traceStream() *stream {
 }
 
 // status snapshots the job's wire form. Serving a terminal state marks
-// the job delivered, which makes it first in line for flush eviction.
+// the job delivered, which makes it first in line for flush eviction;
+// the mark is logged so the eviction preference survives a restart.
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	switch j.state {
 	case StateComplete, StateFailed, StateCanceled:
-		j.delivered = true
+		if !j.delivered {
+			j.delivered = true
+			j.srv.wal.edge(j.id, walDelivered, j.walTries, "", "")
+		}
+	}
+	shape := ""
+	if j.scenario != nil { // recovered terminal job with a lost artifact
+		shape = j.scenario.String()
 	}
 	return JobStatus{
 		ID:       j.id,
 		State:    j.state,
-		Scenario: j.scenario.String(),
+		Scenario: shape,
 		Events:   j.progress.Load(),
 		Result:   json.RawMessage(j.result),
 		Error:    j.errMsg,
@@ -97,9 +117,27 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
+// ceilSeconds converts a wait hint to the whole seconds a Retry-After
+// header carries, rounding up so a sub-second hint never becomes
+// "retry immediately" (Retry-After: 0).
+func ceilSeconds(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return int((d + time.Second - 1) / time.Second)
+}
+
+// writeRetry answers an admission refusal: Retry-After plus a body
+// naming the reason, so clients can tell whole-server capacity (back
+// off and retry) from their own quota (slow down) from recovery
+// shedding (wait for readiness).
+func writeRetry(w http.ResponseWriter, code int, wait time.Duration, reason, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(wait)))
+	writeJSON(w, code, map[string]string{"error": msg, "reason": reason})
+}
+
 func (s *Server) writeBusy(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", strconv.Itoa(int((s.opts.RetryAfter+999999999)/1000000000)))
-	writeJSON(w, http.StatusTooManyRequests, map[string]string{"error": "server at capacity, retry later"})
+	writeRetry(w, http.StatusTooManyRequests, s.opts.RetryAfter, "capacity", "server at capacity, retry later")
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -129,17 +167,58 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	id, err := s.Submit(sc)
+	client, key := r.Header.Get("X-Client"), r.Header.Get("X-Job-Key")
+	id, existing, err := s.SubmitKeyed(sc, client, key)
+	wait, isQuota := IsQuota(err)
 	switch {
+	case err == nil && existing:
+		writeJSON(w, http.StatusOK, map[string]string{"id": id, "state": s.stateOf(id)})
 	case err == nil:
 		writeJSON(w, http.StatusAccepted, map[string]string{"id": id, "state": StateAccepted})
 	case IsBusy(err):
 		s.writeBusy(w)
+	case isQuota:
+		writeRetry(w, http.StatusTooManyRequests, wait, "quota", err.Error())
+	case IsRecovering(err):
+		writeRetry(w, http.StatusServiceUnavailable, s.opts.RetryAfter, "recovering", err.Error())
 	case err == errClosed:
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
 	default:
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 	}
+}
+
+// stateOf names a deduplicated job's current state for the 200 body;
+// the job may have been flushed since the key was recorded.
+func (s *Server) stateOf(id string) string {
+	j, flushed := s.lookup(id)
+	switch {
+	case j != nil:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.state
+	case flushed:
+		return StateFlushed
+	default:
+		return "unknown"
+	}
+}
+
+// handleHealthz is liveness: the process is up and serving HTTP.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 200 once crash recovery's replay backlog
+// has drained (trivially true for a fresh or non-durable server), 503
+// while submissions are still being shed.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.Ready() {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+		return
+	}
+	writeRetry(w, http.StatusServiceUnavailable, s.opts.RetryAfter, "recovering",
+		fmt.Sprintf("replaying %d recovered jobs", s.pending.Load()))
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

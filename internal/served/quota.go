@@ -1,0 +1,165 @@
+package served
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// quotaErr is the admission refusal for a client that exceeded its own
+// allowance (as opposed to errBusy, the whole-server capacity refusal).
+// The HTTP layer maps it to 429 with reason "quota" and a Retry-After
+// computed from the bucket deficit.
+type quotaErr struct {
+	wait   time.Duration
+	reason string
+}
+
+// Error implements the error interface, naming the exceeded limit and
+// the suggested wait.
+func (e *quotaErr) Error() string {
+	return fmt.Sprintf("served: client quota exceeded (%s), retry in %s", e.reason, e.wait)
+}
+
+// IsQuota reports whether err is a per-client quota refusal, and if so
+// how long the client should wait before retrying.
+func IsQuota(err error) (time.Duration, bool) {
+	if q, ok := err.(*quotaErr); ok {
+		return q.wait, true
+	}
+	return 0, false
+}
+
+// quotas enforces per-client admission fairness: a token bucket
+// (QuotaRate tokens/second, QuotaBurst capacity) plus a cap on jobs a
+// single client may hold in the accepted/running states. Both limits
+// are opt-in; a nil *quotas is a strict no-op, so servers without the
+// options pay nothing. The clock is injectable for tests.
+type quotas struct {
+	rate     float64 // tokens per second; <= 0 disables the bucket
+	burst    float64
+	inflight int // max accepted+running jobs per client; <= 0 disables
+	retry    time.Duration
+	now      func() time.Time
+
+	mu      sync.Mutex
+	clients map[string]*clientQuota
+}
+
+// clientQuota is one client's bucket and inflight count.
+type clientQuota struct {
+	tokens   float64
+	last     time.Time
+	inflight int
+}
+
+// maxQuotaClients bounds the client map: when it grows past this, idle
+// clients (full bucket, nothing inflight) are pruned. A client that is
+// pruned and returns simply starts from a full bucket again.
+const maxQuotaClients = 4096
+
+// newQuotas returns nil when neither limit is configured.
+func newQuotas(rate float64, burst, inflight int, retry time.Duration) *quotas {
+	if rate <= 0 && inflight <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &quotas{
+		rate:     rate,
+		burst:    b,
+		inflight: inflight,
+		retry:    retry,
+		now:      time.Now,
+		clients:  map[string]*clientQuota{},
+	}
+}
+
+// admit charges one submission to the client, or returns the refusal
+// the HTTP layer should surface. A nil receiver admits everything.
+func (q *quotas) admit(client string) error {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c := q.clients[client]
+	if c == nil {
+		if len(q.clients) >= maxQuotaClients {
+			q.pruneLocked()
+		}
+		c = &clientQuota{tokens: q.burst, last: q.now()}
+		q.clients[client] = c
+	}
+	q.refillLocked(c)
+	if q.inflight > 0 && c.inflight >= q.inflight {
+		return &quotaErr{wait: q.retry, reason: fmt.Sprintf("inflight cap %d reached", q.inflight)}
+	}
+	if q.rate > 0 {
+		if c.tokens < 1 {
+			wait := time.Duration((1 - c.tokens) / q.rate * float64(time.Second))
+			return &quotaErr{wait: wait, reason: fmt.Sprintf("rate %g/s exhausted", q.rate)}
+		}
+		c.tokens--
+	}
+	c.inflight++
+	return nil
+}
+
+// release returns one inflight slot when a job leaves the
+// accepted/running states (terminal, suspended, or rolled back).
+func (q *quotas) release(client string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if c := q.clients[client]; c != nil && c.inflight > 0 {
+		c.inflight--
+	}
+	q.mu.Unlock()
+}
+
+// reacquire re-counts a recovered job against its client without
+// charging a token: the submission already paid at first admission, and
+// replay must not let a restart double-bill clients into starvation.
+func (q *quotas) reacquire(client string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	c := q.clients[client]
+	if c == nil {
+		c = &clientQuota{tokens: q.burst, last: q.now()}
+		q.clients[client] = c
+	}
+	c.inflight++
+	q.mu.Unlock()
+}
+
+// refillLocked tops the bucket up for the time elapsed since last use.
+func (q *quotas) refillLocked(c *clientQuota) {
+	if q.rate <= 0 {
+		return
+	}
+	now := q.now()
+	if dt := now.Sub(c.last).Seconds(); dt > 0 {
+		c.tokens += dt * q.rate
+		if c.tokens > q.burst {
+			c.tokens = q.burst
+		}
+	}
+	c.last = now
+}
+
+// pruneLocked drops clients that hold nothing: full (or disabled)
+// bucket and zero inflight.
+func (q *quotas) pruneLocked() {
+	for id, c := range q.clients {
+		q.refillLocked(c)
+		if c.inflight == 0 && (q.rate <= 0 || c.tokens >= q.burst) {
+			delete(q.clients, id)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package served
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable, manually-advanced clock for quota tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestCeilSecondsBoundaries(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{-time.Second, 0},
+		{time.Nanosecond, 1}, // sub-second never rounds to "retry now"
+		{999 * time.Millisecond, 1},
+		{time.Second, 1}, // exact seconds stay exact
+		{time.Second + time.Nanosecond, 2},
+		{1500 * time.Millisecond, 2},
+		{2 * time.Second, 2},
+		{90 * time.Second, 90},
+	}
+	for _, c := range cases {
+		if got := ceilSeconds(c.d); got != c.want {
+			t.Errorf("ceilSeconds(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestQuotaTokenBucket(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newQuotas(2, 2, 0, time.Second) // 2/s, burst 2
+	q.now = clk.now
+
+	for i := 0; i < 2; i++ {
+		if err := q.admit("a"); err != nil {
+			t.Fatalf("burst admit %d: %v", i, err)
+		}
+	}
+	err := q.admit("a")
+	wait, ok := IsQuota(err)
+	if !ok {
+		t.Fatalf("over-burst admit: %v, want quota error", err)
+	}
+	// Deficit is one full token at 2/s: 500ms.
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want 500ms", wait)
+	}
+	// Another client is unaffected.
+	if err := q.admit("b"); err != nil {
+		t.Fatalf("client b: %v", err)
+	}
+	// Refill restores admission.
+	clk.advance(time.Second)
+	if err := q.admit("a"); err != nil {
+		t.Fatalf("after refill: %v", err)
+	}
+}
+
+func TestQuotaInflightCapAndRelease(t *testing.T) {
+	q := newQuotas(0, 0, 2, 3*time.Second) // inflight cap only
+	for i := 0; i < 2; i++ {
+		if err := q.admit("a"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	err := q.admit("a")
+	if wait, ok := IsQuota(err); !ok || wait != 3*time.Second {
+		t.Fatalf("over-cap admit: %v (wait %v), want quota error with RetryAfter", err, wait)
+	}
+	q.release("a")
+	if err := q.admit("a"); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	// reacquire counts inflight without charging tokens — recovery must
+	// never double-bill a client into starvation.
+	q.release("a")
+	q.release("a")
+	q.reacquire("a")
+	q.reacquire("a")
+	if err := q.admit("a"); err == nil {
+		t.Fatal("reacquire must count against the inflight cap")
+	}
+}
+
+func TestQuotaNilIsNoOp(t *testing.T) {
+	var q *quotas
+	if err := q.admit("a"); err != nil {
+		t.Fatal(err)
+	}
+	q.release("a")
+	q.reacquire("a")
+	if q := newQuotas(0, 0, 0, time.Second); q != nil {
+		t.Fatal("no limits configured must yield a nil quotas")
+	}
+}
+
+func TestQuotaPruneBoundsClients(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newQuotas(1000, 1, 0, time.Second)
+	q.now = clk.now
+	for i := 0; i < maxQuotaClients; i++ {
+		if err := q.admit(string(rune('a')) + time.Duration(i).String()); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	clk.advance(time.Hour) // every bucket refills, nothing inflight...
+	q.mu.Lock()
+	for _, c := range q.clients {
+		c.inflight = 0 // ...once the jobs finish
+	}
+	q.mu.Unlock()
+	if err := q.admit("fresh"); err != nil {
+		t.Fatalf("admit past the map bound: %v", err)
+	}
+	q.mu.Lock()
+	n := len(q.clients)
+	q.mu.Unlock()
+	if n > maxQuotaClients {
+		t.Fatalf("client map grew unbounded: %d", n)
+	}
+}
+
+// HTTP-level: a second same-client submission over the inflight cap is
+// 429 with reason "quota" and a Retry-After header, while a different
+// client sails through — and the refusal is visible in the stats.
+func TestQuotaHTTPRefusalNamesReason(t *testing.T) {
+	s := New(&Options{MaxClientInflight: 1, RetryAfter: 2 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	long := testScenario(t, 7, 100000) // occupies alice's one slot
+	body := []byte(mustCanonical(t, long))
+	id, code := postKeyed(t, ts, body, "alice", "")
+	if code != http.StatusAccepted {
+		t.Fatalf("first submit: %d", code)
+	}
+	waitState(t, ts, id, StateRunning)
+
+	req, _ := http.NewRequest("POST", ts.URL+"/jobs", reproBody(t, testScenario(t, 3, 60)))
+	req.Header.Set("X-Client", "alice")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]string
+	decodeBody(t, resp, &out)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d", resp.StatusCode)
+	}
+	if out["reason"] != "quota" {
+		t.Fatalf("reason = %q, want quota", out["reason"])
+	}
+	if resp.Header.Get("Retry-After") != "2" {
+		t.Fatalf("Retry-After = %q, want 2", resp.Header.Get("Retry-After"))
+	}
+
+	if _, code := postKeyed(t, ts, []byte(mustCanonical(t, testScenario(t, 3, 60))), "bob", ""); code != http.StatusAccepted {
+		t.Fatalf("other client: %d", code)
+	}
+	if got := s.Stats(); got.QuotaRejected != 1 {
+		t.Fatalf("quota_rejected = %d, want 1", got.QuotaRejected)
+	}
+	postVerb(t, ts, id, "cancel") // release alice's slot
+	waitState(t, ts, id, StateCanceled)
+	if _, code := postKeyed(t, ts, []byte(mustCanonical(t, testScenario(t, 3, 60))), "alice", ""); code != http.StatusAccepted {
+		t.Fatalf("alice after terminal: %d", code)
+	}
+}

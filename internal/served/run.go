@@ -90,6 +90,7 @@ func armObs(cfg *sim.Config, metrics, trace *stream) {
 // transition out of running.
 func (s *Server) runJob(j *job) {
 	j.mu.Lock()
+	s.recoveredDoneLocked(j)      // the replay backlog shrinks even if canceled
 	if j.state != StateAccepted { // canceled while queued
 		j.mu.Unlock()
 		return
@@ -115,8 +116,11 @@ func (s *Server) runJob(j *job) {
 			j.metrics, j.trace = newStream(), newStream()
 		}
 		attemptN++
+		j.walTries++
+		tries := j.walTries
 		metrics, trace := j.metrics, j.trace
 		j.mu.Unlock()
+		s.wal.edge(j.id, StateRunning, tries, "", "")
 
 		r, err := j.scenario.BuildRun()
 		if err != nil {
@@ -142,6 +146,10 @@ func (s *Server) runJob(j *job) {
 			j.mu.Lock()
 			j.snap = st
 			j.mu.Unlock()
+			// Durable too: a crash mid-run restarts from the latest
+			// persisted capture instead of from t=0. Best-effort — a
+			// failed write costs restart time, never correctness.
+			s.wal.saveSnap(j.id, st)
 			return nil
 		}
 		cfg.ResumeFrom = resumeFrom
@@ -163,19 +171,40 @@ func (s *Server) runJob(j *job) {
 	case err == nil:
 		j.state = StateComplete
 		j.result = RenderResult(res)
+		// The terminal edge carries the canonical result (sans the
+		// framing newline), so a restart serves it without re-running.
+		s.wal.edge(j.id, StateComplete, j.walTries, "", string(res2line(j.result)))
+		s.wal.dropSnap(j.id)
 	case j.cancelReq:
 		j.state = StateCanceled
 		j.errMsg = err.Error()
+		s.wal.edge(j.id, StateCanceled, j.walTries, "", j.errMsg)
+		s.wal.dropSnap(j.id)
 	case j.suspendReq && errors.Is(err, context.Canceled):
 		j.state = StateSuspended
 		j.resumeFrom = j.snap // may be nil: resume then restarts from t=0
+		// Snapshot durable first, then the edge records its hash: replay
+		// verifies the pair and restarts from scratch on any mismatch.
+		s.wal.saveSnap(j.id, j.snap)
+		s.wal.edge(j.id, StateSuspended, j.walTries, snapHash(j.snap), "")
 	default:
 		j.state = StateFailed
 		j.errMsg = err.Error()
+		s.wal.edge(j.id, StateFailed, j.walTries, "", j.errMsg)
+		s.wal.dropSnap(j.id)
 	}
+	s.quota.release(j.client) // the job left accepted/running either way
 	j.cancel = nil
 	j.metrics.close()
 	j.trace.close()
 	close(done)
 	j.mu.Unlock()
+}
+
+// res2line strips the trailing newline RenderResult frames with.
+func res2line(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		return b[:n-1]
+	}
+	return b
 }

@@ -18,6 +18,16 @@ func newStream() *stream {
 	return &stream{wake: make(chan struct{})}
 }
 
+// newClosedStream returns a stream already at end-of-stream holding
+// data. Recovered terminal jobs use it: their results survive a restart
+// but their live stream bytes do not, so readers see a cleanly closed
+// (usually empty) stream instead of blocking forever.
+func newClosedStream(data []byte) *stream {
+	s := &stream{buf: data, closed: true, wake: make(chan struct{})}
+	close(s.wake)
+	return s
+}
+
 // append adds bytes and wakes every waiting reader.
 func (s *stream) append(p []byte) {
 	if len(p) == 0 {

@@ -1,0 +1,344 @@
+package served
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"hibernator/internal/atomicio"
+	"hibernator/internal/journal"
+	"hibernator/internal/snapshot"
+)
+
+// The write-ahead job log. Every job lifecycle edge is appended — and
+// fsynced — to <state-dir>/jobs.jsonl through internal/journal, which
+// already owns the hard parts: append-only durability, torn-tail
+// truncation on reopen, and a meta guard refusing a log written under
+// incompatible flags. Submitted scenario bytes are not inlined in the
+// log; they live as content-addressed artifacts in
+// <state-dir>/jobs.jsonl.d/<sha256>.repro (the hibexp -journal layout),
+// written atomically *before* the accepted edge is appended, so an
+// accepted entry always has its scenario on disk. Periodic run
+// snapshots land in <state-dir>/snaps/<job>.snap via atomic writes; a
+// recovered running job resumes from its latest one when it parses,
+// and restarts from scratch otherwise — either way the result is
+// byte-identical, because the simulation is deterministic.
+//
+// Ordering is the crash-safety argument: the accepted edge is durable
+// before the client ever sees the job ID, so an ID a client holds can
+// never be unknown after a restart; terminal edges are durable before
+// the delivered edge; and an interrupted edge is exactly the torn tail
+// journal.Open truncates, which re-runs the job — deterministic, so
+// nothing observable changes.
+
+// WAL-only statuses, alongside the job State* constants.
+const (
+	// walDelivered marks that some client has read the job's terminal
+	// status — the flush-eviction preference survives restarts.
+	walDelivered = "delivered"
+	// walRejected voids an accepted edge whose queue submission was
+	// refused in the same admission: replay drops the record entirely.
+	walRejected = "rejected"
+)
+
+// walMetaVersion is bumped on any incompatible WAL format change.
+const walMetaVersion = "hibserved-wal/1"
+
+// walDetail is the JSON payload of an accepted edge.
+type walDetail struct {
+	Client string `json:"client,omitempty"`
+	Key    string `json:"key,omitempty"`
+}
+
+// wal owns the job log and its artifact/snapshot directories.
+type wal struct {
+	j       *journal.Journal
+	artDir  string
+	snapDir string
+	frozen  atomic.Bool // test hook: simulate the crash point
+}
+
+// walRecord is one job's state as reconstructed from the log.
+type walRecord struct {
+	id        string
+	sha       string // scenario artifact content address
+	client    string
+	key       string
+	state     string
+	attempt   int
+	result    string // canonical result JSON, no trailing newline
+	errMsg    string
+	delivered bool
+	snapHash  string // hash the suspended edge recorded for its snapshot
+}
+
+// walMeta renders the meta guard line: flags that change what a replay
+// would compute must match between the writer and the reopener.
+func walMeta(o Options) string {
+	return fmt.Sprintf("%s check=%t", walMetaVersion, o.Check)
+}
+
+// openWAL opens (or creates) the job log under dir and replays it,
+// returning the reconstructed records in first-accepted order. seen,
+// when non-nil, observes every durable entry's job ID — including
+// rejected and flushed ones — so the caller can restore its ID
+// sequence past every ID ever issued. Replay errors carry the journal
+// path and 1-based line number.
+func openWAL(dir string, o Options, seen func(id string)) (*wal, []*walRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	path := filepath.Join(dir, "jobs.jsonl")
+	w := &wal{artDir: path + ".d", snapDir: filepath.Join(dir, "snaps")}
+	for _, d := range []string{w.artDir, w.snapDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, nil, err
+		}
+	}
+	records := map[string]*walRecord{}
+	var order []string
+	j, err := journal.OpenReplay(path, walMeta(o), func(line int, e journal.Entry) error {
+		if seen != nil {
+			seen(e.Run)
+		}
+		return applyWALEntry(records, &order, e)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	w.j = j
+	out := make([]*walRecord, 0, len(order))
+	for _, id := range order {
+		if r := records[id]; r != nil {
+			out = append(out, r)
+		}
+	}
+	return w, out, nil
+}
+
+// applyWALEntry folds one log line into the replay state, enforcing
+// edge legality so a semantically corrupt log fails loudly (with the
+// line number OpenReplay wraps in) instead of resurrecting jobs into
+// impossible states.
+func applyWALEntry(records map[string]*walRecord, order *[]string, e journal.Entry) error {
+	if e.Run == "" {
+		return fmt.Errorf("wal: entry without a job id")
+	}
+	r := records[e.Run]
+	if r != nil && r.state == StateFlushed && e.Status != StateAccepted {
+		return fmt.Errorf("wal: job %s: %s edge after flush", e.Run, e.Status)
+	}
+	switch e.Status {
+	case StateAccepted:
+		if r == nil {
+			if len(e.SHA256) != 64 {
+				return fmt.Errorf("wal: job %s: accepted without a scenario sha256", e.Run)
+			}
+			var d walDetail
+			if e.Detail != "" {
+				if err := json.Unmarshal([]byte(e.Detail), &d); err != nil {
+					return fmt.Errorf("wal: job %s: accepted detail: %v", e.Run, err)
+				}
+			}
+			r = &walRecord{id: e.Run, sha: e.SHA256, client: d.Client, key: d.Key, state: StateAccepted}
+			records[e.Run] = r
+			*order = append(*order, e.Run)
+			return nil
+		}
+		// Re-admission: resume (suspended) or retry (failed/canceled).
+		switch r.state {
+		case StateSuspended, StateFailed, StateCanceled:
+			r.state = StateAccepted
+			r.result, r.errMsg, r.delivered = "", "", false
+			return nil
+		}
+		return fmt.Errorf("wal: job %s: re-accepted while %s", e.Run, r.state)
+	case StateRunning:
+		if r == nil || (r.state != StateAccepted && r.state != StateRunning) {
+			return walEdgeError(r, e)
+		}
+		r.state, r.attempt = StateRunning, e.Attempt
+		return nil
+	case StateSuspended:
+		if r == nil || r.state != StateRunning {
+			return walEdgeError(r, e)
+		}
+		r.state, r.snapHash = StateSuspended, e.SHA256
+		return nil
+	case StateComplete:
+		if r == nil || r.state != StateRunning {
+			return walEdgeError(r, e)
+		}
+		r.state, r.result = StateComplete, e.Detail
+		return nil
+	case StateFailed:
+		// Failed is legal from accepted and suspended too: a recovered
+		// job whose artifact no longer verifies is failed without ever
+		// (re)running.
+		if r == nil || (r.state != StateRunning && r.state != StateAccepted && r.state != StateSuspended) {
+			return walEdgeError(r, e)
+		}
+		r.state, r.errMsg = StateFailed, e.Detail
+		return nil
+	case StateCanceled:
+		if r == nil || (r.state != StateAccepted && r.state != StateRunning && r.state != StateSuspended) {
+			return walEdgeError(r, e)
+		}
+		r.state, r.errMsg = StateCanceled, e.Detail
+		return nil
+	case walDelivered:
+		if r == nil || !terminalState(r.state) {
+			return walEdgeError(r, e)
+		}
+		r.delivered = true
+		return nil
+	case StateFlushed:
+		if r == nil || !terminalState(r.state) {
+			return walEdgeError(r, e)
+		}
+		r.state = StateFlushed
+		return nil
+	case walRejected:
+		if r == nil || r.state != StateAccepted || r.attempt != 0 {
+			return walEdgeError(r, e)
+		}
+		delete(records, e.Run)
+		return nil
+	}
+	return fmt.Errorf("wal: job %s: unknown status %q", e.Run, e.Status)
+}
+
+// walEdgeError names the illegal transition.
+func walEdgeError(r *walRecord, e journal.Entry) error {
+	if r == nil {
+		return fmt.Errorf("wal: job %s: %s edge before accepted", e.Run, e.Status)
+	}
+	return fmt.Errorf("wal: job %s: %s edge while %s", e.Run, e.Status, r.state)
+}
+
+// terminalState reports whether a job in this state has finished.
+func terminalState(st string) bool {
+	return st == StateComplete || st == StateFailed || st == StateCanceled
+}
+
+// appendAccepted durably records an admission. Unlike the other edges
+// this one must not be lost silently: the caller rolls the admission
+// back when it fails, because an accepted job missing from the log
+// would vanish on restart.
+func (w *wal) appendAccepted(id, sha, client, key string) error {
+	if w == nil || w.frozen.Load() {
+		return nil
+	}
+	detail := ""
+	if client != "" || key != "" {
+		b, err := json.Marshal(walDetail{Client: client, Key: key})
+		if err != nil {
+			return err
+		}
+		detail = string(b)
+	}
+	return w.j.Append(journal.Entry{Run: id, Status: StateAccepted, SHA256: sha, Detail: detail})
+}
+
+// edge records a lifecycle transition, best-effort: the in-memory state
+// is already correct, results are re-derivable by determinism, and a
+// server must not fail a finished job over a full disk — the cost of a
+// lost edge is bounded at one re-run after a crash.
+func (w *wal) edge(id, status string, attempt int, sha, detail string) {
+	if w == nil || w.frozen.Load() {
+		return
+	}
+	_ = w.j.Append(journal.Entry{Run: id, Status: status, Attempt: attempt, SHA256: sha, Detail: detail})
+}
+
+// saveArtifact stores the canonical scenario bytes content-addressed
+// and returns their sha256. Writing is idempotent — identical content
+// hits the same path — and atomic, so a half-written artifact can never
+// be read back.
+func (w *wal) saveArtifact(body []byte) (string, error) {
+	sum := sha256.Sum256(body)
+	sha := hex.EncodeToString(sum[:])
+	path := w.artifactPath(sha)
+	if _, err := os.Stat(path); err == nil {
+		return sha, nil
+	}
+	if err := atomicio.WriteFileBytes(path, body); err != nil {
+		return "", err
+	}
+	return sha, nil
+}
+
+// loadArtifact reads an artifact back and re-verifies its content hash,
+// so a corrupted file is detected instead of silently replaying a
+// different scenario.
+func (w *wal) loadArtifact(sha string) ([]byte, error) {
+	body, err := os.ReadFile(w.artifactPath(sha))
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); got != sha {
+		return nil, fmt.Errorf("artifact %s: content hash %s does not match its address", sha[:12], got[:12])
+	}
+	return body, nil
+}
+
+func (w *wal) artifactPath(sha string) string {
+	return filepath.Join(w.artDir, sha+".repro")
+}
+
+// saveSnap persists a job's latest periodic snapshot atomically,
+// best-effort: losing one costs a restart-from-scratch, never
+// correctness.
+func (w *wal) saveSnap(id string, st *snapshot.State) {
+	if w == nil || w.frozen.Load() || st == nil {
+		return
+	}
+	_ = st.Save(w.snapPath(id))
+}
+
+// loadSnap returns the job's persisted snapshot, or nil when there is
+// none or it does not parse (atomic writes make a torn file impossible,
+// so a parse failure means external corruption — restart from scratch).
+func (w *wal) loadSnap(id string) *snapshot.State {
+	if w == nil {
+		return nil
+	}
+	st, err := snapshot.Load(w.snapPath(id))
+	if err != nil {
+		return nil
+	}
+	return st
+}
+
+// dropSnap removes a job's snapshot once it can no longer be resumed.
+func (w *wal) dropSnap(id string) {
+	if w == nil || w.frozen.Load() {
+		return
+	}
+	_ = os.Remove(w.snapPath(id))
+}
+
+func (w *wal) snapPath(id string) string {
+	return filepath.Join(w.snapDir, id+".snap")
+}
+
+// freeze stops every subsequent disk write — the test hook that turns a
+// live server into a crash scene: whatever is durable now is exactly
+// what a kill -9 at this instant would have left.
+func (w *wal) freeze() {
+	if w != nil {
+		w.frozen.Store(true)
+	}
+}
+
+// close flushes and closes the log.
+func (w *wal) close() {
+	if w != nil && w.j != nil {
+		_ = w.j.Close()
+	}
+}

@@ -16,6 +16,8 @@ package snapshot
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"os"
@@ -142,6 +144,15 @@ func (s *State) Bytes() []byte {
 	var b strings.Builder
 	s.WriteTo(&b)
 	return []byte(b.String())
+}
+
+// Hash returns the hex sha256 of the snapshot's canonical serialized
+// form. Two states hash equal exactly when their files are
+// byte-identical, so the hash is a compact identity for journals and
+// recovery logs to record and re-verify.
+func (s *State) Hash() string {
+	sum := sha256.Sum256(s.Bytes())
+	return hex.EncodeToString(sum[:])
 }
 
 // Save writes the snapshot to path atomically, so a crash mid-write can

@@ -121,3 +121,23 @@ func TestSetPanicsOnMalformed(t *testing.T) {
 		}()
 	}
 }
+
+func TestHashMatchesBytesIdentity(t *testing.T) {
+	a, b := New(), New()
+	for _, s := range []*State{a, b} {
+		s.Set("clock", "12.5")
+		s.SetInt("events", 42)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatal("identical states hash differently")
+	}
+	if len(a.Hash()) != 64 {
+		t.Fatalf("hash %q is not hex sha256", a.Hash())
+	}
+	c := New()
+	c.Set("clock", "12.5")
+	c.SetInt("events", 43)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different states hash equal")
+	}
+}
