@@ -185,6 +185,52 @@ func TestCrashRecoveryResumesFromPersistedSnapshot(t *testing.T) {
 	}
 }
 
+// A resume refused by a full backlog rolls back to suspended; the WAL
+// it leaves behind must still replay (regression: the rollback edge
+// made every subsequent Open of the state dir fail).
+func TestResumeRollbackKeepsWALReplayable(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := openDurable(t, dir, Options{Workers: 1, Backlog: 1, MaxJobs: 16})
+	long := testScenario(t, 7, 100000) // minutes of real time; never finishes here
+
+	id := postJob(t, ts1, long)
+	waitState(t, ts1, id, StateRunning)
+	resp, err := http.Post(ts1.URL+"/jobs/"+id+"/suspend", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suspend: status %d", resp.StatusCode)
+	}
+	// Suspending freed the worker; refill it and the one-slot backlog so
+	// the resume below finds no room.
+	id2 := postJob(t, ts1, long)
+	waitState(t, ts1, id2, StateRunning)
+	postJob(t, ts1, long) // parks in the backlog
+
+	resp, err = http.Post(ts1.URL+"/jobs/"+id+"/resume", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("resume with full backlog: status %d, want 429", resp.StatusCode)
+	}
+	if st := getStatus(t, ts1, id); st.State != StateSuspended {
+		t.Fatalf("after refused resume: state %s, want suspended", st.State)
+	}
+	ts1.Close()
+	s1.abort() // freeze the log exactly as the rollback left it
+
+	s2, ts2 := openDurable(t, dir, Options{Workers: 1, Backlog: 1, MaxJobs: 16})
+	defer ts2.Close()
+	defer s2.Close()
+	if st := getStatus(t, ts2, id); st.State != StateSuspended {
+		t.Fatalf("after restart: state %s, want suspended", st.State)
+	}
+}
+
 func TestRecoveryShedsSubmissionsUntilDrained(t *testing.T) {
 	// The shed window is inherently transient on a live server, so this
 	// pins the logic at the admission layer: a server with a non-empty
@@ -373,6 +419,38 @@ func TestWALEdgeLegality(t *testing.T) {
 	}
 	if r := recs["j1"]; r.state != StateComplete || !r.delivered || r.result != `{"x":1}` {
 		t.Fatalf("suspend/resume lifecycle replayed wrong: %+v", recs["j1"])
+	}
+
+	// Resume rollback: a resume refused by a full backlog re-writes a
+	// suspended edge from the accepted state. Replay must take it
+	// (regression: it used to refuse, making the log unrecoverable) and
+	// keep the original snapshot hash when the rollback states none.
+	recs, err = run([]journal.Entry{
+		{Run: "j1", Status: StateAccepted, SHA256: sha},
+		{Run: "j1", Status: StateRunning, Attempt: 1},
+		{Run: "j1", Status: StateSuspended, SHA256: "beef"},
+		{Run: "j1", Status: StateAccepted},
+		{Run: "j1", Status: StateSuspended, Detail: "resume refused: backlog full"},
+	})
+	if err != nil {
+		t.Fatalf("resume rollback must replay: %v", err)
+	}
+	if r := recs["j1"]; r.state != StateSuspended || r.snapHash != "beef" {
+		t.Fatalf("resume rollback replayed wrong: %+v", recs["j1"])
+	}
+	// A rollback that does state a hash wins over the original.
+	recs, err = run([]journal.Entry{
+		{Run: "j1", Status: StateAccepted, SHA256: sha},
+		{Run: "j1", Status: StateRunning, Attempt: 1},
+		{Run: "j1", Status: StateSuspended, SHA256: "beef"},
+		{Run: "j1", Status: StateAccepted},
+		{Run: "j1", Status: StateSuspended, SHA256: "cafe", Detail: "resume refused: backlog full"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := recs["j1"]; r.snapHash != "cafe" {
+		t.Fatalf("rollback hash not honored: %+v", recs["j1"])
 	}
 }
 

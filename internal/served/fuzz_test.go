@@ -32,6 +32,8 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add(seed(acc, `{"run":"j1","status":"rejected"}`))
 	f.Add(seed(acc, run, `{"run":"j1","status":"suspended","sha256":"beef"}`,
 		`{"run":"j1","status":"accepted"}`, `{"run":"j1","status":"running","attempt":2}`))
+	f.Add(seed(acc, run, `{"run":"j1","status":"suspended","sha256":"beef"}`, // resume rollback
+		`{"run":"j1","status":"accepted"}`, `{"run":"j1","status":"suspended","detail":"resume refused: backlog full"}`))
 	f.Add(seed(run))                                  // edge before accepted
 	f.Add(seed(acc, `{"run":"j1","status":"bogus"}`)) // unknown status
 	f.Add([]byte(acc + "\n" + `{"run":"j1","sta`))    // torn tail

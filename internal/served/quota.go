@@ -109,7 +109,9 @@ func (q *quotas) admit(client string) error {
 }
 
 // release returns one inflight slot when a job leaves the
-// accepted/running states (terminal, suspended, or rolled back).
+// accepted/running states (terminal, suspended, or a resume/retry
+// re-admission rolled back — those never charged a token, so there
+// is nothing to refund).
 func (q *quotas) release(client string) {
 	if q == nil {
 		return
@@ -117,6 +119,29 @@ func (q *quotas) release(client string) {
 	q.mu.Lock()
 	if c := q.clients[client]; c != nil && c.inflight > 0 {
 		c.inflight--
+	}
+	q.mu.Unlock()
+}
+
+// refund undoes a full admission the server itself then refused
+// (capacity, artifact, or log failure): the inflight slot is returned
+// and the rate token restored, so a client is never billed for a
+// submission that did not enter the table.
+func (q *quotas) refund(client string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	if c := q.clients[client]; c != nil {
+		if c.inflight > 0 {
+			c.inflight--
+		}
+		if q.rate > 0 {
+			c.tokens++
+			if c.tokens > q.burst {
+				c.tokens = q.burst
+			}
+		}
 	}
 	q.mu.Unlock()
 }

@@ -91,6 +91,46 @@ func TestQuotaInflightCapAndRelease(t *testing.T) {
 	}
 }
 
+// refund undoes the whole admission — token and inflight slot — so a
+// submission the server itself refused costs the client nothing.
+func TestQuotaRefund(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := newQuotas(1, 2, 2, time.Second) // 1/s, burst 2, inflight cap 2
+	q.now = clk.now
+
+	for i := 0; i < 2; i++ {
+		if err := q.admit("a"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if err := q.admit("a"); err == nil {
+		t.Fatal("bucket and cap exhausted, admit must refuse")
+	}
+	// Refund returns the token and the slot: admission works again
+	// without any clock advance.
+	q.refund("a")
+	if err := q.admit("a"); err != nil {
+		t.Fatalf("admit after refund: %v", err)
+	}
+	// release, by contrast, returns only the slot — the next admission
+	// still fails on the dry bucket.
+	q.release("a")
+	if err := q.admit("a"); err == nil {
+		t.Fatal("release must not restore the rate token")
+	}
+	// refund never overfills the bucket past its burst.
+	q.refund("a")
+	q.refund("a")
+	q.refund("a")
+	if q.clients["a"].tokens > q.burst {
+		t.Fatalf("refund overfilled the bucket: %v > %v", q.clients["a"].tokens, q.burst)
+	}
+	// refund on an unknown client is a no-op, as is a nil receiver.
+	q.refund("never-admitted")
+	var nilQ *quotas
+	nilQ.refund("a")
+}
+
 func TestQuotaNilIsNoOp(t *testing.T) {
 	var q *quotas
 	if err := q.admit("a"); err != nil {

@@ -535,13 +535,13 @@ func (s *Server) SubmitKeyed(sc *chaos.Scenario, client, key string) (id string,
 	}
 	if len(s.jobs) >= s.opts.MaxJobs && !s.flushOldestLocked() {
 		s.stats.Rejected++
-		s.quota.release(client)
+		s.quota.refund(client)
 		s.mu.Unlock()
 		return "", false, errBusy
 	}
 	if s.wal != nil {
 		if sha, err = s.wal.saveArtifact(body); err != nil {
-			s.quota.release(client)
+			s.quota.refund(client)
 			s.mu.Unlock()
 			return "", false, err
 		}
@@ -562,7 +562,7 @@ func (s *Server) SubmitKeyed(sc *chaos.Scenario, client, key string) (id string,
 			// Roll the admission back: a job the log does not know
 			// would silently vanish on restart.
 			s.seq--
-			s.quota.release(client)
+			s.quota.refund(client)
 			s.mu.Unlock()
 			return "", false, err
 		}
@@ -582,7 +582,7 @@ func (s *Server) SubmitKeyed(sc *chaos.Scenario, client, key string) (id string,
 		}
 		s.order = s.order[:len(s.order)-1]
 		s.stats.Rejected++
-		s.quota.release(client)
+		s.quota.refund(client)
 		s.mu.Unlock()
 		return "", false, errBusy
 	}

@@ -164,10 +164,18 @@ func applyWALEntry(records map[string]*walRecord, order *[]string, e journal.Ent
 		r.state, r.attempt = StateRunning, e.Attempt
 		return nil
 	case StateSuspended:
-		if r == nil || r.state != StateRunning {
+		// Legal from running (a real suspend) and from accepted (the
+		// rollback of a resume whose queue submission was refused).
+		if r == nil || (r.state != StateRunning && r.state != StateAccepted) {
 			return walEdgeError(r, e)
 		}
-		r.state, r.snapHash = StateSuspended, e.SHA256
+		if e.SHA256 != "" || r.state == StateRunning {
+			// A rollback edge with no hash keeps the snapshot the
+			// original suspend recorded; a real suspend always states
+			// its own (possibly empty, when no capture existed yet).
+			r.snapHash = e.SHA256
+		}
+		r.state = StateSuspended
 		return nil
 	case StateComplete:
 		if r == nil || r.state != StateRunning {
